@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"durability"
+)
+
+// modelParams carries every model flag; buildModel picks what it needs.
+type modelParams struct {
+	lambda, mu1, mu2                        float64
+	u0, premium, claimLam, claimLo, claimHi float64
+	start, drift, sigma, s0                 float64
+	weights                                 string
+}
+
+// buildModel constructs the requested simulation model and its observer.
+func buildModel(kind string, p modelParams) (durability.Process, durability.Observer, error) {
+	switch kind {
+	case "queue":
+		return durability.NewTandemQueue(p.lambda, p.mu1, p.mu2), durability.Queue2Len, nil
+	case "cpp":
+		return durability.NewCompoundPoisson(p.u0, p.premium, p.claimLam, p.claimLo, p.claimHi),
+			durability.ScalarValue, nil
+	case "walk":
+		return &durability.RandomWalk{Start: p.start, Drift: p.drift, Sigma: p.sigma},
+			durability.ScalarValue, nil
+	case "gbm":
+		return &durability.GBM{S0: p.s0, Mu: p.drift, Sigma: p.sigma}, durability.ScalarValue, nil
+	case "rnn":
+		if p.weights == "" {
+			return nil, nil, fmt.Errorf("rnn model needs -weights (train one with cmd/trainrnn)")
+		}
+		f, err := os.Open(p.weights)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		model, err := durability.LoadStockModel(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return durability.NewStockProcess(model, p.s0, 50), durability.StockPrice, nil
+	}
+	return nil, nil, fmt.Errorf("unknown model %q (want queue, cpp, walk, gbm or rnn)", kind)
+}

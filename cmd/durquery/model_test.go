@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"durability"
+	"durability/internal/neural"
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+func TestBuildModelKinds(t *testing.T) {
+	base := modelParams{
+		lambda: 0.5, mu1: 2, mu2: 2,
+		u0: 15, premium: 6, claimLam: 0.8, claimLo: 5, claimHi: 10,
+		start: 0, drift: 0, sigma: 1, s0: 100,
+	}
+	for _, kind := range []string{"queue", "cpp", "walk", "gbm"} {
+		proc, obs, err := buildModel(kind, base)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		src := rng.New(1)
+		s := proc.Initial()
+		for i := 1; i <= 5; i++ {
+			proc.Step(s, i, src)
+		}
+		_ = obs(s) // must not panic
+	}
+}
+
+func TestBuildModelUnknownKind(t *testing.T) {
+	if _, _, err := buildModel("bogus", modelParams{}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildModelRNNRequiresWeights(t *testing.T) {
+	if _, _, err := buildModel("rnn", modelParams{}); err == nil {
+		t.Fatal("rnn without weights accepted")
+	}
+	if _, _, err := buildModel("rnn", modelParams{weights: "/no/such/file"}); err == nil {
+		t.Fatal("missing weights file accepted")
+	}
+}
+
+func TestBuildModelRNNRoundTrip(t *testing.T) {
+	// Train a tiny model, save it, and load it through buildModel — the
+	// trainrnn -> durquery pipeline.
+	gbm := &stochastic.GBM{S0: 500, Mu: 0, Sigma: 0.02}
+	series := gbm.SeriesWithRegimes(300, rng.New(4))
+	model := neural.NewModel(neural.Config{Hidden: 6, Layers: 1, Mixtures: 2, SeqLen: 20}, 5)
+	if _, err := model.Train(series, 1); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "weights.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	proc, obs, err := buildModel("rnn", modelParams{weights: path, s0: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := proc.Initial()
+	if obs(s) != 500 {
+		t.Fatalf("initial price = %v", obs(s))
+	}
+	src := rng.New(2)
+	proc.Step(s, 1, src)
+	if obs(s) <= 0 {
+		t.Fatalf("price after one step = %v", obs(s))
+	}
+	var _ durability.Process = proc
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"durability/internal/experiments"
+)
+
+func TestCatalogWellFormed(t *testing.T) {
+	cat := catalog()
+	if len(cat) != 14 { // 5 tables + 9 figures
+		t.Fatalf("catalog has %d entries, want 14", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, e := range cat {
+		if e.id == "" || e.desc == "" || e.run == nil {
+			t.Fatalf("malformed entry %+v", e)
+		}
+		if seen[e.id] {
+			t.Fatalf("duplicate id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+}
+
+// Each runner must produce at least one non-empty report at a tiny scale.
+// Only the cheapest runners are exercised here; the heavyweight ones are
+// covered by the repository benchmarks.
+func TestRunnersProduceReports(t *testing.T) {
+	o := experiments.RunOpts{Scale: 10, Cap: 150_000, Seed: 3, Workers: 4}
+	ctx := context.Background()
+	for _, id := range []string{"fig6", "fig7", "table7"} {
+		var run func(context.Context, experiments.RunOpts, int) ([]experiments.Report, error)
+		for _, e := range catalog() {
+			if e.id == id {
+				run = e.run
+			}
+		}
+		reports, err := run(ctx, o, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(reports) == 0 {
+			t.Fatalf("%s produced no reports", id)
+		}
+		for _, r := range reports {
+			if len(r.Rows) == 0 || r.String() == "" {
+				t.Fatalf("%s produced an empty report", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command trainrnn trains the LSTM-MDN stock model (the paper's §6 model
+// (3)) on a synthetic daily price series and writes the weights to a file
+// that cmd/durquery can load with -model rnn -weights <file>.
+//
+//	trainrnn -out model.gob -hidden 24 -layers 2 -epochs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"durability"
+	"durability/internal/neural"
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "model.gob", "output weights file")
+		hidden   = flag.Int("hidden", 24, "LSTM units per layer")
+		layers   = flag.Int("layers", 2, "stacked LSTM layers")
+		mixtures = flag.Int("mixtures", 5, "MDN mixture components")
+		epochs   = flag.Int("epochs", 10, "training epochs")
+		days     = flag.Int("days", 1250, "length of the synthetic training series (~5 trading years)")
+		s0       = flag.Float64("s0", 1000, "series starting price")
+		mu       = flag.Float64("mu", 0.0004, "per-day log drift of the synthetic series")
+		sigma    = flag.Float64("sigma", 0.02, "per-day log volatility of the synthetic series")
+		seed     = flag.Uint64("seed", 20150101, "series generation seed")
+	)
+	flag.Parse()
+
+	gbm := &stochastic.GBM{S0: *s0, Mu: *mu, Sigma: *sigma}
+	series := gbm.SeriesWithRegimes(*days, rng.New(*seed))
+	fmt.Printf("training series: %d days, first %.2f, last %.2f\n", len(series), series[0], series[len(series)-1])
+
+	model := durability.NewStockModel(neural.Config{
+		Hidden: *hidden, Layers: *layers, Mixtures: *mixtures,
+	}, 7)
+	report, err := model.Train(series, *epochs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainrnn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained %d epochs: mean NLL %.4f -> %.4f\n", report.Epochs, report.FirstLoss, report.LastLoss)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainrnn:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, "trainrnn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("weights written to %s\n", *out)
+}

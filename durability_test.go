@@ -1,0 +1,229 @@
+package durability
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"durability/internal/exact"
+)
+
+// walkQuery is a random-walk query with a moderately rare answer; the
+// analytic reference is obtained from a heavy SRS run once per test run.
+func walkQuery() (*RandomWalk, Query) {
+	return &RandomWalk{Start: 0, Drift: 0, Sigma: 1},
+		Query{Z: ScalarValue, Beta: 8, Horizon: 100}
+}
+
+func TestRunDefaultsGMLSSAuto(t *testing.T) {
+	w, q := walkQuery()
+	res, err := Run(context.Background(), w, q,
+		WithBudget(600_000), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P <= 0 || res.P >= 1 {
+		t.Fatalf("estimate %v outside (0,1)", res.P)
+	}
+	if res.Steps == 0 || res.Paths == 0 {
+		t.Fatalf("cost accounting missing: %+v", res)
+	}
+}
+
+func TestRunMethodsAgree(t *testing.T) {
+	w, q := walkQuery()
+	ctx := context.Background()
+	srs, err := Run(ctx, w, q, WithMethod(SRS), WithBudget(3_000_000), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{SMLSS, GMLSS} {
+		res, err := Run(ctx, w, q, WithMethod(m),
+			WithPlan(0.4, 0.7), WithBudget(600_000), WithSeed(3))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if math.Abs(res.P-srs.P) > 0.25*srs.P {
+			t.Fatalf("%v estimate %v far from SRS %v", m, res.P, srs.P)
+		}
+	}
+}
+
+func TestRunQualityTarget(t *testing.T) {
+	w, q := walkQuery()
+	res, err := Run(context.Background(), w, q,
+		WithRelativeErrorTarget(0.15), WithBudget(50_000_000), WithSeed(4), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := res.RelErr(); re > 0.17 {
+		t.Fatalf("stopped at RE %v, want <= 0.15", re)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w, q := walkQuery()
+	ctx := context.Background()
+	if _, err := Run(ctx, nil, q); err == nil {
+		t.Error("nil process accepted")
+	}
+	if _, err := Run(ctx, w, Query{Z: ScalarValue, Beta: 0, Horizon: 5}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := Run(ctx, w, Query{Z: nil, Beta: 1, Horizon: 5}); err == nil {
+		t.Error("nil observer accepted")
+	}
+	if _, err := Run(ctx, w, Query{Z: ScalarValue, Beta: 1, Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Run(ctx, w, q, WithSplitRatio(0)); err == nil {
+		t.Error("ratio 0 accepted")
+	}
+	if _, err := Run(ctx, w, q, WithWorkers(0)); err == nil {
+		t.Error("workers 0 accepted")
+	}
+	if _, err := Run(ctx, w, q, WithPlan(1.5)); err == nil {
+		t.Error("boundary outside (0,1) accepted")
+	}
+	if _, err := Run(ctx, w, q, WithBudget(-1)); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := Run(ctx, w, q, WithCITarget(0, 0.95, false)); err == nil {
+		t.Error("zero CI target accepted")
+	}
+	if _, err := Run(ctx, w, q, WithRelativeErrorTarget(0)); err == nil {
+		t.Error("zero RE target accepted")
+	}
+	if _, err := Run(ctx, w, q, WithBalancedLevels(0, 3)); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if _, err := Run(ctx, w, q, WithMethod(Method(99))); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	w, q := walkQuery()
+	ctx := context.Background()
+	run := func(workers int) Result {
+		res, err := Run(ctx, w, q, WithPlan(0.5), WithBudget(200_000),
+			WithSeed(5), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(1), run(6); a.P != b.P || a.Steps != b.Steps {
+		t.Fatalf("worker counts disagree: %v vs %v", a.P, b.P)
+	}
+}
+
+func TestRunBalancedLevels(t *testing.T) {
+	w, q := walkQuery()
+	res, err := Run(context.Background(), w, q,
+		WithBalancedLevels(0.01, 4), WithBudget(400_000), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P <= 0 {
+		t.Fatalf("estimate %v", res.P)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	w, q := walkQuery()
+	calls := 0
+	_, err := Run(context.Background(), w, q, WithPlan(0.5),
+		WithBudget(100_000), WithSeed(7), WithTrace(func(Result) { calls++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("trace never invoked")
+	}
+}
+
+func TestAutoPlan(t *testing.T) {
+	w, q := walkQuery()
+	plan, cost, err := AutoPlan(context.Background(), w, q, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost == 0 {
+		t.Fatal("no search cost reported")
+	}
+	// The plan must be usable in a subsequent run.
+	res, err := Run(context.Background(), w, q,
+		WithPlan(plan.Boundaries...), WithBudget(300_000), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P <= 0 {
+		t.Fatalf("estimate with auto plan = %v", res.P)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if GMLSS.String() != "g-mlss" || SMLSS.String() != "s-mlss" || SRS.String() != "srs" {
+		t.Fatal("method names wrong")
+	}
+	if Method(42).String() == "" {
+		t.Fatal("unknown method has empty name")
+	}
+}
+
+// The full pipeline agrees with an independent analytical reference: the
+// reflection-principle formula for the Brownian maximum approximates the
+// Gaussian walk's hitting probability, and g-MLSS with auto levels must
+// land within the approximation's accuracy on a genuinely rare event.
+func TestRunMatchesAnalyticalReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analytical comparison is slow")
+	}
+	w := &RandomWalk{Start: 0, Drift: -0.05, Sigma: 1}
+	q := Query{Z: ScalarValue, Beta: 30, Horizon: 400}
+	want, err := exact.BrownianMaxTail(w.Drift, w.Sigma, float64(q.Horizon), q.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), w, q,
+		WithRelativeErrorTarget(0.08),
+		WithBudget(2_000_000_000),
+		WithWorkers(8),
+		WithSeed(12),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-want) > 0.35*want {
+		t.Fatalf("g-MLSS %v vs Brownian reference %v", res.P, want)
+	}
+	t.Logf("rare drifted walk: g-MLSS %.4g vs analytical %.4g (%d steps)", res.P, want, res.Steps)
+}
+
+// MLSS must beat SRS on a rare event at equal quality — the paper's
+// headline efficiency claim, asserted end-to-end through the public API.
+func TestMLSSBeatsSRSOnRareEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rare-event comparison is slow")
+	}
+	w := &RandomWalk{Start: 0, Drift: 0, Sigma: 1}
+	// With sigma*sqrt(100) = 10, beta = 38 sits at 3.8 sigma: tau ~ 1.4e-4.
+	q := Query{Z: ScalarValue, Beta: 38, Horizon: 100}
+	ctx := context.Background()
+	mlss, err := Run(ctx, w, q, WithPlan(0.3, 0.55, 0.8),
+		WithRelativeErrorTarget(0.2), WithBudget(2_000_000_000), WithSeed(10), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srs, err := Run(ctx, w, q, WithMethod(SRS),
+		WithRelativeErrorTarget(0.2), WithBudget(2_000_000_000), WithSeed(11), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlss.Steps >= srs.Steps {
+		t.Fatalf("MLSS took %d steps, SRS %d — no speedup on a rare event", mlss.Steps, srs.Steps)
+	}
+	t.Logf("rare event: MLSS %d steps vs SRS %d steps (%.1fx), estimates %.3g vs %.3g",
+		mlss.Steps, srs.Steps, float64(srs.Steps)/float64(mlss.Steps), mlss.P, srs.P)
+}

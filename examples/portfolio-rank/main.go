@@ -1,0 +1,54 @@
+// Portfolio rank: the paper's introductory query (§1) — "what is the
+// probability that a given stock's P/E ratio will rank among the top k
+// by the end of the week?"
+//
+// The condition is a *rank*, not a value threshold, which demonstrates
+// the framework's generality: any state evaluation z with "z reaches 1
+// exactly when the condition holds" plugs straight into the samplers,
+// and the same evaluation doubles as the MLSS value function.
+//
+//	go run ./examples/portfolio-rank
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"durability"
+)
+
+func main() {
+	// Twenty stocks; the watched stock starts with the lowest valuation,
+	// so breaking into the top 3 by P/E within 30 trading days is rare.
+	market, err := durability.NewMarket(20, 100, 5, 0.01, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const watched, topK = 0, 3
+
+	query := durability.Query{
+		// TopKMargin returns (watched stock's P/E) / (k-th best other
+		// P/E): it reaches 1 exactly when the stock enters the top k.
+		Z:       durability.TopKMargin(watched, topK),
+		Beta:    1,
+		Horizon: 30,
+	}
+
+	res, err := durability.Run(context.Background(), market, query,
+		durability.WithRelativeErrorTarget(0.15),
+		durability.WithBudget(100_000_000),
+		durability.WithWorkers(8),
+		durability.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(stock %d enters top %d by P/E within 30 days) = %.5f\n", watched, topK, res.P)
+	fmt.Printf("95%% CI = %v, %d simulator steps, %v\n", res.CI(0.95), res.Steps, res.Elapsed)
+
+	// Context: where does the stock currently rank?
+	s := market.Initial()
+	fmt.Printf("initial rank: %.0f of 20 (margin to top %d: %.3f)\n",
+		durability.PERank(watched)(s), topK, durability.TopKMargin(watched, topK)(s))
+}

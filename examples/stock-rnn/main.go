@@ -1,0 +1,56 @@
+// Stock durability with a black-box neural simulator: the paper's §6
+// model (3). An LSTM-MDN sequence model is trained on a synthetic daily
+// price history; the durability query asks for the probability the price
+// breaks a barrier within 200 trading days.
+//
+// The point of this example is that MLSS never looks inside the model —
+// it only calls the step simulator — so the same machinery that handles
+// a queueing model handles a recurrent neural network whose state
+// includes hidden-layer activations.
+//
+//	go run ./examples/stock-rnn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"durability"
+	"durability/internal/neural"
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+func main() {
+	// Synthetic 5-year daily price history (stands in for the paper's
+	// Google 2015-2020 series; see DESIGN.md §5).
+	gbm := &stochastic.GBM{S0: 1000, Mu: 0.0004, Sigma: 0.02}
+	history := gbm.SeriesWithRegimes(1250, rng.New(20150101))
+
+	fmt.Println("training LSTM-MDN on 1250 days of prices...")
+	model := durability.NewStockModel(neural.Config{Hidden: 16, Layers: 2, Mixtures: 3}, 7)
+	report, err := model.Train(history, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean NLL %.3f -> %.3f over %d epochs\n\n", report.FirstLoss, report.LastLoss, report.Epochs)
+
+	// The trained model becomes a black-box step simulator.
+	market := durability.NewStockProcess(model, 1000, 50)
+
+	for _, barrier := range []float64{1550, 1900} {
+		query := durability.Query{Z: durability.StockPrice, Beta: barrier, Horizon: 200}
+		res, err := durability.Run(context.Background(), market, query,
+			durability.WithRelativeErrorTarget(0.15),
+			durability.WithBudget(30_000_000),
+			durability.WithWorkers(8),
+			durability.WithSeed(11),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P(price >= %.0f within 200 days) = %.5f  (CI %v, %d steps, %v)\n",
+			barrier, res.P, res.CI(0.95), res.Steps, res.Elapsed)
+	}
+}

@@ -1,0 +1,259 @@
+// Package cluster implements the distributed MLSS execution sketched in
+// §3.1 of the paper: "Since the simulations of root paths are independent,
+// it is straightforward to parallelize MLSS on a group of machines ... We
+// monitor the progress of simulations and synchronize counters on the
+// machines periodically to produce a running estimate; the procedure
+// stops until the estimate reaches the desired accuracy level."
+//
+// A Worker serves shard requests over net/rpc (stdlib, gob-encoded): it
+// rebuilds the model locally from a registered factory, simulates a range
+// of root paths with g-MLSS bookkeeping, and returns the counters. The
+// Coordinator fans root-index ranges out to workers, merges counters,
+// computes the running estimate and its bootstrap variance, and stops when
+// the quality target is met. Determinism carries over: root path i draws
+// from substream i regardless of which worker simulates it, so a cluster
+// run returns bit-for-bit the same estimate as a single-machine run with
+// the same seed.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"durability/internal/core"
+	"durability/internal/mc"
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+// ModelFactory rebuilds a model and its observable on a worker.
+type ModelFactory func() (stochastic.Process, stochastic.Observer, error)
+
+// Registry maps model names to factories. Workers must register every
+// model the coordinator will reference; processes themselves are not
+// serialisable (they may hold neural networks), so only names travel.
+type Registry map[string]ModelFactory
+
+// ShardRequest asks a worker to simulate root paths [RootLo, RootHi).
+type ShardRequest struct {
+	Model      string
+	Beta       float64
+	Horizon    int
+	Boundaries []float64
+	Ratio      int
+	Seed       uint64
+	RootLo     int64
+	RootHi     int64
+	Groups     int // bootstrap groups to return (default 16)
+}
+
+// ShardReply carries the shard's counters back to the coordinator.
+type ShardReply struct {
+	Result core.ShardResult
+}
+
+// Worker is the rpc service running on each machine.
+type Worker struct {
+	registry Registry
+	workers  int // local simulation parallelism per shard
+}
+
+// NewWorker builds a worker that simulates each shard with the given
+// local parallelism.
+func NewWorker(registry Registry, localWorkers int) *Worker {
+	if localWorkers < 1 {
+		localWorkers = 1
+	}
+	return &Worker{registry: registry, workers: localWorkers}
+}
+
+// Run answers one shard request. The method shape follows net/rpc.
+func (w *Worker) Run(req ShardRequest, reply *ShardReply) error {
+	factory, ok := w.registry[req.Model]
+	if !ok {
+		return fmt.Errorf("cluster: worker has no model %q", req.Model)
+	}
+	proc, obs, err := factory()
+	if err != nil {
+		return err
+	}
+	plan, err := core.NewPlan(req.Boundaries...)
+	if err != nil {
+		return err
+	}
+	g := &core.GMLSS{
+		Proc:    proc,
+		Query:   core.Query{Value: core.ThresholdValue(obs, req.Beta), Horizon: req.Horizon},
+		Plan:    plan,
+		Ratio:   req.Ratio,
+		Stop:    mc.Budget{Steps: 1}, // unused by RunRoots; validate() wants a rule
+		Seed:    req.Seed,
+		Workers: w.workers,
+	}
+	groups := req.Groups
+	if groups <= 0 {
+		groups = 16
+	}
+	res, err := g.RunRoots(context.Background(), req.RootLo, req.RootHi, groups)
+	if err != nil {
+		return err
+	}
+	reply.Result = res
+	return nil
+}
+
+// Serve registers the worker on an rpc server and serves connections on
+// the listener until it is closed. It returns the address it listens on.
+func Serve(w *Worker, ln net.Listener) string {
+	srv := rpc.NewServer()
+	// Registration only fails for malformed services; Worker is static.
+	if err := srv.RegisterName("Worker", w); err != nil {
+		panic(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// Coordinator drives a durability query across a set of worker addresses.
+type Coordinator struct {
+	Model      string
+	Beta       float64
+	Horizon    int
+	Boundaries []float64
+	Ratio      int
+	Stop       mc.StopRule
+	Seed       uint64
+
+	ShardRoots    int64 // roots per shard request (default 256)
+	BootstrapReps int   // replicates per variance evaluation (default 200)
+
+	// M and InitLevel describe the plan; they are computed from a local
+	// factory so the coordinator can run the estimator without a model.
+	// Registry must contain Model on the coordinator as well.
+	Registry Registry
+}
+
+// Run executes the distributed query against the given worker addresses.
+func (c *Coordinator) Run(ctx context.Context, addrs []string) (mc.Result, error) {
+	if len(addrs) == 0 {
+		return mc.Result{}, errors.New("cluster: no workers")
+	}
+	if c.Stop == nil {
+		return mc.Result{}, errors.New("cluster: coordinator requires a stop rule")
+	}
+	factory, ok := c.Registry[c.Model]
+	if !ok {
+		return mc.Result{}, fmt.Errorf("cluster: coordinator has no model %q", c.Model)
+	}
+	proc, obs, err := factory()
+	if err != nil {
+		return mc.Result{}, err
+	}
+	plan, err := core.NewPlan(c.Boundaries...)
+	if err != nil {
+		return mc.Result{}, err
+	}
+	m := plan.M()
+	initLevel := plan.LevelOf(core.ThresholdValue(obs, c.Beta)(proc.Initial(), 0))
+
+	clients := make([]*rpc.Client, len(addrs))
+	for i, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return mc.Result{}, fmt.Errorf("cluster: dialing %s: %w", addr, err)
+		}
+		clients[i] = rpc.NewClient(conn)
+		defer clients[i].Close()
+	}
+
+	shardRoots := c.ShardRoots
+	if shardRoots <= 0 {
+		shardRoots = 256
+	}
+	reps := c.BootstrapReps
+	if reps <= 0 {
+		reps = 200
+	}
+	ratio := c.Ratio
+	if ratio <= 0 {
+		ratio = 3
+	}
+
+	start := time.Now()
+	agg := core.NewCounters(m)
+	var groups []core.Counters
+	var rootsPerGroup int64
+	var res mc.Result
+	bootSrc := rng.NewStream(c.Seed, 1<<61)
+	next := int64(0)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
+		// One synchronisation round: every worker simulates one shard.
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var firstErr error
+		for _, client := range clients {
+			req := ShardRequest{
+				Model:      c.Model,
+				Beta:       c.Beta,
+				Horizon:    c.Horizon,
+				Boundaries: c.Boundaries,
+				Ratio:      ratio,
+				Seed:       c.Seed,
+				RootLo:     next,
+				RootHi:     next + shardRoots,
+				Groups:     16,
+			}
+			next += shardRoots
+			wg.Add(1)
+			go func(client *rpc.Client, req ShardRequest) {
+				defer wg.Done()
+				var reply ShardReply
+				err := client.Call("Worker.Run", req, &reply)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				agg.Add(reply.Result.Agg)
+				groups = append(groups, reply.Result.Groups...)
+				rootsPerGroup = reply.Result.Roots / int64(len(reply.Result.Groups))
+				res.Steps += reply.Result.Steps
+				res.Paths += reply.Result.Roots
+				res.Hits += int64(reply.Result.Agg.Hits)
+			}(client, req)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			res.Elapsed = time.Since(start)
+			return res, firstErr
+		}
+
+		res.P = core.EstimateFromCounters(agg, res.Paths, m, initLevel)
+		res.Variance = core.BootstrapVarianceFromGroups(groups, rootsPerGroup, m, initLevel, reps, bootSrc)
+		res.Elapsed = time.Since(start)
+		if c.Stop.Done(res) {
+			return res, nil
+		}
+	}
+}

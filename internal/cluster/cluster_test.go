@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"durability/internal/core"
+	"durability/internal/mc"
+	"durability/internal/stochastic"
+)
+
+// chainRegistry registers a birth-death chain whose exact hitting
+// probability is computable, so the cluster's answer can be validated
+// against ground truth.
+func chainRegistry() (Registry, float64, float64, int) {
+	const beta = 7.0
+	const horizon = 50
+	chain := stochastic.BirthDeathChain(10, 0.45, 0)
+	target := map[int]bool{}
+	for i := int(beta); i < 10; i++ {
+		target[i] = true
+	}
+	exact := chain.HitProbability(target, horizon)
+	reg := Registry{
+		"chain": func() (stochastic.Process, stochastic.Observer, error) {
+			return stochastic.BirthDeathChain(10, 0.45, 0), stochastic.ChainIndex, nil
+		},
+	}
+	return reg, beta, exact, horizon
+}
+
+// startWorkers spins n in-process rpc workers on loopback listeners.
+func startWorkers(t *testing.T, reg Registry, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		addrs[i] = Serve(NewWorker(reg, 2), ln)
+	}
+	return addrs
+}
+
+func TestClusterMatchesExactAnswer(t *testing.T) {
+	reg, beta, exact, horizon := chainRegistry()
+	addrs := startWorkers(t, reg, 3)
+	coord := &Coordinator{
+		Model:      "chain",
+		Beta:       beta,
+		Horizon:    horizon,
+		Boundaries: []float64{3.0 / 7, 5.0 / 7},
+		Ratio:      3,
+		Stop:       mc.Any{mc.RETarget{Target: 0.1}, mc.Budget{Steps: 20_000_000}},
+		Seed:       1,
+		Registry:   reg,
+	}
+	res, err := coord.Run(context.Background(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-exact) > 0.25*exact {
+		t.Fatalf("cluster estimate %v, exact %v", res.P, exact)
+	}
+	if res.Steps == 0 || res.Paths == 0 || res.Hits == 0 {
+		t.Fatalf("accounting missing: %+v", res)
+	}
+}
+
+func TestClusterMatchesSingleMachine(t *testing.T) {
+	reg, beta, _, horizon := chainRegistry()
+	addrs := startWorkers(t, reg, 2)
+	boundaries := []float64{3.0 / 7, 5.0 / 7}
+	coord := &Coordinator{
+		Model:      "chain",
+		Beta:       beta,
+		Horizon:    horizon,
+		Boundaries: boundaries,
+		Ratio:      3,
+		Stop:       mc.Budget{Steps: 400_000},
+		Seed:       7,
+		ShardRoots: 128,
+		Registry:   reg,
+	}
+	cres, err := coord.Run(context.Background(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same roots simulated on one machine: identical substreams, so
+	// the estimates agree to float re-association error.
+	proc, obs, err := reg["chain"]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &core.GMLSS{
+		Proc:    proc,
+		Query:   core.Query{Value: core.ThresholdValue(obs, beta), Horizon: horizon},
+		Plan:    core.MustPlan(boundaries...),
+		Ratio:   3,
+		Stop:    mc.Budget{Steps: 1},
+		Seed:    7,
+		Workers: 4,
+	}
+	shard, err := g.RunRoots(context.Background(), 0, cres.Paths, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := core.EstimateFromCounters(shard.Agg, shard.Roots, core.MustPlan(boundaries...).M(), 0)
+	if math.Abs(local-cres.P) > 1e-9 {
+		t.Fatalf("cluster %v vs single-machine %v over the same roots", cres.P, local)
+	}
+	if shard.Steps != cres.Steps {
+		t.Fatalf("cluster steps %d vs single-machine %d", cres.Steps, shard.Steps)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	reg, beta, _, horizon := chainRegistry()
+	ctx := context.Background()
+	coord := &Coordinator{Model: "chain", Beta: beta, Horizon: horizon,
+		Boundaries: []float64{0.5}, Stop: mc.Budget{Steps: 10}, Registry: reg}
+	if _, err := coord.Run(ctx, nil); err == nil {
+		t.Error("no workers accepted")
+	}
+	noStop := *coord
+	noStop.Stop = nil
+	if _, err := noStop.Run(ctx, []string{"127.0.0.1:1"}); err == nil {
+		t.Error("missing stop rule accepted")
+	}
+	badModel := *coord
+	badModel.Model = "nope"
+	if _, err := badModel.Run(ctx, []string{"127.0.0.1:1"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := coord.Run(ctx, []string{"127.0.0.1:1"}); err == nil {
+		t.Error("dead worker address accepted")
+	}
+}
+
+// Failure injection: a worker that starts failing mid-query must surface
+// as an error from the coordinator, not a hang or a silent partial answer.
+func TestClusterWorkerFailsMidRun(t *testing.T) {
+	reg, beta, _, horizon := chainRegistry()
+	// The flaky worker's model factory succeeds once (first shard) and
+	// then breaks, emulating a machine losing its model mid-query.
+	var mu sync.Mutex
+	calls := 0
+	flaky := Registry{
+		"chain": func() (stochastic.Process, stochastic.Observer, error) {
+			mu.Lock()
+			calls++
+			n := calls
+			mu.Unlock()
+			if n > 1 {
+				return nil, nil, errors.New("injected: model store unavailable")
+			}
+			return stochastic.BirthDeathChain(10, 0.45, 0), stochastic.ChainIndex, nil
+		},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	addr := Serve(NewWorker(flaky, 1), ln)
+	coord := &Coordinator{
+		Model:      "chain",
+		Beta:       beta,
+		Horizon:    horizon,
+		Boundaries: []float64{3.0 / 7, 5.0 / 7},
+		Ratio:      3,
+		// An unreachable quality target forces a second round, which hits
+		// the injected failure.
+		Stop:       mc.Any{mc.RETarget{Target: 1e-9}, mc.Budget{Steps: 1 << 50}},
+		Seed:       9,
+		ShardRoots: 64,
+		Registry:   reg, // the coordinator's own registry stays healthy
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Run(context.Background(), []string{addr})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("coordinator returned nil error after worker failure")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator hung after worker failure")
+	}
+}
+
+func TestWorkerRejectsUnknownModel(t *testing.T) {
+	reg, _, _, _ := chainRegistry()
+	w := NewWorker(reg, 1)
+	var reply ShardReply
+	err := w.Run(ShardRequest{Model: "missing", Beta: 1, Horizon: 10,
+		Ratio: 2, RootLo: 0, RootHi: 10}, &reply)
+	if err == nil {
+		t.Fatal("unknown model accepted by worker")
+	}
+}
+
+func TestWorkerRejectsBadPlan(t *testing.T) {
+	reg, beta, _, horizon := chainRegistry()
+	w := NewWorker(reg, 1)
+	var reply ShardReply
+	err := w.Run(ShardRequest{Model: "chain", Beta: beta, Horizon: horizon,
+		Boundaries: []float64{2.5}, Ratio: 2, RootLo: 0, RootHi: 10}, &reply)
+	if err == nil {
+		t.Fatal("invalid boundaries accepted by worker")
+	}
+}
+
+func TestRunRootsEmptyRange(t *testing.T) {
+	reg, beta, _, horizon := chainRegistry()
+	proc, obs, _ := reg["chain"]()
+	g := &core.GMLSS{
+		Proc:  proc,
+		Query: core.Query{Value: core.ThresholdValue(obs, beta), Horizon: horizon},
+		Plan:  core.MustPlan(0.5),
+		Ratio: 2,
+		Stop:  mc.Budget{Steps: 1},
+	}
+	if _, err := g.RunRoots(context.Background(), 5, 5, 4); err == nil {
+		t.Fatal("empty root range accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// forEachRoot runs one batch of root-path simulations in parallel.
+//
+// Root paths are independent (§3.1 "Parallel Computations"), so they are
+// fanned out across workers; outputs land in a slice indexed by position
+// so that results are bit-for-bit independent of goroutine scheduling —
+// every root draws from its own PRNG substream keyed by its global index.
+func forEachRoot[T any](ctx context.Context, workers int, lo, hi int64, run func(idx int64) T) ([]T, error) {
+	n := hi - lo
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := int64(0); i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out[:i], err
+			}
+			out[i] = run(lo + i)
+		}
+		return out, nil
+	}
+	per := (n + int64(workers) - 1) / int64(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wlo := int64(w) * per
+		whi := wlo + per
+		if whi > n {
+			whi = n
+		}
+		if wlo >= whi {
+			continue
+		}
+		wg.Add(1)
+		go func(wlo, whi int64) {
+			defer wg.Done()
+			for i := wlo; i < whi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				out[i] = run(lo + i)
+			}
+		}(wlo, whi)
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"durability/internal/mc"
+)
+
+func TestVariableRatiosUnbiased(t *testing.T) {
+	chain, q, plan, want := skipChain() // 3 interior boundaries -> 3 splittable levels
+	g := &GMLSS{Proc: chain, Query: q, Plan: plan, Ratio: 2,
+		Ratios: []int{2, 3, 5}, // escalate the ratio with the level
+		Stop:   mc.Budget{Steps: 2_000_000}, Seed: 41}
+	res, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-want) > 0.10*want {
+		t.Fatalf("variable-ratio estimate %v, exact %v", res.P, want)
+	}
+}
+
+func TestVariableRatiosAcrossRuns(t *testing.T) {
+	chain, q, plan, want := skipChain()
+	const runs = 20
+	sum := 0.0
+	for i := 0; i < runs; i++ {
+		g := &GMLSS{Proc: chain, Query: q, Plan: plan, Ratio: 2,
+			Ratios: []int{4, 3, 2}, // de-escalating ratios, also valid
+			Stop:   mc.Budget{Steps: 150_000}, Seed: uint64(900 + i)}
+		res, err := g.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.P
+	}
+	mean := sum / runs
+	if math.Abs(mean-want) > 0.12*want {
+		t.Fatalf("mean of %d variable-ratio runs = %v, exact %v", runs, mean, want)
+	}
+}
+
+func TestVariableRatiosValidation(t *testing.T) {
+	chain, q, plan, _ := skipChain()
+	ctx := context.Background()
+	g := &GMLSS{Proc: chain, Query: q, Plan: plan, Ratio: 2,
+		Ratios: []int{2, 3}, // plan has 3 splittable levels
+		Stop:   mc.Budget{Steps: 10}}
+	if _, err := g.Run(ctx); err == nil {
+		t.Error("mismatched ratio count accepted")
+	}
+	g.Ratios = []int{2, 0, 3}
+	if _, err := g.Run(ctx); err == nil {
+		t.Error("zero per-level ratio accepted")
+	}
+}
+
+func TestUniformRatiosEquivalent(t *testing.T) {
+	// Ratios filled with the uniform value must reproduce the plain-Ratio
+	// run exactly (same seeds, same split counts).
+	chain, q, plan, _ := noSkipChain()
+	run := func(ratios []int) mc.Result {
+		g := &GMLSS{Proc: chain, Query: q, Plan: plan, Ratio: 3,
+			Ratios: ratios, Stop: mc.Budget{Steps: 150_000}, Seed: 13}
+		res, err := g.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	explicit := run([]int{3, 3})
+	if plain.P != explicit.P || plain.Steps != explicit.Steps {
+		t.Fatalf("explicit uniform ratios diverged: %v/%d vs %v/%d",
+			plain.P, plain.Steps, explicit.P, explicit.Steps)
+	}
+}

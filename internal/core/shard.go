@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"durability/internal/rng"
+	"durability/internal/stats"
+)
+
+// Counters is the exported form of the g-MLSS sufficient statistic, used
+// by the distributed runner (internal/cluster) to ship per-shard results
+// between machines: slices indexed 1..m-1 as in §4.1, plus target hits.
+// It is plain data, so it serialises with encoding/gob.
+type Counters struct {
+	Land []float64
+	Skip []float64
+	Mu   []float64
+	Hits float64
+}
+
+// Add merges another counter set (levels must agree).
+func (c *Counters) Add(o Counters) {
+	for i := range c.Land {
+		c.Land[i] += o.Land[i]
+		c.Skip[i] += o.Skip[i]
+		c.Mu[i] += o.Mu[i]
+	}
+	c.Hits += o.Hits
+}
+
+// NewCounters allocates zeroed counters for a plan with M() == m.
+func NewCounters(m int) Counters {
+	return Counters{
+		Land: make([]float64, m+1),
+		Skip: make([]float64, m+1),
+		Mu:   make([]float64, m+1),
+	}
+}
+
+func (c Counters) toInternal() levelCounters {
+	return levelCounters{land: c.Land, skip: c.Skip, mu: c.Mu, hits: c.Hits}
+}
+
+func fromInternal(lc levelCounters) Counters {
+	return Counters{Land: lc.land, Skip: lc.skip, Mu: lc.mu, Hits: lc.hits}
+}
+
+// ShardResult is the outcome of simulating one contiguous range of root
+// paths: the aggregate counters, the cost, and the per-group counters the
+// coordinator needs for bootstrap variance estimation.
+type ShardResult struct {
+	Agg    Counters
+	Groups []Counters // equal-size batches of roots, for resampling
+	Roots  int64
+	Steps  int64
+}
+
+// RunRoots simulates root paths [lo, hi) of the sampler's tree process and
+// returns their counters, batched into the requested number of bootstrap
+// groups. It performs no stopping logic — that is the coordinator's job in
+// the distributed setting of §3.1 ("synchronize counters on the machines
+// periodically to produce a running estimate").
+func (g *GMLSS) RunRoots(ctx context.Context, lo, hi int64, groups int) (ShardResult, error) {
+	if err := g.validate(); err != nil {
+		return ShardResult{}, err
+	}
+	if hi <= lo {
+		return ShardResult{}, errors.New("core: empty root range")
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	if int64(groups) > hi-lo {
+		groups = int(hi - lo)
+	}
+	m := g.Plan.M()
+	initLevel := g.Plan.LevelOf(g.Query.Value(g.Proc.Initial(), 0))
+	if initLevel >= m {
+		return ShardResult{}, errors.New("core: initial state already satisfies the query")
+	}
+	workers := g.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	roots, err := forEachRoot(ctx, workers, lo, hi, func(idx int64) gmlssRoot {
+		return g.runTree(idx, initLevel)
+	})
+	if err != nil {
+		return ShardResult{}, err
+	}
+	out := ShardResult{Agg: NewCounters(m), Roots: int64(len(roots))}
+	per := (len(roots) + groups - 1) / groups
+	for gi := 0; gi < len(roots); gi += per {
+		group := NewCounters(m)
+		end := gi + per
+		if end > len(roots) {
+			end = len(roots)
+		}
+		for _, r := range roots[gi:end] {
+			group.Add(fromInternal(r.counters))
+			out.Steps += r.steps
+		}
+		out.Agg.Add(group)
+		out.Groups = append(out.Groups, group)
+	}
+	return out, nil
+}
+
+// EstimateFromCounters computes the g-MLSS estimator (Eq. 10) from
+// aggregated counters over n root paths starting in level initLevel of an
+// m-boundary plan.
+func EstimateFromCounters(agg Counters, n int64, m, initLevel int) float64 {
+	lc := agg.toInternal()
+	return lc.estimate(n, m, initLevel)
+}
+
+// BootstrapVarianceFromGroups estimates the estimator's variance by
+// resampling equal-size root groups with replacement, as the coordinator
+// does after merging shard results. rootsPerGroup * len(groups) must equal
+// the total number of roots the groups cover.
+func BootstrapVarianceFromGroups(groups []Counters, rootsPerGroup int64, m, initLevel, reps int, src *rng.Source) float64 {
+	n := len(groups)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	total := rootsPerGroup * int64(n)
+	var acc stats.Accumulator
+	for b := 0; b < reps; b++ {
+		resampled := NewCounters(m)
+		for i := 0; i < n; i++ {
+			resampled.Add(groups[src.Intn(n)])
+		}
+		acc.Add(EstimateFromCounters(resampled, total, m, initLevel))
+	}
+	return acc.PopulationVariance()
+}

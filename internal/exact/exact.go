@@ -1,0 +1,143 @@
+// Package exact provides analytical and exact-by-dynamic-programming
+// first-passage answers for the simple processes that admit them (§2.2 of
+// the paper, "Analytical Solution"). The samplers never use these; the
+// test suite and the ablation benchmarks use them as ground truth, which
+// is how the repository validates unbiasedness without trusting any
+// sampler to validate another.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"durability/internal/stats"
+)
+
+// GamblersRuin returns the probability that a ±1 random walk with
+// up-probability p, starting at position a, reaches b before 0
+// (0 < a < b). The classic closed form:
+//
+//	p = 1/2:        a / b
+//	p != 1/2:       (1 - r^a) / (1 - r^b),  r = (1-p)/p
+func GamblersRuin(p float64, a, b int) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("exact: up-probability %v must be in (0,1)", p)
+	}
+	if a <= 0 || a >= b {
+		return 0, fmt.Errorf("exact: need 0 < a < b, got a=%d b=%d", a, b)
+	}
+	if p == 0.5 {
+		return float64(a) / float64(b), nil
+	}
+	r := (1 - p) / p
+	return (1 - math.Pow(r, float64(a))) / (1 - math.Pow(r, float64(b))), nil
+}
+
+// BrownianMaxTail returns P(max_{0<=t<=T} X_t >= a) for Brownian motion
+// X with drift mu and volatility sigma started at 0, with a > 0 — the
+// reflection-principle formula:
+//
+//	Phi((mu*T - a)/(sigma*sqrt(T))) + exp(2*mu*a/sigma^2) * Phi((-a - mu*T)/(sigma*sqrt(T)))
+//
+// It is the diffusion approximation for the discrete Gaussian walk and
+// anchors the rare-event calibration tests.
+func BrownianMaxTail(mu, sigma, T, a float64) (float64, error) {
+	if sigma <= 0 || T <= 0 {
+		return 0, fmt.Errorf("exact: sigma %v and T %v must be positive", sigma, T)
+	}
+	if a <= 0 {
+		return 1, nil // the maximum starts at 0 >= a
+	}
+	sd := sigma * math.Sqrt(T)
+	term1 := stats.NormCDF((mu*T - a) / sd)
+	exponent := 2 * mu * a / (sigma * sigma)
+	var term2 float64
+	if exponent < 700 { // avoid overflow; the product below stays finite
+		term2 = math.Exp(exponent) * stats.NormCDF((-a-mu*T)/sd)
+	} else {
+		// For large positive drift the first term already approaches 1.
+		term2 = 0
+	}
+	p := term1 + term2
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}
+
+// LatticeWalkHit computes, exactly, the probability that an integer
+// random walk with bounded step distribution stepProbs (map from step
+// size to probability, summing to 1) starting at start reaches >= beta
+// within horizon steps. Positions below floor are clamped to floor
+// (reflecting), matching queue-like processes; pass floor = math.MinInt
+// semantics via a very negative floor for free walks.
+//
+// The DP runs in O(horizon * range * |steps|): it tracks the full
+// position distribution with an absorbing mass at >= beta.
+func LatticeWalkHit(stepProbs map[int]float64, start, beta, horizon, floor int) (float64, error) {
+	if len(stepProbs) == 0 {
+		return 0, fmt.Errorf("exact: empty step distribution")
+	}
+	total := 0.0
+	minStep, maxStep := 0, 0
+	for s, p := range stepProbs {
+		if p < 0 {
+			return 0, fmt.Errorf("exact: negative probability for step %d", s)
+		}
+		total += p
+		if s < minStep {
+			minStep = s
+		}
+		if s > maxStep {
+			maxStep = s
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return 0, fmt.Errorf("exact: step probabilities sum to %v", total)
+	}
+	if start >= beta {
+		return 1, nil
+	}
+	if start < floor {
+		return 0, fmt.Errorf("exact: start %d below floor %d", start, floor)
+	}
+	lo := floor
+	// Positions range [lo, beta-1]; mass at >= beta is absorbed.
+	width := beta - lo
+	if width <= 0 {
+		return 1, nil
+	}
+	cur := make([]float64, width)
+	next := make([]float64, width)
+	cur[start-lo] = 1
+	absorbed := 0.0
+	for t := 0; t < horizon; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		stepAbsorbed := 0.0
+		for i, mass := range cur {
+			if mass == 0 {
+				continue
+			}
+			pos := lo + i
+			for s, p := range stepProbs {
+				np := pos + s
+				switch {
+				case np >= beta:
+					stepAbsorbed += mass * p
+				case np < lo:
+					next[0] += mass * p // reflect/clamp at the floor
+				default:
+					next[np-lo] += mass * p
+				}
+			}
+		}
+		absorbed += stepAbsorbed
+		cur, next = next, cur
+	}
+	return absorbed, nil
+}

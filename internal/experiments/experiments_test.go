@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"durability/internal/rng"
+	"durability/internal/simdb"
+)
+
+// measureTau estimates a setting's answer with plain simulation.
+func measureTau(t *testing.T, spec *Spec, class Class, n int) float64 {
+	t.Helper()
+	st := spec.Setting(class)
+	hits := 0
+	for i := 0; i < n; i++ {
+		src := rng.NewStream(99, uint64(i))
+		s := spec.Proc.Initial()
+		for step := 1; step <= st.Horizon; step++ {
+			spec.Proc.Step(s, step, src)
+			if spec.Obs(s) >= st.Beta {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// Calibration guard: each class's prior must be within a factor of 4 of a
+// quick measurement (Medium/Small only — tails are too slow to re-measure
+// here; their priors were calibrated offline with 400k paths).
+func TestTauPriorsRoughlyCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check is slow")
+	}
+	for _, spec := range []*Spec{QueueSpec(), CPPSpec()} {
+		for _, class := range []Class{Medium, Small} {
+			st := spec.Setting(class)
+			tau := measureTau(t, spec, class, 4000)
+			if tau < st.TauPrior/4 || tau > st.TauPrior*4 {
+				t.Errorf("%s/%s: measured tau %v, prior %v", spec.Name, class, tau, st.TauPrior)
+			}
+		}
+	}
+}
+
+func TestSpecSettingPanicsOnMissingClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing class did not panic")
+		}
+	}()
+	StockSpec().Setting(Rare)
+}
+
+func TestQualityStop(t *testing.T) {
+	for _, class := range []Class{Medium, Small, Tiny, Rare} {
+		rule := QualityStop(class, 1, 1000)
+		if rule == nil {
+			t.Fatalf("%s: nil rule", class)
+		}
+		if !strings.Contains(rule.String(), "budget") {
+			t.Fatalf("%s: no budget cap in %v", class, rule)
+		}
+	}
+	// Scale 0 defaults to 1.
+	if QualityStop(Medium, 0, 10).String() == "" {
+		t.Fatal("empty rule description")
+	}
+}
+
+func TestBalancedPlanForCachesAndOrders(t *testing.T) {
+	ctx := context.Background()
+	spec := QueueSpec()
+	p1, err := BalancedPlanFor(ctx, spec, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Boundaries) == 0 {
+		t.Fatal("tiny plan has no boundaries")
+	}
+	p2, err := BalancedPlanFor(ctx, spec, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1.Boundaries[0] != &p2.Boundaries[0] {
+		t.Fatal("plan not cached")
+	}
+	for i := 1; i < len(p1.Boundaries); i++ {
+		if p1.Boundaries[i] <= p1.Boundaries[i-1] {
+			t.Fatalf("boundaries not increasing: %v", p1.Boundaries)
+		}
+	}
+}
+
+func TestAnswerTableSmallScale(t *testing.T) {
+	ctx := context.Background()
+	rep, err := AnswerTable(ctx, QueueSpec(), []Class{Medium}, 2,
+		RunOpts{Scale: 8, Cap: 300_000, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.String() == "" || rep.Markdown() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestEfficiencyFigureSmallScale(t *testing.T) {
+	ctx := context.Background()
+	rep, err := EfficiencyFigure(ctx, CPPSpec(), []Class{Small},
+		RunOpts{Scale: 6, Cap: 2_000_000, Seed: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestConvergenceFigureSmallScale(t *testing.T) {
+	ctx := context.Background()
+	srs, mlss, err := ConvergenceFigure(ctx, QueueSpec(), Small,
+		RunOpts{Scale: 8, Cap: 400_000, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srs) == 0 || len(mlss) == 0 {
+		t.Fatal("no convergence points")
+	}
+	rep := ConvergenceReport(QueueSpec(), Small, srs, mlss)
+	if len(rep.Rows) == 0 {
+		t.Fatal("empty convergence report")
+	}
+}
+
+func TestVolatileTableSmallScale(t *testing.T) {
+	ctx := context.Background()
+	rep, err := VolatileTable(ctx, []*Spec{VolatileCPPSpec()}, 50_000, 2,
+		RunOpts{Seed: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 { // tiny and rare rows
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestRatioSweepSmallScale(t *testing.T) {
+	ctx := context.Background()
+	rep, err := RatioSweep(ctx, QueueSpec(), Small, []int{1, 3}, 3,
+		RunOpts{Scale: 8, Cap: 400_000, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestLevelSweepSmallScale(t *testing.T) {
+	ctx := context.Background()
+	rep, err := LevelSweep(ctx, CPPSpec(), Small, []int{2, 3},
+		RunOpts{Scale: 8, Cap: 400_000, Seed: 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestGreedyFigureSmallScale(t *testing.T) {
+	ctx := context.Background()
+	rep, err := GreedyFigure(ctx, QueueSpec(), []Class{Small}, false,
+		RunOpts{Scale: 8, Cap: 600_000, Seed: 11, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestInDBMSTableSmallScale(t *testing.T) {
+	ctx := context.Background()
+	rep, err := InDBMSTable(ctx, []Class{Medium},
+		RunOpts{Scale: 8, Cap: 400_000, Seed: 12, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 { // queue + cpp
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestStoreSpecModels(t *testing.T) {
+	db := simdb.New()
+	if err := StoreSpecModels(db); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"queue", "cpp"} {
+		if _, err := db.Process(m); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+// The volatile specs must actually exhibit level skipping: value moves
+// larger than the balanced plan's level gaps in a single step. This is
+// the property Table 6 depends on — without it, s-MLSS would not be
+// biased and the experiment would be vacuous.
+func TestVolatileSpecsSkipLevels(t *testing.T) {
+	ctx := context.Background()
+	for _, spec := range []*Spec{VolatileCPPSpec(), VolatileQueueSpec()} {
+		st := spec.Setting(Tiny)
+		plan, err := BalancedPlanFor(ctx, spec, Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Boundaries) < 2 {
+			t.Fatalf("%s: balanced plan too coarse to skip: %v", spec.Name, plan.Boundaries)
+		}
+		// Smallest gap between consecutive boundaries (including the
+		// implicit target boundary 1).
+		minGap := 1 - plan.Boundaries[len(plan.Boundaries)-1]
+		for i := 1; i < len(plan.Boundaries); i++ {
+			if g := plan.Boundaries[i] - plan.Boundaries[i-1]; g < minGap {
+				minGap = g
+			}
+		}
+		src := rng.New(3)
+		skips := 0
+		for i := 0; i < 300 && skips == 0; i++ {
+			s := spec.Proc.Initial()
+			prev := spec.Obs(s) / st.Beta
+			for step := 1; step <= st.Horizon; step++ {
+				spec.Proc.Step(s, step, src)
+				v := spec.Obs(s) / st.Beta
+				// A single-step move larger than the smallest gap can
+				// cross two boundaries at once (when it starts just
+				// below the lower one).
+				if v-prev > minGap*1.05 {
+					skips++
+					break
+				}
+				prev = v
+			}
+		}
+		if skips == 0 {
+			t.Fatalf("%s never produced a level-skipping jump (min gap %v)", spec.Name, minGap)
+		}
+	}
+}
+
+func TestStockSpecTrainsAndSimulates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stock model training is slow")
+	}
+	spec := StockSpec()
+	src := rng.New(4)
+	s := spec.Proc.Initial()
+	if spec.Obs(s) != 1000 {
+		t.Fatalf("initial price = %v", spec.Obs(s))
+	}
+	for i := 1; i <= 200; i++ {
+		spec.Proc.Step(s, i, src)
+	}
+	if v := spec.Obs(s); v <= 0 {
+		t.Fatalf("price after 200 steps = %v", v)
+	}
+	// The same spec instance is cached.
+	if StockSpec() != spec {
+		t.Fatal("stock spec not cached")
+	}
+}
+
+func TestStockTauCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stock calibration is slow")
+	}
+	spec := StockSpec()
+	tau := measureTau(t, spec, Small, 1500)
+	st := spec.Setting(Small)
+	if tau < st.TauPrior/6 || tau > st.TauPrior*6 {
+		t.Errorf("rnn/Small: measured tau %v vs prior %v — recalibrate Beta", tau, st.TauPrior)
+	}
+	t.Logf("rnn Small measured tau = %v (prior %v)", tau, st.TauPrior)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a printable table: the textual equivalent of one of the
+// paper's tables or figure panels.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row of cells.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a free-form footnote.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report with aligned columns.
+func (r Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Title)
+	b.WriteString("\n")
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub-flavoured markdown table, used
+// when writing EXPERIMENTS.md.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", r.Title)
+	b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(r.Header)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// pct formats a probability as a percentage.
+func pct(p float64) string { return fmt.Sprintf("%.4g%%", 100*p) }
+
+// pctPair formats mean ± standard deviation percentages.
+func pctPair(mean, std float64) string {
+	return fmt.Sprintf("%.4g%% ± %.2g%%", 100*mean, 100*std)
+}

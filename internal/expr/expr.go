@@ -1,0 +1,510 @@
+// Package expr implements a small arithmetic/boolean expression language
+// over named state fields. It lets query conditions and value functions be
+// written as text — "q2 >= 26", "min(price / 1550, 1)" — which is how the
+// CLI and the embedded model database (internal/simdb) accept the paper's
+// "complex query functions" without compiling Go code.
+//
+// Grammar (precedence low to high):
+//
+//	expr  := or
+//	or    := and ('||' and)*
+//	and   := cmp ('&&' cmp)*
+//	cmp   := sum (('>=' '<=' '>' '<' '==' '!=') sum)?
+//	sum   := term (('+' '-') term)*
+//	term  := unary (('*' '/') unary)*
+//	unary := '-' unary | primary
+//	prim  := number | ident | ident '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Booleans are floats: 0 is false, anything else is true; comparisons
+// yield 1 or 0. Built-in functions: min, max, abs, log, exp, sqrt, floor,
+// ceil, pow.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Env supplies values for identifiers during evaluation.
+type Env interface {
+	// Lookup resolves a variable; ok is false for unknown names.
+	Lookup(name string) (float64, bool)
+}
+
+// MapEnv is the simplest Env: a map from names to values.
+type MapEnv map[string]float64
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (float64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Expr is a compiled expression.
+type Expr struct {
+	root node
+	src  string
+}
+
+// String returns the original source text.
+func (e *Expr) String() string { return e.src }
+
+// Eval evaluates the expression under env.
+func (e *Expr) Eval(env Env) (float64, error) {
+	return e.root.eval(env)
+}
+
+// EvalBool evaluates the expression and interprets the result as a
+// condition: non-zero means true.
+func (e *Expr) EvalBool(env Env) (bool, error) {
+	v, err := e.root.eval(env)
+	return v != 0, err
+}
+
+// Vars returns the distinct identifiers the expression references,
+// in first-appearance order.
+func (e *Expr) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(n node)
+	walk = func(n node) {
+		switch t := n.(type) {
+		case *varNode:
+			if !seen[t.name] {
+				seen[t.name] = true
+				out = append(out, t.name)
+			}
+		case *binNode:
+			walk(t.lhs)
+			walk(t.rhs)
+		case *unaryNode:
+			walk(t.arg)
+		case *callNode:
+			for _, a := range t.args {
+				walk(a)
+			}
+		}
+	}
+	walk(e.root)
+	return out
+}
+
+type node interface {
+	eval(Env) (float64, error)
+}
+
+type numNode struct{ v float64 }
+
+func (n *numNode) eval(Env) (float64, error) { return n.v, nil }
+
+type varNode struct{ name string }
+
+func (n *varNode) eval(env Env) (float64, error) {
+	v, ok := env.Lookup(n.name)
+	if !ok {
+		return 0, fmt.Errorf("expr: unknown variable %q", n.name)
+	}
+	return v, nil
+}
+
+type unaryNode struct{ arg node }
+
+func (n *unaryNode) eval(env Env) (float64, error) {
+	v, err := n.arg.eval(env)
+	return -v, err
+}
+
+type binNode struct {
+	op       string
+	lhs, rhs node
+}
+
+func (n *binNode) eval(env Env) (float64, error) {
+	l, err := n.lhs.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit the boolean operators.
+	switch n.op {
+	case "&&":
+		if l == 0 {
+			return 0, nil
+		}
+		r, err := n.rhs.eval(env)
+		if err != nil || r == 0 {
+			return 0, err
+		}
+		return 1, nil
+	case "||":
+		if l != 0 {
+			return 1, nil
+		}
+		r, err := n.rhs.eval(env)
+		if err != nil || r == 0 {
+			return 0, err
+		}
+		return 1, nil
+	}
+	r, err := n.rhs.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, fmt.Errorf("expr: division by zero")
+		}
+		return l / r, nil
+	case ">=":
+		return b2f(l >= r), nil
+	case "<=":
+		return b2f(l <= r), nil
+	case ">":
+		return b2f(l > r), nil
+	case "<":
+		return b2f(l < r), nil
+	case "==":
+		return b2f(l == r), nil
+	case "!=":
+		return b2f(l != r), nil
+	}
+	return 0, fmt.Errorf("expr: unknown operator %q", n.op)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type callNode struct {
+	fn   string
+	args []node
+}
+
+var functions = map[string]struct {
+	arity int
+	apply func(args []float64) (float64, error)
+}{
+	"min": {2, func(a []float64) (float64, error) { return math.Min(a[0], a[1]), nil }},
+	"max": {2, func(a []float64) (float64, error) { return math.Max(a[0], a[1]), nil }},
+	"abs": {1, func(a []float64) (float64, error) { return math.Abs(a[0]), nil }},
+	"log": {1, func(a []float64) (float64, error) {
+		if a[0] <= 0 {
+			return 0, fmt.Errorf("expr: log of non-positive value %v", a[0])
+		}
+		return math.Log(a[0]), nil
+	}},
+	"exp": {1, func(a []float64) (float64, error) { return math.Exp(a[0]), nil }},
+	"sqrt": {1, func(a []float64) (float64, error) {
+		if a[0] < 0 {
+			return 0, fmt.Errorf("expr: sqrt of negative value %v", a[0])
+		}
+		return math.Sqrt(a[0]), nil
+	}},
+	"floor": {1, func(a []float64) (float64, error) { return math.Floor(a[0]), nil }},
+	"ceil":  {1, func(a []float64) (float64, error) { return math.Ceil(a[0]), nil }},
+	"pow":   {2, func(a []float64) (float64, error) { return math.Pow(a[0], a[1]), nil }},
+}
+
+func (n *callNode) eval(env Env) (float64, error) {
+	fn, ok := functions[n.fn]
+	if !ok {
+		return 0, fmt.Errorf("expr: unknown function %q", n.fn)
+	}
+	args := make([]float64, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	return fn.apply(args)
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, pos: i})
+			i++
+		case strings.ContainsRune("+-*/", rune(c)):
+			toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+			i++
+		case c == '>' || c == '<':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: i})
+			i++
+		case c == '=' || c == '!':
+			if i+1 >= len(src) || src[i+1] != '=' {
+				return nil, fmt.Errorf("expr: stray %q at position %d", c, i)
+			}
+			toks = append(toks, token{kind: tokOp, text: string(c) + "=", pos: i})
+			i += 2
+		case c == '&' || c == '|':
+			if i+1 >= len(src) || src[i+1] != c {
+				return nil, fmt.Errorf("expr: stray %q at position %d", c, i)
+			}
+			toks = append(toks, token{kind: tokOp, text: string(c) + string(c), pos: i})
+			i += 2
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			v, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("expr: bad number %q at position %d", src[i:j], i)
+			}
+			toks = append(toks, token{kind: tokNum, num: v, pos: i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("expr: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokKind, what string) error {
+	if p.peek().kind != kind {
+		return fmt.Errorf("expr: expected %s at position %d", what, p.peek().pos)
+	}
+	p.next()
+	return nil
+}
+
+// Parse compiles source text into an Expr.
+func Parse(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected trailing input at position %d", p.peek().pos)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// MustParse is Parse for statically known expressions; it panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) parseOr() (node, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "||" {
+		p.next()
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binNode{op: "||", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	lhs, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "&&" {
+		p.next()
+		rhs, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binNode{op: "&&", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCmp() (node, error) {
+	lhs, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokOp {
+		switch t.text {
+		case ">=", "<=", ">", "<", "==", "!=":
+			p.next()
+			rhs, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return &binNode{op: t.text, lhs: lhs, rhs: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseSum() (node, error) {
+	lhs, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for t := p.peek(); t.kind == tokOp && (t.text == "+" || t.text == "-"); t = p.peek() {
+		p.next()
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binNode{op: t.text, lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseTerm() (node, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for t := p.peek(); t.kind == tokOp && (t.text == "*" || t.text == "/"); t = p.peek() {
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binNode{op: t.text, lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if t := p.peek(); t.kind == tokOp && t.text == "-" {
+		p.next()
+		arg, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{arg: arg}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNum:
+		return &numNode{v: t.num}, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.next()
+			var args []node
+			if p.peek().kind != tokRParen {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			fn, ok := functions[t.text]
+			if !ok {
+				return nil, fmt.Errorf("expr: unknown function %q at position %d", t.text, t.pos)
+			}
+			if len(args) != fn.arity {
+				return nil, fmt.Errorf("expr: %s takes %d arguments, got %d", t.text, fn.arity, len(args))
+			}
+			return &callNode{fn: t.text, args: args}, nil
+		}
+		return &varNode{name: t.text}, nil
+	case tokLParen:
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, fmt.Errorf("expr: unexpected token at position %d", t.pos)
+}

@@ -1,0 +1,207 @@
+package expr
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func evalOK(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 4", 2.5},
+		{"2 - 3 - 4", -5},
+		{"-3 + 5", 2},
+		{"--3", 3},
+		{"1.5e2 + 1", 151},
+		{"2*-3", -6},
+	}
+	for _, tc := range cases {
+		if got := evalOK(t, tc.src, MapEnv{}); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestComparisonsAndBooleans(t *testing.T) {
+	env := MapEnv{"x": 5, "y": 3}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"x >= 5", 1},
+		{"x > 5", 0},
+		{"y < x", 1},
+		{"x == 5 && y == 3", 1},
+		{"x == 4 || y == 3", 1},
+		{"x == 4 && y == 3", 0},
+		{"x != y", 1},
+		{"x <= y || y <= x", 1},
+	}
+	for _, tc := range cases {
+		if got := evalOK(t, tc.src, env); got != tc.want {
+			t.Errorf("%q = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right side must not be reached.
+	env := MapEnv{"x": 0}
+	if got := evalOK(t, "x != 0 && 1/x > 0", env); got != 0 {
+		t.Fatalf("short-circuit && = %v", got)
+	}
+	if got := evalOK(t, "x == 0 || 1/x > 0", env); got != 1 {
+		t.Fatalf("short-circuit || = %v", got)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	env := MapEnv{"p": 1200.0}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"min(p / 1550, 1)", 1200.0 / 1550},
+		{"max(p, 2000)", 2000},
+		{"abs(-4)", 4},
+		{"sqrt(16)", 4},
+		{"exp(0)", 1},
+		{"log(exp(2))", 2},
+		{"floor(3.9)", 3},
+		{"ceil(3.1)", 4},
+		{"pow(2, 10)", 1024},
+	}
+	for _, tc := range cases {
+		if got := evalOK(t, tc.src, env); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%q = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	e := MustParse("q2 >= 26")
+	b, err := e.EvalBool(MapEnv{"q2": 30})
+	if err != nil || !b {
+		t.Fatalf("EvalBool = %v, %v", b, err)
+	}
+	b, err = e.EvalBool(MapEnv{"q2": 25})
+	if err != nil || b {
+		t.Fatalf("EvalBool = %v, %v", b, err)
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := MustParse("min(price/beta, 1) + price - other")
+	vars := e.Vars()
+	want := []string{"price", "beta", "other"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "foo(1)", "min(1)", "min(1,2,3)", "1 & 2",
+		"= 3", "!", "nosuchfn(1,2)", "1 2", "2..3", "@",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		env Env
+	}{
+		{"missing + 1", MapEnv{}},
+		{"1/0", MapEnv{}},
+		{"log(-1)", MapEnv{}},
+		{"sqrt(-1)", MapEnv{}},
+		{"1/(x-x)", MapEnv{"x": 3}},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		if _, err := e.Eval(tc.env); err == nil {
+			t.Errorf("Eval(%q) succeeded", tc.src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on garbage did not panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := "min(p/2, 1) >= 0.5"
+	if got := MustParse(src).String(); got != src {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestPrecedenceMatrix(t *testing.T) {
+	// Comparison binds tighter than &&, which binds tighter than ||.
+	if got := evalOK(t, "1 > 2 || 3 > 2 && 4 > 3", MapEnv{}); got != 1 {
+		t.Fatalf("precedence = %v", got)
+	}
+	if got := evalOK(t, "0 || 1 && 0", MapEnv{}); got != 0 {
+		t.Fatalf("precedence = %v", got)
+	}
+}
+
+// Property: every parsed numeric literal evaluates to itself.
+func TestQuickNumberLiterals(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := math.Abs(x) // sign is handled by unary minus, not the lexer
+		src := strconv.FormatFloat(v, 'g', -1, 64)
+		e, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		got, err := e.Eval(MapEnv{})
+		if err != nil {
+			return false
+		}
+		return got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package mc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCITargetAbsoluteMode(t *testing.T) {
+	// Estimator sd = 0.002 => 95% half-width ~ 0.0039.
+	r := Result{P: 0.5, Variance: 4e-6, Hits: 100}
+	if !(CITarget{Half: 0.005, Confidence: 0.95}).Done(r) {
+		t.Error("absolute half-width 0.005 should be met")
+	}
+	if (CITarget{Half: 0.003, Confidence: 0.95}).Done(r) {
+		t.Error("absolute half-width 0.003 met too early")
+	}
+}
+
+func TestCITargetRelativeMode(t *testing.T) {
+	// Same variance, smaller estimate: relative target is harder.
+	r := Result{P: 0.01, Variance: 4e-6, Hits: 100}
+	if (CITarget{Half: 0.1, Confidence: 0.95, Relative: true}).Done(r) {
+		t.Error("relative 10% met although half-width is ~39% of the estimate")
+	}
+	if !(CITarget{Half: 0.5, Confidence: 0.95, Relative: true}).Done(r) {
+		t.Error("relative 50% should be met")
+	}
+}
+
+func TestMinHitsOverride(t *testing.T) {
+	r := Result{P: 0.5, Variance: 1e-12, Hits: 5}
+	if (RETarget{Target: 0.5}).Done(r) {
+		t.Error("default MinHits=10 should block at 5 hits")
+	}
+	if !(RETarget{Target: 0.5, MinHits: 3}).Done(r) {
+		t.Error("explicit MinHits=3 should allow stopping at 5 hits")
+	}
+	if (CITarget{Half: 0.5, Confidence: 0.95}).Done(r) {
+		t.Error("CI default MinHits should block at 5 hits")
+	}
+	if !(CITarget{Half: 0.5, Confidence: 0.95, MinHits: 3}).Done(r) {
+		t.Error("CI explicit MinHits=3 should allow stopping")
+	}
+}
+
+// Property: whenever RETarget fires, the reported relative error really is
+// below the target.
+func TestQuickRETargetSound(t *testing.T) {
+	rule := RETarget{Target: 0.1}
+	f := func(pRaw, varRaw uint16, hits uint8) bool {
+		p := float64(pRaw)/65536 + 1e-6
+		variance := float64(varRaw) / 65536 * 1e-4
+		r := Result{P: p, Variance: variance, Hits: int64(hits)}
+		if rule.Done(r) {
+			return math.Sqrt(variance)/p <= 0.1 && r.Hits >= 10
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

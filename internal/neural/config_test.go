@@ -1,0 +1,68 @@
+package neural
+
+import "testing"
+
+func TestConfigDefaults(t *testing.T) {
+	m := NewModel(Config{}, 1)
+	cfg := m.Config()
+	if cfg.Hidden != 24 || cfg.Layers != 2 || cfg.Mixtures != 5 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.SeqLen != 40 || cfg.LR <= 0 || cfg.Clip <= 0 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestConfigExplicitValuesKept(t *testing.T) {
+	cfg := Config{Hidden: 7, Layers: 3, Mixtures: 2, SeqLen: 11, LR: 0.5, Clip: 9}
+	m := NewModel(cfg, 1)
+	if m.Config() != cfg {
+		t.Fatalf("config mangled: %+v", m.Config())
+	}
+}
+
+func TestParamCountsMatchArchitecture(t *testing.T) {
+	m := NewModel(Config{Hidden: 4, Layers: 2, Mixtures: 3}, 1)
+	ps := m.params()
+	// 2 LSTM layers x (wx, wh, b) + MDN (w, b) = 8 tensors.
+	if len(ps) != 8 {
+		t.Fatalf("param tensors = %d, want 8", len(ps))
+	}
+	// Layer 1: input 1 -> wx is 4*4*1, wh 4*4*4, b 16.
+	if len(ps[0].w) != 16 || len(ps[1].w) != 64 || len(ps[2].w) != 16 {
+		t.Fatalf("layer-1 shapes: %d %d %d", len(ps[0].w), len(ps[1].w), len(ps[2].w))
+	}
+	// Layer 2: input 4 -> wx is 16*4.
+	if len(ps[3].w) != 64 {
+		t.Fatalf("layer-2 wx = %d, want 64", len(ps[3].w))
+	}
+	// Head: 3 mixtures -> 9 outputs over 4 inputs, bias 9.
+	if len(ps[6].w) != 36 || len(ps[7].w) != 9 {
+		t.Fatalf("head shapes: %d %d", len(ps[6].w), len(ps[7].w))
+	}
+}
+
+func TestInitialWeightsDeterministic(t *testing.T) {
+	a := NewModel(Config{Hidden: 5}, 42)
+	b := NewModel(Config{Hidden: 5}, 42)
+	pa, pb := a.params(), b.params()
+	for i := range pa {
+		for j := range pa[i].w {
+			if pa[i].w[j] != pb[i].w[j] {
+				t.Fatalf("tensor %d index %d differs across equal seeds", i, j)
+			}
+		}
+	}
+	c := NewModel(Config{Hidden: 5}, 43)
+	diff := false
+	pc := c.params()
+	for j := range pa[0].w {
+		if pa[0].w[j] != pc[0].w[j] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical weights")
+	}
+}

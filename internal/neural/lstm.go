@@ -1,0 +1,140 @@
+package neural
+
+import (
+	"math"
+
+	"durability/internal/rng"
+)
+
+// lstmLayer is a standard LSTM cell:
+//
+//	[i f g o] = Wx*x + Wh*h + b
+//	i, f, o  = sigmoid(...)   g = tanh(...)
+//	c' = f.c + i.g            h' = o.tanh(c')
+//
+// Gate pre-activations are packed i|f|g|o, each a block of size hidden.
+type lstmLayer struct {
+	in, hidden int
+	wx, wh, b  *param
+}
+
+func newLSTMLayer(in, hidden int, src *rng.Source) *lstmLayer {
+	l := &lstmLayer{
+		in:     in,
+		hidden: hidden,
+		wx:     newParam(4*hidden*in, 0.4/float64(in+hidden), src),
+		wh:     newParam(4*hidden*hidden, 0.4/float64(in+hidden), src),
+		b:      newParam(4*hidden, 0, src),
+	}
+	// Forget-gate bias starts at 1: the standard trick that keeps memory
+	// alive early in training.
+	for i := hidden; i < 2*hidden; i++ {
+		l.b.w[i] = 1
+	}
+	return l
+}
+
+func (l *lstmLayer) params() []*param { return []*param{l.wx, l.wh, l.b} }
+
+// lstmCache holds everything backward needs from one forward step.
+type lstmCache struct {
+	x, hPrev, cPrev []float64
+	i, f, g, o      []float64 // post-activation gates
+	c, tanhC        []float64
+}
+
+// forward advances the cell one step. h and c are updated in place; the
+// returned cache is nil-able for inference-only calls.
+func (l *lstmLayer) forward(x, h, c []float64, keepCache bool) (*lstmCache, []float64) {
+	hd := l.hidden
+	pre := make([]float64, 4*hd)
+	matVec(pre, l.wx.w, 4*hd, l.in, x, l.b.w)
+	// add Wh*h without a second bias
+	for r := 0; r < 4*hd; r++ {
+		row := l.wh.w[r*hd : (r+1)*hd]
+		s := pre[r]
+		for k, hv := range h {
+			s += row[k] * hv
+		}
+		pre[r] = s
+	}
+	var cache *lstmCache
+	if keepCache {
+		cache = &lstmCache{
+			x:     append([]float64(nil), x...),
+			hPrev: append([]float64(nil), h...),
+			cPrev: append([]float64(nil), c...),
+			i:     make([]float64, hd),
+			f:     make([]float64, hd),
+			g:     make([]float64, hd),
+			o:     make([]float64, hd),
+			c:     make([]float64, hd),
+			tanhC: make([]float64, hd),
+		}
+	}
+	for j := 0; j < hd; j++ {
+		iG := sigmoid(pre[j])
+		fG := sigmoid(pre[hd+j])
+		gG := tanhf(pre[2*hd+j])
+		oG := sigmoid(pre[3*hd+j])
+		cNew := fG*c[j] + iG*gG
+		tc := tanhf(cNew)
+		hNew := oG * tc
+		if cache != nil {
+			cache.i[j], cache.f[j], cache.g[j], cache.o[j] = iG, fG, gG, oG
+			cache.c[j], cache.tanhC[j] = cNew, tc
+		}
+		c[j] = cNew
+		h[j] = hNew
+	}
+	return cache, h
+}
+
+// backward consumes the gradient dh (w.r.t. this step's output h) and dc
+// (carried from the next step), accumulates parameter gradients, and
+// returns (dx, dhPrev, dcPrev).
+func (l *lstmLayer) backward(cache *lstmCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	hd := l.hidden
+	dPre := make([]float64, 4*hd)
+	dcPrev = make([]float64, hd)
+	for j := 0; j < hd; j++ {
+		doG := dh[j] * cache.tanhC[j]
+		dcTot := dc[j] + dh[j]*cache.o[j]*(1-cache.tanhC[j]*cache.tanhC[j])
+		diG := dcTot * cache.g[j]
+		dfG := dcTot * cache.cPrev[j]
+		dgG := dcTot * cache.i[j]
+		dcPrev[j] = dcTot * cache.f[j]
+		dPre[j] = diG * cache.i[j] * (1 - cache.i[j])
+		dPre[hd+j] = dfG * cache.f[j] * (1 - cache.f[j])
+		dPre[2*hd+j] = dgG * (1 - cache.g[j]*cache.g[j])
+		dPre[3*hd+j] = doG * cache.o[j] * (1 - cache.o[j])
+	}
+	dx = make([]float64, l.in)
+	dhPrev = make([]float64, hd)
+	for r := 0; r < 4*hd; r++ {
+		dp := dPre[r]
+		if dp == 0 {
+			continue
+		}
+		l.b.g[r] += dp
+		wxRow := l.wx.g[r*l.in : (r+1)*l.in]
+		for cIdx, xv := range cache.x {
+			wxRow[cIdx] += dp * xv
+		}
+		whRow := l.wh.g[r*hd : (r+1)*hd]
+		for k, hv := range cache.hPrev {
+			whRow[k] += dp * hv
+		}
+		wxW := l.wx.w[r*l.in : (r+1)*l.in]
+		for cIdx := range dx {
+			dx[cIdx] += dp * wxW[cIdx]
+		}
+		whW := l.wh.w[r*hd : (r+1)*hd]
+		for k := range dhPrev {
+			dhPrev[k] += dp * whW[k]
+		}
+	}
+	return dx, dhPrev, dcPrev
+}
+
+func tanhf(x float64) float64 { return math.Tanh(x) }

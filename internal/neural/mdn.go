@@ -1,0 +1,134 @@
+package neural
+
+import (
+	"math"
+
+	"durability/internal/rng"
+)
+
+// mdnHead is a dense layer mapping the top LSTM hidden state to the
+// parameters of a K-component Gaussian mixture over the scalar target
+// (Bishop's mixture density network). The output packs
+// [logit_1..K | mu_1..K | logsigma_1..K].
+type mdnHead struct {
+	in, k int
+	w, b  *param
+}
+
+const (
+	logSigmaMin = -6
+	logSigmaMax = 3
+)
+
+func newMDNHead(in, k int, src *rng.Source) *mdnHead {
+	return &mdnHead{
+		in: in,
+		k:  k,
+		w:  newParam(3*k*in, 0.4/float64(in), src),
+		b:  newParam(3*k, 0, src),
+	}
+}
+
+func (m *mdnHead) params() []*param { return []*param{m.w, m.b} }
+
+// mixture is the evaluated mixture parameters for one input.
+type mixture struct {
+	pi, mu, sigma []float64
+	logit         []float64 // retained for backward
+}
+
+// forward evaluates the head.
+func (m *mdnHead) forward(h []float64) mixture {
+	out := make([]float64, 3*m.k)
+	matVec(out, m.w.w, 3*m.k, m.in, h, m.b.w)
+	mix := mixture{
+		pi:    make([]float64, m.k),
+		mu:    make([]float64, m.k),
+		sigma: make([]float64, m.k),
+		logit: out[:m.k],
+	}
+	maxL := out[0]
+	for i := 1; i < m.k; i++ {
+		if out[i] > maxL {
+			maxL = out[i]
+		}
+	}
+	sum := 0.0
+	for i := 0; i < m.k; i++ {
+		mix.pi[i] = math.Exp(out[i] - maxL)
+		sum += mix.pi[i]
+	}
+	for i := 0; i < m.k; i++ {
+		mix.pi[i] /= sum
+		mix.mu[i] = out[m.k+i]
+		ls := out[2*m.k+i]
+		if ls < logSigmaMin {
+			ls = logSigmaMin
+		}
+		if ls > logSigmaMax {
+			ls = logSigmaMax
+		}
+		mix.sigma[i] = math.Exp(ls)
+	}
+	return mix
+}
+
+// nll returns the negative log-likelihood of y under the mixture.
+func (mix mixture) nll(y float64) float64 {
+	return -math.Log(mix.density(y) + 1e-300)
+}
+
+// density returns the mixture probability density at y.
+func (mix mixture) density(y float64) float64 {
+	const invSqrt2Pi = 0.3989422804014327
+	d := 0.0
+	for i := range mix.pi {
+		z := (y - mix.mu[i]) / mix.sigma[i]
+		d += mix.pi[i] * invSqrt2Pi / mix.sigma[i] * math.Exp(-0.5*z*z)
+	}
+	return d
+}
+
+// sample draws one value from the mixture.
+func (mix mixture) sample(src *rng.Source) float64 {
+	i := src.Categorical(mix.pi)
+	return mix.mu[i] + mix.sigma[i]*src.Norm()
+}
+
+// backward accumulates the parameter gradients of nll(y) and returns the
+// gradient w.r.t. the input h. Standard MDN gradients via the component
+// posterior gamma.
+func (m *mdnHead) backward(h []float64, mix mixture, y float64) []float64 {
+	k := m.k
+	gamma := make([]float64, k)
+	const invSqrt2Pi = 0.3989422804014327
+	total := 0.0
+	for i := 0; i < k; i++ {
+		z := (y - mix.mu[i]) / mix.sigma[i]
+		gamma[i] = mix.pi[i] * invSqrt2Pi / mix.sigma[i] * math.Exp(-0.5*z*z)
+		total += gamma[i]
+	}
+	if total <= 0 {
+		total = 1e-300
+	}
+	dOut := make([]float64, 3*k)
+	for i := 0; i < k; i++ {
+		gamma[i] /= total
+		z := (y - mix.mu[i]) / mix.sigma[i]
+		dOut[i] = mix.pi[i] - gamma[i]                                         // d nll / d logit_i
+		dOut[k+i] = gamma[i] * (mix.mu[i] - y) / (mix.sigma[i] * mix.sigma[i]) // d nll / d mu_i
+		dOut[2*k+i] = gamma[i] * (1 - z*z)                                     // d nll / d logsigma_i
+	}
+	dh := make([]float64, m.in)
+	for r := 0; r < 3*k; r++ {
+		dp := dOut[r]
+		m.b.g[r] += dp
+		wRow := m.w.g[r*m.in : (r+1)*m.in]
+		wW := m.w.w[r*m.in : (r+1)*m.in]
+		for c, hv := range h {
+			wRow[c] += dp * hv
+			dh[c] += dp * wW[c]
+		}
+	}
+	return dh
+}

@@ -1,0 +1,318 @@
+package neural
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"durability/internal/rng"
+)
+
+// Config sizes the sequence model. The paper's network (2x256 LSTM, 5
+// mixtures) is scaled down by default so the pure-Go forward pass keeps
+// per-step cost compatible with million-step sampling experiments; the
+// architecture is identical.
+type Config struct {
+	Hidden   int // LSTM units per layer (default 24)
+	Layers   int // stacked LSTM layers (default 2)
+	Mixtures int // MDN components (default 5)
+	SeqLen   int // truncated-BPTT window (default 40)
+	LR       float64
+	Clip     float64 // global gradient-norm clip (default 5)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 24
+	}
+	if c.Layers <= 0 {
+		c.Layers = 2
+	}
+	if c.Mixtures <= 0 {
+		c.Mixtures = 5
+	}
+	if c.SeqLen <= 0 {
+		c.SeqLen = 40
+	}
+	if c.LR <= 0 {
+		c.LR = 3e-3
+	}
+	if c.Clip <= 0 {
+		c.Clip = 5
+	}
+	return c
+}
+
+// Model is an LSTM-MDN sequence model over normalised log-returns: the
+// paper's Figure 5 architecture. Inputs are scalar (the previous return),
+// outputs are a Gaussian mixture over the next return.
+type Model struct {
+	cfg    Config
+	layers []*lstmLayer
+	head   *mdnHead
+
+	// Normalisation of the training series: returns are modelled as
+	// (logreturn - RetMean)/RetStd.
+	RetMean, RetStd float64
+	adamT           int
+}
+
+// NewModel builds an untrained model with deterministic initial weights.
+func NewModel(cfg Config, seed uint64) *Model {
+	cfg = cfg.withDefaults()
+	src := rng.New(seed)
+	m := &Model{cfg: cfg, RetStd: 1}
+	in := 1
+	for l := 0; l < cfg.Layers; l++ {
+		m.layers = append(m.layers, newLSTMLayer(in, cfg.Hidden, src))
+		in = cfg.Hidden
+	}
+	m.head = newMDNHead(in, cfg.Mixtures, src)
+	return m
+}
+
+// Config returns the (defaulted) configuration the model was built with.
+func (m *Model) Config() Config { return m.cfg }
+
+func (m *Model) params() []*param {
+	var ps []*param
+	for _, l := range m.layers {
+		ps = append(ps, l.params()...)
+	}
+	return append(ps, m.head.params()...)
+}
+
+// hiddenState is the recurrent state: h and c per layer.
+type hiddenState struct {
+	h, c [][]float64
+}
+
+func (m *Model) newHidden() hiddenState {
+	hs := hiddenState{}
+	for range m.layers {
+		hs.h = append(hs.h, make([]float64, m.cfg.Hidden))
+		hs.c = append(hs.c, make([]float64, m.cfg.Hidden))
+	}
+	return hs
+}
+
+func (hs hiddenState) clone() hiddenState {
+	out := hiddenState{}
+	for i := range hs.h {
+		out.h = append(out.h, append([]float64(nil), hs.h[i]...))
+		out.c = append(out.c, append([]float64(nil), hs.c[i]...))
+	}
+	return out
+}
+
+// stepForward advances the recurrent state in place on input x and returns
+// the predicted mixture (plus caches when training).
+func (m *Model) stepForward(x float64, hs hiddenState, keepCache bool) ([]*lstmCache, mixture) {
+	input := []float64{x}
+	var caches []*lstmCache
+	for li, l := range m.layers {
+		cache, h := l.forward(input, hs.h[li], hs.c[li], keepCache)
+		if keepCache {
+			caches = append(caches, cache)
+		}
+		input = h
+	}
+	return caches, m.head.forward(input)
+}
+
+// Returns converts a price series into normalised log-returns, fitting
+// the model's normalisation constants.
+func (m *Model) fitReturns(prices []float64) ([]float64, error) {
+	if len(prices) < 3 {
+		return nil, errors.New("neural: price series too short")
+	}
+	rets := make([]float64, len(prices)-1)
+	for i := 1; i < len(prices); i++ {
+		if prices[i] <= 0 || prices[i-1] <= 0 {
+			return nil, fmt.Errorf("neural: non-positive price at index %d", i)
+		}
+		rets[i-1] = math.Log(prices[i] / prices[i-1])
+	}
+	mean, sd := 0.0, 0.0
+	for _, r := range rets {
+		mean += r
+	}
+	mean /= float64(len(rets))
+	for _, r := range rets {
+		sd += (r - mean) * (r - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(rets)))
+	if sd == 0 {
+		return nil, errors.New("neural: constant price series")
+	}
+	m.RetMean, m.RetStd = mean, sd
+	for i := range rets {
+		rets[i] = (rets[i] - mean) / sd
+	}
+	return rets, nil
+}
+
+// TrainReport summarises one training run.
+type TrainReport struct {
+	Epochs    int
+	FirstLoss float64 // mean NLL of the first epoch
+	LastLoss  float64 // mean NLL of the final epoch
+}
+
+// Train fits the model to a daily price series with truncated BPTT for the
+// given number of epochs. The series plays the role of the paper's 5-year
+// Google price history.
+func (m *Model) Train(prices []float64, epochs int) (TrainReport, error) {
+	rets, err := m.fitReturns(prices)
+	if err != nil {
+		return TrainReport{}, err
+	}
+	if len(rets) <= m.cfg.SeqLen {
+		return TrainReport{}, fmt.Errorf("neural: need more than %d returns, got %d", m.cfg.SeqLen, len(rets))
+	}
+	report := TrainReport{Epochs: epochs}
+	for e := 0; e < epochs; e++ {
+		loss := m.trainEpoch(rets)
+		if e == 0 {
+			report.FirstLoss = loss
+		}
+		report.LastLoss = loss
+	}
+	return report, nil
+}
+
+// trainEpoch runs one pass of truncated BPTT over the return series and
+// returns the mean NLL.
+func (m *Model) trainEpoch(rets []float64) float64 {
+	hs := m.newHidden()
+	totalLoss := 0.0
+	count := 0
+	L := m.cfg.SeqLen
+	for start := 0; start+L+1 <= len(rets); start += L {
+		// Forward over the window; inputs rets[t], targets rets[t+1].
+		caches := make([][]*lstmCache, L)
+		mixes := make([]mixture, L)
+		tops := make([][]float64, L)
+		for t := 0; t < L; t++ {
+			c, mix := m.stepForward(rets[start+t], hs, true)
+			caches[t] = c
+			mixes[t] = mix
+			tops[t] = append([]float64(nil), hs.h[len(m.layers)-1]...)
+			totalLoss += mix.nll(rets[start+t+1])
+			count++
+		}
+		// Backward through the window.
+		for _, p := range m.params() {
+			p.zeroGrad()
+		}
+		nl := len(m.layers)
+		dh := make([][]float64, nl)
+		dc := make([][]float64, nl)
+		for li := 0; li < nl; li++ {
+			dh[li] = make([]float64, m.cfg.Hidden)
+			dc[li] = make([]float64, m.cfg.Hidden)
+		}
+		for t := L - 1; t >= 0; t-- {
+			dTop := m.head.backward(tops[t], mixes[t], rets[start+t+1])
+			for j := range dh[nl-1] {
+				dh[nl-1][j] += dTop[j]
+			}
+			var dxLower []float64
+			for li := nl - 1; li >= 0; li-- {
+				dx, dhPrev, dcPrev := m.layers[li].backward(caches[t][li], dh[li], dc[li])
+				dh[li], dc[li] = dhPrev, dcPrev
+				if li > 0 {
+					dxLower = dx
+					for j := range dh[li-1] {
+						dh[li-1][j] += dxLower[j]
+					}
+				}
+			}
+		}
+		m.clipAndStep()
+	}
+	if count == 0 {
+		return 0
+	}
+	return totalLoss / float64(count)
+}
+
+// clipAndStep applies global-norm gradient clipping followed by Adam.
+func (m *Model) clipAndStep() {
+	ps := m.params()
+	norm := 0.0
+	for _, p := range ps {
+		norm += p.gradNormSq()
+	}
+	norm = math.Sqrt(norm)
+	if norm > m.cfg.Clip {
+		f := m.cfg.Clip / norm
+		for _, p := range ps {
+			p.scaleGrad(f)
+		}
+	}
+	m.adamT++
+	for _, p := range ps {
+		p.adamStep(m.cfg.LR, 0.9, 0.999, 1e-8, m.adamT)
+	}
+}
+
+// Loss evaluates the mean NLL of the model on a price series without
+// updating weights — the held-out validation metric.
+func (m *Model) Loss(prices []float64) (float64, error) {
+	if len(prices) < 3 {
+		return 0, errors.New("neural: price series too short")
+	}
+	rets := make([]float64, len(prices)-1)
+	for i := 1; i < len(prices); i++ {
+		rets[i-1] = (math.Log(prices[i]/prices[i-1]) - m.RetMean) / m.RetStd
+	}
+	hs := m.newHidden()
+	total := 0.0
+	count := 0
+	for t := 0; t+1 < len(rets); t++ {
+		_, mix := m.stepForward(rets[t], hs, false)
+		total += mix.nll(rets[t+1])
+		count++
+	}
+	return total / float64(count), nil
+}
+
+// modelWire is the gob serialisation schema.
+type modelWire struct {
+	Cfg             Config
+	RetMean, RetStd float64
+	Weights         [][]float64
+}
+
+// Save writes the model weights (not the optimiser state) to w.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{Cfg: m.cfg, RetMean: m.RetMean, RetStd: m.RetStd}
+	for _, p := range m.params() {
+		wire.Weights = append(wire.Weights, p.w)
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	m := NewModel(wire.Cfg, 0)
+	m.RetMean, m.RetStd = wire.RetMean, wire.RetStd
+	ps := m.params()
+	if len(ps) != len(wire.Weights) {
+		return nil, fmt.Errorf("neural: weight count mismatch: %d vs %d", len(ps), len(wire.Weights))
+	}
+	for i, p := range ps {
+		if len(p.w) != len(wire.Weights[i]) {
+			return nil, fmt.Errorf("neural: weight tensor %d has %d values, want %d", i, len(wire.Weights[i]), len(p.w))
+		}
+		copy(p.w, wire.Weights[i])
+	}
+	return m, nil
+}

@@ -1,0 +1,88 @@
+// Package neural is a self-contained, dependency-free neural substrate:
+// LSTM layers, a mixture-density output head (MDN), Adam, and truncated
+// back-propagation through time.
+//
+// It exists to reproduce the paper's third evaluation model (§6, Figure 5):
+// an LSTM-RNN-MDN trained on daily stock prices, used as a black-box
+// step-wise simulator for durability queries. The paper trained a
+// Keras/TensorFlow network on Google's 2015–2020 prices; this package
+// trains an equivalent (smaller) network in pure Go on a synthetic price
+// series — see DESIGN.md §5 for why the substitution preserves the
+// behaviour the experiment measures.
+package neural
+
+import (
+	"math"
+
+	"durability/internal/rng"
+)
+
+// param is one flat parameter tensor with its gradient and Adam moments.
+type param struct {
+	w, g, m, v []float64
+}
+
+func newParam(n int, scale float64, src *rng.Source) *param {
+	p := &param{
+		w: make([]float64, n),
+		g: make([]float64, n),
+		m: make([]float64, n),
+		v: make([]float64, n),
+	}
+	for i := range p.w {
+		p.w[i] = scale * src.Norm()
+	}
+	return p
+}
+
+func (p *param) zeroGrad() {
+	for i := range p.g {
+		p.g[i] = 0
+	}
+}
+
+// gradNormSq returns the squared L2 norm of the gradient.
+func (p *param) gradNormSq() float64 {
+	s := 0.0
+	for _, g := range p.g {
+		s += g * g
+	}
+	return s
+}
+
+func (p *param) scaleGrad(f float64) {
+	for i := range p.g {
+		p.g[i] *= f
+	}
+}
+
+// adamStep applies one Adam update with bias correction at step t (1-based).
+func (p *param) adamStep(lr, beta1, beta2, eps float64, t int) {
+	c1 := 1 - math.Pow(beta1, float64(t))
+	c2 := 1 - math.Pow(beta2, float64(t))
+	for i := range p.w {
+		p.m[i] = beta1*p.m[i] + (1-beta1)*p.g[i]
+		p.v[i] = beta2*p.v[i] + (1-beta2)*p.g[i]*p.g[i]
+		p.w[i] -= lr * (p.m[i] / c1) / (math.Sqrt(p.v[i]/c2) + eps)
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// matVec computes dst = W*x + b where W is rows x cols, row-major.
+func matVec(dst, w []float64, rows, cols int, x, b []float64) {
+	for r := 0; r < rows; r++ {
+		s := b[r]
+		row := w[r*cols : (r+1)*cols]
+		for c, xv := range x {
+			s += row[c] * xv
+		}
+		dst[r] = s
+	}
+}

@@ -1,0 +1,369 @@
+package neural
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"durability/internal/rng"
+	"durability/internal/stats"
+	"durability/internal/stochastic"
+)
+
+func TestSigmoid(t *testing.T) {
+	if v := sigmoid(0); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", v)
+	}
+	if v := sigmoid(100); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("sigmoid(100) = %v", v)
+	}
+	if v := sigmoid(-100); v > 1e-12 {
+		t.Fatalf("sigmoid(-100) = %v", v)
+	}
+	// Symmetry: sigmoid(-x) = 1 - sigmoid(x).
+	for _, x := range []float64{0.1, 1, 3, 7} {
+		if math.Abs(sigmoid(-x)-(1-sigmoid(x))) > 1e-12 {
+			t.Fatalf("sigmoid symmetry broken at %v", x)
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	w := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	x := []float64{1, 0, -1}
+	b := []float64{10, 20}
+	dst := make([]float64, 2)
+	matVec(dst, w, 2, 3, x, b)
+	if dst[0] != 1-3+10 || dst[1] != 4-6+20 {
+		t.Fatalf("matVec = %v", dst)
+	}
+}
+
+func TestAdamReducesQuadratic(t *testing.T) {
+	// Minimise f(w) = (w-3)^2 with Adam; gradient 2(w-3).
+	p := &param{w: []float64{0}, g: []float64{0}, m: []float64{0}, v: []float64{0}}
+	for i := 1; i <= 2000; i++ {
+		p.g[0] = 2 * (p.w[0] - 3)
+		p.adamStep(0.05, 0.9, 0.999, 1e-8, i)
+	}
+	if math.Abs(p.w[0]-3) > 0.05 {
+		t.Fatalf("Adam converged to %v, want 3", p.w[0])
+	}
+}
+
+func TestMixtureDensityIntegratesToOne(t *testing.T) {
+	mix := mixture{
+		pi:    []float64{0.3, 0.7},
+		mu:    []float64{-1, 2},
+		sigma: []float64{0.5, 1.5},
+	}
+	// Trapezoid rule over a wide interval.
+	total := 0.0
+	const n = 20000
+	lo, hi := -15.0, 15.0
+	for i := 0; i <= n; i++ {
+		y := lo + (hi-lo)*float64(i)/n
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		total += w * mix.density(y)
+	}
+	total *= (hi - lo) / n
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("mixture density integrates to %v", total)
+	}
+}
+
+func TestMixtureSampleMoments(t *testing.T) {
+	mix := mixture{
+		pi:    []float64{0.4, 0.6},
+		mu:    []float64{-2, 3},
+		sigma: []float64{0.5, 1},
+	}
+	src := rng.New(1)
+	var acc stats.Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(mix.sample(src))
+	}
+	wantMean := 0.4*(-2) + 0.6*3
+	// Var = sum pi (sigma^2 + mu^2) - mean^2
+	wantVar := 0.4*(0.25+4) + 0.6*(1+9) - wantMean*wantMean
+	if math.Abs(acc.Mean()-wantMean) > 0.02 {
+		t.Errorf("sample mean = %v, want %v", acc.Mean(), wantMean)
+	}
+	if math.Abs(acc.Variance()-wantVar) > 0.1 {
+		t.Errorf("sample variance = %v, want %v", acc.Variance(), wantVar)
+	}
+}
+
+func TestMDNNLLMatchesGaussian(t *testing.T) {
+	// A one-component mixture with mu=0, sigma=1 must reproduce the
+	// standard normal NLL: 0.5*log(2*pi) + y^2/2.
+	mix := mixture{pi: []float64{1}, mu: []float64{0}, sigma: []float64{1}}
+	for _, y := range []float64{0, 1, -2.5} {
+		want := 0.5*math.Log(2*math.Pi) + y*y/2
+		if got := mix.nll(y); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("nll(%v) = %v, want %v", y, got, want)
+		}
+	}
+}
+
+// numericalGrad computes the central finite difference of the model's NLL
+// on a tiny sequence with respect to one weight.
+func numericalGrad(m *Model, seq []float64, p *param, idx int) float64 {
+	const eps = 1e-5
+	orig := p.w[idx]
+	loss := func() float64 {
+		hs := m.newHidden()
+		total := 0.0
+		for t := 0; t+1 < len(seq); t++ {
+			_, mix := m.stepForward(seq[t], hs, false)
+			total += mix.nll(seq[t+1])
+		}
+		return total
+	}
+	p.w[idx] = orig + eps
+	up := loss()
+	p.w[idx] = orig - eps
+	down := loss()
+	p.w[idx] = orig
+	return (up - down) / (2 * eps)
+}
+
+// The decisive correctness test for the whole neural substrate: BPTT
+// gradients agree with finite differences for every parameter tensor.
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	m := NewModel(Config{Hidden: 5, Layers: 2, Mixtures: 3, SeqLen: 4, LR: 1e-3}, 42)
+	seq := []float64{0.3, -0.5, 0.9, -0.1, 0.4}
+
+	// Analytic gradients over the same 4-step window.
+	for _, p := range m.params() {
+		p.zeroGrad()
+	}
+	hs := m.newHidden()
+	L := len(seq) - 1
+	caches := make([][]*lstmCache, L)
+	mixes := make([]mixture, L)
+	tops := make([][]float64, L)
+	for tt := 0; tt < L; tt++ {
+		c, mix := m.stepForward(seq[tt], hs, true)
+		caches[tt] = c
+		mixes[tt] = mix
+		tops[tt] = append([]float64(nil), hs.h[len(m.layers)-1]...)
+	}
+	nl := len(m.layers)
+	dh := make([][]float64, nl)
+	dc := make([][]float64, nl)
+	for li := 0; li < nl; li++ {
+		dh[li] = make([]float64, m.cfg.Hidden)
+		dc[li] = make([]float64, m.cfg.Hidden)
+	}
+	for tt := L - 1; tt >= 0; tt-- {
+		dTop := m.head.backward(tops[tt], mixes[tt], seq[tt+1])
+		for j := range dh[nl-1] {
+			dh[nl-1][j] += dTop[j]
+		}
+		for li := nl - 1; li >= 0; li-- {
+			dx, dhPrev, dcPrev := m.layers[li].backward(caches[tt][li], dh[li], dc[li])
+			dh[li], dc[li] = dhPrev, dcPrev
+			if li > 0 {
+				for j := range dh[li-1] {
+					dh[li-1][j] += dx[j]
+				}
+			}
+		}
+	}
+
+	checked := 0
+	for pi, p := range m.params() {
+		stride := len(p.w)/7 + 1
+		for idx := 0; idx < len(p.w); idx += stride {
+			want := numericalGrad(m, seq, p, idx)
+			got := p.g[idx]
+			tol := 1e-5 + 1e-4*math.Abs(want)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("param %d idx %d: analytic %v vs numeric %v", pi, idx, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d gradient entries checked", checked)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	gbm := &stochastic.GBM{S0: 1000, Mu: 0.0005, Sigma: 0.02}
+	series := gbm.SeriesWithRegimes(800, rng.New(7))
+	m := NewModel(Config{Hidden: 12, Layers: 1, Mixtures: 3, SeqLen: 25}, 3)
+	rep, err := m.Train(series, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LastLoss >= rep.FirstLoss {
+		t.Fatalf("training did not reduce loss: %v -> %v", rep.FirstLoss, rep.LastLoss)
+	}
+}
+
+func TestTrainRejectsBadSeries(t *testing.T) {
+	m := NewModel(Config{}, 1)
+	if _, err := m.Train([]float64{1, 2}, 1); err == nil {
+		t.Error("short series accepted")
+	}
+	if _, err := m.Train([]float64{1, -2, 3, 4, 5}, 1); err == nil {
+		t.Error("negative price accepted")
+	}
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 5
+	}
+	if _, err := m.Train(flat, 1); err == nil {
+		t.Error("constant series accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	gbm := &stochastic.GBM{S0: 1000, Mu: 0, Sigma: 0.02}
+	series := gbm.SeriesWithRegimes(400, rng.New(8))
+	m := NewModel(Config{Hidden: 8, Layers: 2, Mixtures: 2, SeqLen: 20}, 4)
+	if _, err := m.Train(series, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossA, err := m.Loss(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossB, err := loaded.Loss(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lossA-lossB) > 1e-12 {
+		t.Fatalf("loaded model loss %v differs from original %v", lossB, lossA)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func trainedProcess(t *testing.T) *StockProcess {
+	t.Helper()
+	gbm := &stochastic.GBM{S0: 1000, Mu: 0.0004, Sigma: 0.02}
+	series := gbm.SeriesWithRegimes(600, rng.New(9))
+	m := NewModel(Config{Hidden: 8, Layers: 1, Mixtures: 3, SeqLen: 20}, 5)
+	if _, err := m.Train(series, 4); err != nil {
+		t.Fatal(err)
+	}
+	return NewStockProcess(m, 1000, 30)
+}
+
+func TestStockProcessBasics(t *testing.T) {
+	p := trainedProcess(t)
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+	src := rng.New(10)
+	s := p.Initial()
+	if Price(s) != 1000 {
+		t.Fatalf("initial price = %v", Price(s))
+	}
+	for i := 1; i <= 200; i++ {
+		p.Step(s, i, src)
+		v := Price(s)
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("price became %v at step %d", v, i)
+		}
+	}
+}
+
+func TestStockProcessDeterministicPerSeed(t *testing.T) {
+	p := trainedProcess(t)
+	run := func() []float64 {
+		src := rng.New(11)
+		s := p.Initial()
+		out := make([]float64, 50)
+		for i := range out {
+			p.Step(s, i+1, src)
+			out[i] = Price(s)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestStockProcessCloneIndependence(t *testing.T) {
+	p := trainedProcess(t)
+	src := rng.New(12)
+	s := p.Initial()
+	for i := 1; i <= 20; i++ {
+		p.Step(s, i, src)
+	}
+	before := Price(s)
+	c := s.Clone()
+	for i := 21; i <= 40; i++ {
+		p.Step(c, i, src)
+	}
+	if Price(s) != before {
+		t.Fatal("stepping a clone mutated the original state")
+	}
+	// The clone's hidden state must also be independent: stepping the
+	// original now must not be influenced by the clone's evolution
+	// (verified indirectly: both continue without panics and diverge).
+	p.Step(s, 21, src)
+	if Price(s) == Price(c) {
+		t.Log("prices coincidentally equal; acceptable but unusual")
+	}
+}
+
+func TestStockProcessVolatilityPlausible(t *testing.T) {
+	// The trained model should produce returns whose standard deviation
+	// is within a factor ~3 of the training series' (it learned *some*
+	// structure rather than exploding).
+	p := trainedProcess(t)
+	src := rng.New(13)
+	var acc stats.Accumulator
+	s := p.Initial()
+	last := Price(s)
+	for i := 1; i <= 3000; i++ {
+		p.Step(s, i, src)
+		cur := Price(s)
+		acc.Add(math.Log(cur / last))
+		last = cur
+	}
+	sd := acc.StdDev()
+	if sd <= 0.002 || sd > 0.2 {
+		t.Fatalf("simulated daily return sd = %v, implausible vs training ~0.02", sd)
+	}
+}
+
+func BenchmarkStockStep(b *testing.B) {
+	gbm := &stochastic.GBM{S0: 1000, Mu: 0.0004, Sigma: 0.02}
+	series := gbm.SeriesWithRegimes(600, rng.New(9))
+	m := NewModel(Config{Hidden: 24, Layers: 2, Mixtures: 5, SeqLen: 20}, 5)
+	if _, err := m.Train(series, 1); err != nil {
+		b.Fatal(err)
+	}
+	p := NewStockProcess(m, 1000, 10)
+	src := rng.New(1)
+	s := p.Initial()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step(s, i+1, src)
+	}
+}

@@ -1,0 +1,91 @@
+package neural
+
+import (
+	"fmt"
+	"math"
+
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+// StockProcess adapts a trained Model into the repository's step-wise
+// simulation interface: the black-box 𝔤 of §2.1 example (3). The state
+// carries the price, the last normalised return, and the full recurrent
+// hidden state — exactly what the paper means by "the state at time t
+// includes both v_t and h_t".
+type StockProcess struct {
+	Model *Model
+	S0    float64 // initial price
+	// Warmup steps run at construction time with a fixed substream so the
+	// initial hidden state reflects a plausible recent history rather
+	// than zeros.
+	Warmup int
+
+	initial *StockState
+}
+
+// StockState is the simulation state of the LSTM-MDN price process.
+type StockState struct {
+	Price   float64
+	lastRet float64
+	hidden  hiddenState
+}
+
+// Clone implements stochastic.State; it deep-copies the hidden state so
+// MLSS offspring evolve independently.
+func (s *StockState) Clone() stochastic.State {
+	return &StockState{Price: s.Price, lastRet: s.lastRet, hidden: s.hidden.clone()}
+}
+
+// Price observes the simulated stock price of a StockState.
+func Price(s stochastic.State) float64 {
+	ss, ok := s.(*StockState)
+	if !ok {
+		panic(fmt.Sprintf("neural: Price applied to %T", s))
+	}
+	return ss.Price
+}
+
+// NewStockProcess prepares the process. The warm-up runs the model forward
+// on its own samples from a dedicated deterministic stream, once, so every
+// root path starts from the same warmed state (a fixed initial condition,
+// as the paper's queries require).
+func NewStockProcess(m *Model, s0 float64, warmup int) *StockProcess {
+	p := &StockProcess{Model: m, S0: s0, Warmup: warmup}
+	st := &StockState{Price: s0, hidden: m.newHidden()}
+	src := rng.New(0x57a7e)
+	for i := 0; i < warmup; i++ {
+		p.advance(st, src)
+	}
+	st.Price = s0 // warm the hidden state but pin the starting price
+	p.initial = st
+	return p
+}
+
+// Name implements stochastic.Process.
+func (p *StockProcess) Name() string { return "lstm-mdn-stock" }
+
+// Initial implements stochastic.Process.
+func (p *StockProcess) Initial() stochastic.State {
+	return p.initial.Clone()
+}
+
+// Step implements stochastic.Process.
+func (p *StockProcess) Step(s stochastic.State, _ int, src *rng.Source) {
+	p.advance(s.(*StockState), src)
+}
+
+func (p *StockProcess) advance(st *StockState, src *rng.Source) {
+	_, mix := p.Model.stepForward(st.lastRet, st.hidden, false)
+	y := mix.sample(src)
+	// Guard the simulation against pathological mixtures early in
+	// training: cap one-step normalised moves at 8 sigma.
+	if y > 8 {
+		y = 8
+	}
+	if y < -8 {
+		y = -8
+	}
+	st.lastRet = y
+	st.Price *= math.Exp(y*p.Model.RetStd + p.Model.RetMean)
+}

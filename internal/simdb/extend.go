@@ -1,0 +1,168 @@
+package simdb
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"durability/internal/expr"
+)
+
+// ScanOrdered returns rows matching where, sorted by the given float
+// column (descending when desc is set), truncated to limit rows when
+// limit > 0 — the ORDER BY ... LIMIT of the embedded engine, used to
+// inspect materialised sample paths ("which paths peaked highest?").
+func (t *Table) ScanOrdered(where *expr.Expr, orderBy string, desc bool, limit int) ([]Row, error) {
+	idx, err := t.colIndex(orderBy)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := t.Scan(where)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if desc {
+			return rows[a][idx].F > rows[b][idx].F
+		}
+		return rows[a][idx].F < rows[b][idx].F
+	})
+	if limit > 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return rows, nil
+}
+
+// Delete removes the rows matching the predicate and returns how many
+// were removed. A nil predicate clears the table.
+func (t *Table) Delete(where *expr.Expr) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if where == nil {
+		n := len(t.rows)
+		t.rows = nil
+		return n, nil
+	}
+	kept := t.rows[:0]
+	removed := 0
+	for _, r := range t.rows {
+		match, err := where.EvalBool(rowEnv{cols: t.cols, row: r})
+		if err != nil {
+			return removed, err
+		}
+		if match {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rows = kept
+	return removed, nil
+}
+
+// WriteCSV streams the table (header plus rows) as CSV — the export path
+// for plotting materialised sample paths outside the process.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	record := make([]string, len(t.cols))
+	for _, r := range t.rows {
+		for i, c := range t.cols {
+			if c.Type == Float {
+				record[i] = strconv.FormatFloat(r[i].F, 'g', -1, 64)
+			} else {
+				record[i] = r[i].S
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// snapshotWire is the gob schema for database persistence.
+type snapshotWire struct {
+	Tables map[string]tableWire
+}
+
+type tableWire struct {
+	Cols []Column
+	Rows []Row
+}
+
+// Snapshot serialises every table (schema and rows) to w. Hosted model
+// instances are not serialised — they rebuild lazily from the catalog
+// after Restore, which is the point of keeping parameters in a table.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.RLock()
+	wire := snapshotWire{Tables: map[string]tableWire{}}
+	for name, t := range db.tables {
+		t.mu.RLock()
+		rows := make([]Row, len(t.rows))
+		for i, r := range t.rows {
+			rows[i] = append(Row(nil), r...)
+		}
+		wire.Tables[name] = tableWire{Cols: append([]Column(nil), t.cols...), Rows: rows}
+		t.mu.RUnlock()
+	}
+	db.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Restore loads a snapshot into a fresh database. Stored models become
+// loadable again because their parameter rows travel with the catalog.
+func Restore(r io.Reader) (*DB, error) {
+	var wire snapshotWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	catalog, ok := wire.Tables["model_params"]
+	if !ok {
+		return nil, errors.New("simdb: snapshot is missing the model_params catalog")
+	}
+	db := New()
+	ct, err := db.Table("model_params")
+	if err != nil {
+		return nil, err
+	}
+	ct.mu.Lock()
+	ct.rows = catalog.Rows
+	ct.mu.Unlock()
+	// Re-reserve the stored model names so loadModel accepts them.
+	db.mu.Lock()
+	for _, row := range catalog.Rows {
+		if len(row) > 0 {
+			if _, exists := db.models[row[0].S]; !exists {
+				db.models[row[0].S] = nil
+			}
+		}
+	}
+	db.mu.Unlock()
+	for name, tw := range wire.Tables {
+		if name == "model_params" {
+			continue
+		}
+		t, err := db.CreateTable(name, tw.Cols...)
+		if err != nil {
+			return nil, fmt.Errorf("simdb: restoring table %q: %w", name, err)
+		}
+		t.mu.Lock()
+		t.rows = tw.Rows
+		t.mu.Unlock()
+	}
+	return db, nil
+}

@@ -1,0 +1,119 @@
+package simdb
+
+import (
+	"fmt"
+
+	"durability/internal/stochastic"
+)
+
+// builder instantiates a model kind from catalog parameters, returning the
+// process and its observable fields.
+type builder func(params map[string]float64) (stochastic.Process, map[string]stochastic.Observer, error)
+
+// builders is the registry of model kinds the catalog understands. Each
+// corresponds to one of the repository's simulation models; adding a kind
+// means adding a constructor here.
+var builders = map[string]builder{
+	"queue":       buildQueue,
+	"cpp":         buildCPP,
+	"random-walk": buildRandomWalk,
+	"gbm":         buildGBM,
+}
+
+// need fetches a required parameter.
+func need(params map[string]float64, key string) (float64, error) {
+	v, ok := params[key]
+	if !ok {
+		return 0, fmt.Errorf("missing parameter %q", key)
+	}
+	return v, nil
+}
+
+// opt fetches an optional parameter with a default.
+func opt(params map[string]float64, key string, def float64) float64 {
+	if v, ok := params[key]; ok {
+		return v
+	}
+	return def
+}
+
+func buildQueue(params map[string]float64) (stochastic.Process, map[string]stochastic.Observer, error) {
+	lambda, err := need(params, "lambda")
+	if err != nil {
+		return nil, nil, err
+	}
+	mu1, err := need(params, "mu1")
+	if err != nil {
+		return nil, nil, err
+	}
+	mu2, err := need(params, "mu2")
+	if err != nil {
+		return nil, nil, err
+	}
+	q := stochastic.NewTandemQueue(lambda, mu1, mu2)
+	q.ImpulseProb = opt(params, "impulse_prob", 0)
+	q.ImpulseSize = int(opt(params, "impulse_size", 0))
+	q.ImpulseAfter = int(opt(params, "impulse_after", 0))
+	fields := map[string]stochastic.Observer{
+		"q1": stochastic.Queue1Len,
+		"q2": stochastic.Queue2Len,
+	}
+	return q, fields, nil
+}
+
+func buildCPP(params map[string]float64) (stochastic.Process, map[string]stochastic.Observer, error) {
+	u, err := need(params, "u")
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := need(params, "c")
+	if err != nil {
+		return nil, nil, err
+	}
+	lambda, err := need(params, "lambda")
+	if err != nil {
+		return nil, nil, err
+	}
+	lo, err := need(params, "claim_lo")
+	if err != nil {
+		return nil, nil, err
+	}
+	hi, err := need(params, "claim_hi")
+	if err != nil {
+		return nil, nil, err
+	}
+	p := stochastic.NewCompoundPoisson(u, c, lambda, lo, hi)
+	p.ImpulseProb = opt(params, "impulse_prob", 0)
+	p.ImpulseSize = opt(params, "impulse_size", 0)
+	p.ImpulseAfter = int(opt(params, "impulse_after", 0))
+	fields := map[string]stochastic.Observer{
+		"u": stochastic.ScalarValue,
+	}
+	return p, fields, nil
+}
+
+func buildRandomWalk(params map[string]float64) (stochastic.Process, map[string]stochastic.Observer, error) {
+	sigma, err := need(params, "sigma")
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &stochastic.RandomWalk{
+		Start: opt(params, "start", 0),
+		Drift: opt(params, "drift", 0),
+		Sigma: sigma,
+	}
+	return w, map[string]stochastic.Observer{"x": stochastic.ScalarValue}, nil
+}
+
+func buildGBM(params map[string]float64) (stochastic.Process, map[string]stochastic.Observer, error) {
+	s0, err := need(params, "s0")
+	if err != nil {
+		return nil, nil, err
+	}
+	sigma, err := need(params, "sigma")
+	if err != nil {
+		return nil, nil, err
+	}
+	g := &stochastic.GBM{S0: s0, Mu: opt(params, "mu", 0), Sigma: sigma}
+	return g, map[string]stochastic.Observer{"price": stochastic.ScalarValue}, nil
+}

@@ -1,0 +1,459 @@
+// Package simdb is a small embedded model database: tables hold model
+// parameters and materialised sample paths, stored procedures host the
+// samplers, and a catalog dispatches every simulator invocation.
+//
+// It reproduces §6.4 of the paper ("Implementations inside DBMS", Table 7)
+// without PostgreSQL: the paper stores the parameters of the step-wise
+// procedure 𝔤 in a database table, implements MLSS as a stored procedure,
+// and materialises generated sample paths as tables for later analysis.
+// The claim Table 7 supports is that MLSS's advantage over SRS survives
+// the per-invocation indirection a DBMS imposes; simdb imposes the
+// analogous indirection (catalog lookup and procedure dispatch on every
+// step) while staying inside the stdlib.
+package simdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"durability/internal/expr"
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+// ColType is a column's type.
+type ColType int
+
+// Column types.
+const (
+	Float ColType = iota
+	Text
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Value is one cell; the active field follows the column type.
+type Value struct {
+	F float64
+	S string
+}
+
+// FloatV and TextV build cells.
+func FloatV(f float64) Value { return Value{F: f} }
+
+// TextV builds a text cell.
+func TextV(s string) Value { return Value{S: s} }
+
+// Row is one table row.
+type Row []Value
+
+// Table is an in-memory relation.
+type Table struct {
+	name string
+	cols []Column
+	mu   sync.RWMutex
+	rows []Row
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns a copy of the column descriptors.
+func (t *Table) Columns() []Column { return append([]Column(nil), t.cols...) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends one row after checking arity.
+func (t *Table) Insert(vals ...Value) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("simdb: table %s has %d columns, got %d values", t.name, len(t.cols), len(vals))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, append(Row(nil), vals...))
+	return nil
+}
+
+// rowEnv adapts a row to the expression environment: float columns are
+// visible by name; text columns are not addressable in expressions.
+type rowEnv struct {
+	cols []Column
+	row  Row
+}
+
+// Lookup implements expr.Env.
+func (e rowEnv) Lookup(name string) (float64, bool) {
+	for i, c := range e.cols {
+		if c.Name == name && c.Type == Float {
+			return e.row[i].F, true
+		}
+	}
+	return 0, false
+}
+
+// Scan returns the rows matching the predicate (all rows when where is
+// nil). The returned rows are copies.
+func (t *Table) Scan(where *expr.Expr) ([]Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Row
+	for _, r := range t.rows {
+		if where != nil {
+			ok, err := where.EvalBool(rowEnv{cols: t.cols, row: r})
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, append(Row(nil), r...))
+	}
+	return out, nil
+}
+
+// colIndex resolves a float column by name.
+func (t *Table) colIndex(col string) (int, error) {
+	for i, c := range t.cols {
+		if c.Name == col {
+			if c.Type != Float {
+				return 0, fmt.Errorf("simdb: column %s.%s is not numeric", t.name, col)
+			}
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("simdb: table %s has no column %q", t.name, col)
+}
+
+// Agg computes a simple aggregate ("count", "sum", "avg", "min", "max")
+// over a float column for rows matching where.
+func (t *Table) Agg(fn, col string, where *expr.Expr) (float64, error) {
+	idx := -1
+	if fn != "count" {
+		i, err := t.colIndex(col)
+		if err != nil {
+			return 0, err
+		}
+		idx = i
+	}
+	rows, err := t.Scan(where)
+	if err != nil {
+		return 0, err
+	}
+	switch fn {
+	case "count":
+		return float64(len(rows)), nil
+	case "sum", "avg":
+		s := 0.0
+		for _, r := range rows {
+			s += r[idx].F
+		}
+		if fn == "avg" {
+			if len(rows) == 0 {
+				return 0, errors.New("simdb: avg over empty selection")
+			}
+			s /= float64(len(rows))
+		}
+		return s, nil
+	case "min", "max":
+		if len(rows) == 0 {
+			return 0, fmt.Errorf("simdb: %s over empty selection", fn)
+		}
+		best := rows[0][idx].F
+		for _, r := range rows[1:] {
+			v := r[idx].F
+			if (fn == "min" && v < best) || (fn == "max" && v > best) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return 0, fmt.Errorf("simdb: unknown aggregate %q", fn)
+}
+
+// DB is the embedded database: a catalog of tables, registered model
+// kinds, and instantiated models hosted behind procedure dispatch.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	models map[string]*hostedModel
+}
+
+// New returns an empty database with the parameter catalog created.
+func New() *DB {
+	db := &DB{tables: map[string]*Table{}, models: map[string]*hostedModel{}}
+	// The parameter catalog table, mirroring the paper's "database table
+	// for storing parameters of the procedure g".
+	t, err := db.CreateTable("model_params",
+		Column{Name: "model", Type: Text},
+		Column{Name: "kind", Type: Text},
+		Column{Name: "param", Type: Text},
+		Column{Name: "value", Type: Float},
+	)
+	if err != nil || t == nil {
+		panic("simdb: cannot create catalog table")
+	}
+	return db
+}
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
+	if name == "" || len(cols) == 0 {
+		return nil, errors.New("simdb: table needs a name and at least one column")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("simdb: table %q already exists", name)
+	}
+	t := &Table{name: name, cols: append([]Column(nil), cols...)}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("simdb: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames lists all tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StoreModel writes a model's parameters into the catalog table. kind
+// selects a registered builder ("queue", "cpp", "random-walk", "gbm").
+func (db *DB) StoreModel(name, kind string, params map[string]float64) error {
+	if _, ok := builders[kind]; !ok {
+		return fmt.Errorf("simdb: unknown model kind %q", kind)
+	}
+	catalog, err := db.Table("model_params")
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	if _, exists := db.models[name]; exists {
+		db.mu.Unlock()
+		return fmt.Errorf("simdb: model %q already stored", name)
+	}
+	db.models[name] = nil // reserve; instantiated lazily
+	db.mu.Unlock()
+
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := catalog.Insert(TextV(name), TextV(kind), TextV(k), FloatV(params[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hostedModel is an instantiated model behind the dispatcher.
+type hostedModel struct {
+	proc   stochastic.Process
+	fields map[string]stochastic.Observer
+}
+
+// loadModel instantiates (or fetches the cached) model from the catalog —
+// the stored-procedure equivalent of preparing 𝔤 from its parameter rows.
+func (db *DB) loadModel(name string) (*hostedModel, error) {
+	db.mu.RLock()
+	hm, ok := db.models[name]
+	db.mu.RUnlock()
+	if ok && hm != nil {
+		return hm, nil
+	}
+	if !ok {
+		return nil, fmt.Errorf("simdb: no model %q", name)
+	}
+	catalog, err := db.Table("model_params")
+	if err != nil {
+		return nil, err
+	}
+	catalog.mu.RLock()
+	params := map[string]float64{}
+	kind := ""
+	for _, r := range catalog.rows {
+		if r[0].S == name {
+			kind = r[1].S
+			params[r[2].S] = r[3].F
+		}
+	}
+	catalog.mu.RUnlock()
+	if kind == "" {
+		return nil, fmt.Errorf("simdb: model %q has no catalog rows", name)
+	}
+	build := builders[kind]
+	proc, fields, err := build(params)
+	if err != nil {
+		return nil, fmt.Errorf("simdb: building model %q: %w", name, err)
+	}
+	hm = &hostedModel{proc: proc, fields: fields}
+	db.mu.Lock()
+	db.models[name] = hm
+	db.mu.Unlock()
+	return hm, nil
+}
+
+// Fields returns the observable field names of a stored model, sorted.
+func (db *DB) Fields(model string) ([]string, error) {
+	hm, err := db.loadModel(model)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(hm.fields))
+	for f := range hm.fields {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// StoredProcess exposes a stored model as a stochastic.Process whose every
+// Step goes through the database dispatcher — the per-invocation overhead
+// that distinguishes the in-DBMS pipeline from calling 𝔤 natively.
+type StoredProcess struct {
+	db    *DB
+	model string
+}
+
+// Process returns the dispatching process for a stored model.
+func (db *DB) Process(model string) (*StoredProcess, error) {
+	if _, err := db.loadModel(model); err != nil {
+		return nil, err
+	}
+	return &StoredProcess{db: db, model: model}, nil
+}
+
+// Name implements stochastic.Process.
+func (p *StoredProcess) Name() string { return "simdb/" + p.model }
+
+// Initial implements stochastic.Process.
+func (p *StoredProcess) Initial() stochastic.State {
+	hm, err := p.db.loadModel(p.model)
+	if err != nil {
+		panic(err) // Process() validated the model; losing it mid-run is a bug
+	}
+	return hm.proc.Initial()
+}
+
+// Step implements stochastic.Process via catalog dispatch.
+func (p *StoredProcess) Step(s stochastic.State, t int, src *rng.Source) {
+	hm, err := p.db.loadModel(p.model)
+	if err != nil {
+		panic(err)
+	}
+	hm.proc.Step(s, t, src)
+}
+
+// Observer resolves a stored model's field into an observer.
+func (db *DB) Observer(model, field string) (stochastic.Observer, error) {
+	hm, err := db.loadModel(model)
+	if err != nil {
+		return nil, err
+	}
+	obs, ok := hm.fields[field]
+	if !ok {
+		return nil, fmt.Errorf("simdb: model %q has no field %q", model, field)
+	}
+	return obs, nil
+}
+
+// stateEnv evaluates expressions against a live simulation state.
+type stateEnv struct {
+	fields map[string]stochastic.Observer
+	state  stochastic.State
+}
+
+// Lookup implements expr.Env.
+func (e stateEnv) Lookup(name string) (float64, bool) {
+	obs, ok := e.fields[name]
+	if !ok {
+		return 0, false
+	}
+	return obs(e.state), true
+}
+
+// Condition compiles an expression over a model's fields into a state
+// predicate — the query function q of §2.1 written in SQL-ish text.
+func (db *DB) Condition(model, src string) (func(stochastic.State) bool, error) {
+	hm, err := db.loadModel(model)
+	if err != nil {
+		return nil, err
+	}
+	e, err := expr.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range e.Vars() {
+		if _, ok := hm.fields[v]; !ok {
+			return nil, fmt.Errorf("simdb: condition references unknown field %q of model %q", v, model)
+		}
+	}
+	return func(s stochastic.State) bool {
+		ok, err := e.EvalBool(stateEnv{fields: hm.fields, state: s})
+		return err == nil && ok
+	}, nil
+}
+
+// MaterializePaths simulates n sample paths of a stored model and writes
+// them into a new table (path, t, value) — the paper's §6.4 closing note:
+// materialised paths support later visualisation and analysis with plain
+// queries.
+func (db *DB) MaterializePaths(table, model, field string, n, steps int, seed uint64) (*Table, error) {
+	sp, err := db.Process(model)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := db.Observer(model, field)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.CreateTable(table,
+		Column{Name: "path", Type: Float},
+		Column{Name: "t", Type: Float},
+		Column{Name: "value", Type: Float},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		src := rng.NewStream(seed, uint64(i))
+		st := sp.Initial()
+		for step := 1; step <= steps; step++ {
+			sp.Step(st, step, src)
+			if err := t.Insert(FloatV(float64(i)), FloatV(float64(step)), FloatV(obs(st))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,313 @@
+package simdb
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"durability/internal/core"
+	"durability/internal/expr"
+	"durability/internal/mc"
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+func TestCreateTableAndInsert(t *testing.T) {
+	db := New()
+	tb, err := db.CreateTable("t", Column{Name: "a", Type: Float}, Column{Name: "b", Type: Text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(FloatV(1), TextV("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(FloatV(1)); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if _, err := db.CreateTable("t", Column{Name: "a", Type: Float}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := db.CreateTable("", Column{Name: "a"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := db.Table("missing"); err == nil {
+		t.Fatal("missing table lookup succeeded")
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "model_params" || names[1] != "t" {
+		t.Fatalf("TableNames = %v", names)
+	}
+}
+
+func TestScanWithPredicate(t *testing.T) {
+	db := New()
+	tb, _ := db.CreateTable("vals", Column{Name: "x", Type: Float}, Column{Name: "tag", Type: Text})
+	for i := 0; i < 10; i++ {
+		if err := tb.Insert(FloatV(float64(i)), TextV("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := tb.Scan(expr.MustParse("x >= 7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	all, err := tb.Scan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("full scan = %d rows", len(all))
+	}
+	if _, err := tb.Scan(expr.MustParse("nosuch > 1")); err == nil {
+		t.Fatal("unknown column predicate accepted")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := New()
+	tb, _ := db.CreateTable("vals", Column{Name: "x", Type: Float})
+	for _, v := range []float64{1, 2, 3, 4} {
+		if err := tb.Insert(FloatV(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		fn   string
+		want float64
+	}{
+		{"count", 4}, {"sum", 10}, {"avg", 2.5}, {"min", 1}, {"max", 4},
+	}
+	for _, tc := range cases {
+		got, err := tb.Agg(tc.fn, "x", nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.fn, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.fn, got, tc.want)
+		}
+	}
+	if got, err := tb.Agg("count", "", expr.MustParse("x > 2")); err != nil || got != 2 {
+		t.Fatalf("filtered count = %v, %v", got, err)
+	}
+	if _, err := tb.Agg("median", "x", nil); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+	empty, _ := db.CreateTable("empty", Column{Name: "x", Type: Float})
+	if _, err := empty.Agg("avg", "x", nil); err == nil {
+		t.Fatal("avg over empty accepted")
+	}
+	if _, err := empty.Agg("max", "x", nil); err == nil {
+		t.Fatal("max over empty accepted")
+	}
+}
+
+func TestStoreAndLoadModel(t *testing.T) {
+	db := New()
+	err := db.StoreModel("q", "queue", map[string]float64{"lambda": 0.5, "mu1": 2, "mu2": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.StoreModel("q", "queue", map[string]float64{"lambda": 1, "mu1": 1, "mu2": 1}); err == nil {
+		t.Fatal("duplicate model accepted")
+	}
+	if err := db.StoreModel("bad", "no-such-kind", nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	fields, err := db.Fields("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 2 || fields[0] != "q1" || fields[1] != "q2" {
+		t.Fatalf("Fields = %v", fields)
+	}
+	if _, err := db.Fields("missing"); err == nil {
+		t.Fatal("missing model accepted")
+	}
+	// The catalog rows exist.
+	catalog, _ := db.Table("model_params")
+	if catalog.Len() != 3 {
+		t.Fatalf("catalog rows = %d, want 3", catalog.Len())
+	}
+}
+
+func TestStoreModelMissingParam(t *testing.T) {
+	db := New()
+	if err := db.StoreModel("q", "queue", map[string]float64{"lambda": 0.5}); err != nil {
+		t.Fatal(err) // storing succeeds; building fails lazily
+	}
+	if _, err := db.Process("q"); err == nil {
+		t.Fatal("model with missing parameters built")
+	}
+}
+
+func TestStoredProcessBehavesLikeNative(t *testing.T) {
+	db := New()
+	if err := db.StoreModel("w", "random-walk", map[string]float64{"sigma": 1, "drift": 0.1, "start": 5}); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := db.Process("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := &stochastic.RandomWalk{Start: 5, Drift: 0.1, Sigma: 1}
+	a := sp.Initial()
+	b := native.Initial()
+	srcA, srcB := rng.New(3), rng.New(3)
+	for i := 1; i <= 100; i++ {
+		sp.Step(a, i, srcA)
+		native.Step(b, i, srcB)
+		if stochastic.ScalarValue(a) != stochastic.ScalarValue(b) {
+			t.Fatalf("dispatch diverged from native at step %d", i)
+		}
+	}
+	if sp.Name() != "simdb/w" {
+		t.Fatalf("Name = %q", sp.Name())
+	}
+}
+
+func TestCondition(t *testing.T) {
+	db := New()
+	if err := db.StoreModel("q", "queue", map[string]float64{"lambda": 0.5, "mu1": 2, "mu2": 2}); err != nil {
+		t.Fatal(err)
+	}
+	cond, err := db.Condition("q", "q2 >= 3 && q1 < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond(&stochastic.QueueState{Q1: 1, Q2: 2}) {
+		t.Fatal("condition true at q2=2")
+	}
+	if !cond(&stochastic.QueueState{Q1: 1, Q2: 3}) {
+		t.Fatal("condition false at q2=3")
+	}
+	if _, err := db.Condition("q", "nosuch >= 1"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := db.Condition("q", "((("); err == nil {
+		t.Fatal("garbage expression accepted")
+	}
+}
+
+func TestMaterializePaths(t *testing.T) {
+	db := New()
+	if err := db.StoreModel("g", "gbm", map[string]float64{"s0": 100, "sigma": 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.MaterializePaths("paths", "g", "price", 5, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 100 {
+		t.Fatalf("materialised %d rows, want 100", tb.Len())
+	}
+	// Paths are usable through plain queries: max price across all paths.
+	maxP, err := tb.Agg("max", "value", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxP <= 0 {
+		t.Fatalf("max price = %v", maxP)
+	}
+	n, err := tb.Agg("count", "", expr.MustParse("path == 0"))
+	if err != nil || n != 20 {
+		t.Fatalf("path-0 rows = %v, %v", n, err)
+	}
+}
+
+func TestRunQueryAllMethodsAgree(t *testing.T) {
+	db := New()
+	// A random walk whose hitting probability is sizeable, so all three
+	// methods converge quickly.
+	if err := db.StoreModel("w", "random-walk", map[string]float64{"sigma": 1, "start": 0}); err != nil {
+		t.Fatal(err)
+	}
+	plan := core.MustPlan(0.4, 0.7)
+	base := QuerySpec{
+		Model:   "w",
+		Field:   "x",
+		Beta:    5,
+		Horizon: 60,
+		Ratio:   3,
+		Plan:    plan,
+		Stop:    mc.Budget{Steps: 400_000},
+		Seed:    9,
+	}
+	results := map[Method]float64{}
+	for _, m := range []Method{MethodSRS, MethodSMLSS, MethodGMLSS} {
+		spec := base
+		spec.Method = m
+		res, err := db.RunQuery(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		results[m] = res.P
+	}
+	srs := results[MethodSRS]
+	for m, p := range results {
+		if math.Abs(p-srs) > 0.2*srs {
+			t.Fatalf("method %s estimate %v far from SRS %v (all: %v)", m, p, srs, results)
+		}
+	}
+}
+
+func TestRunQueryErrors(t *testing.T) {
+	db := New()
+	if err := db.StoreModel("w", "random-walk", map[string]float64{"sigma": 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := db.RunQuery(ctx, QuerySpec{Model: "missing", Field: "x", Beta: 1, Horizon: 10, Method: MethodSRS, Stop: mc.Budget{Steps: 10}}); err == nil {
+		t.Error("missing model accepted")
+	}
+	if _, err := db.RunQuery(ctx, QuerySpec{Model: "w", Field: "bad", Beta: 1, Horizon: 10, Method: MethodSRS, Stop: mc.Budget{Steps: 10}}); err == nil {
+		t.Error("missing field accepted")
+	}
+	if _, err := db.RunQuery(ctx, QuerySpec{Model: "w", Field: "x", Beta: 1, Horizon: 10, Method: MethodSRS}); err == nil {
+		t.Error("missing stop rule accepted")
+	}
+	if _, err := db.RunQuery(ctx, QuerySpec{Model: "w", Field: "x", Beta: 1, Horizon: 10, Method: "bogus", Stop: mc.Budget{Steps: 10}}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestAllBuilders(t *testing.T) {
+	cases := []struct {
+		kind   string
+		params map[string]float64
+		field  string
+	}{
+		{"queue", map[string]float64{"lambda": 0.5, "mu1": 2, "mu2": 2}, "q2"},
+		{"cpp", map[string]float64{"u": 15, "c": 6, "lambda": 0.8, "claim_lo": 5, "claim_hi": 10}, "u"},
+		{"random-walk", map[string]float64{"sigma": 1}, "x"},
+		{"gbm", map[string]float64{"s0": 100, "sigma": 0.02}, "price"},
+	}
+	for _, tc := range cases {
+		db := New()
+		if err := db.StoreModel("m", tc.kind, tc.params); err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		sp, err := db.Process("m")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		obs, err := db.Observer("m", tc.field)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		src := rng.New(1)
+		st := sp.Initial()
+		for i := 1; i <= 10; i++ {
+			sp.Step(st, i, src)
+		}
+		v := obs(st)
+		if math.IsNaN(v) {
+			t.Fatalf("%s observation is NaN", tc.kind)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package stochastic
+
+import (
+	"fmt"
+
+	"durability/internal/rng"
+)
+
+// AR is the auto-regressive model AR(m) of §2.1 example (1):
+//
+//	v_t = sum_i Phi[i] * v_{t-i} + Sigma * eps_t,   eps_t ~ N(0,1).
+//
+// The state carries the last m values in a ring buffer so that Step is
+// allocation-free and Clone costs O(m).
+type AR struct {
+	Phi   []float64 // lag coefficients, Phi[0] multiplies v_{t-1}
+	Sigma float64   // noise standard deviation
+	Start []float64 // initial history v_0, v_{-1}, ...; len must equal len(Phi)
+}
+
+// NewAR builds an AR(m) process with constant initial history start.
+func NewAR(phi []float64, sigma, start float64) *AR {
+	init := make([]float64, len(phi))
+	for i := range init {
+		init[i] = start
+	}
+	return &AR{Phi: append([]float64(nil), phi...), Sigma: sigma, Start: init}
+}
+
+// ARState is the last-m-values ring buffer. hist[head] is v_{t-1}, the most
+// recent value.
+type ARState struct {
+	hist []float64
+	head int
+}
+
+// Clone implements State.
+func (s *ARState) Clone() State {
+	return &ARState{hist: append([]float64(nil), s.hist...), head: s.head}
+}
+
+// Current returns v_{t-1}, the most recent value.
+func (s *ARState) Current() float64 { return s.hist[s.head] }
+
+// ARValue observes the most recent value of an AR process state.
+func ARValue(s State) float64 {
+	as, ok := s.(*ARState)
+	if !ok {
+		panic(fmt.Sprintf("stochastic: ARValue applied to %T", s))
+	}
+	return as.Current()
+}
+
+// Name implements Process.
+func (a *AR) Name() string { return fmt.Sprintf("ar(%d)", len(a.Phi)) }
+
+// Initial implements Process.
+func (a *AR) Initial() State {
+	if len(a.Start) != len(a.Phi) {
+		panic("stochastic: AR Start history length must equal len(Phi)")
+	}
+	return &ARState{hist: append([]float64(nil), a.Start...)}
+}
+
+// Step implements Process.
+func (a *AR) Step(s State, _ int, src *rng.Source) {
+	as := s.(*ARState)
+	m := len(a.Phi)
+	v := a.Sigma * src.Norm()
+	for i := 0; i < m; i++ {
+		// hist[(head - i + m) % m] is v_{t-1-i}
+		v += a.Phi[i] * as.hist[(as.head-i+m)%m]
+	}
+	as.head = (as.head + 1) % m
+	as.hist[as.head] = v
+}

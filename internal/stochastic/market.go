@@ -1,0 +1,148 @@
+package stochastic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"durability/internal/rng"
+)
+
+// Market simulates n stocks jointly: prices follow correlated geometric
+// Brownian motion (a common market factor plus idiosyncratic noise) and
+// per-share earnings follow slowly mean-reverting AR(1) processes.
+//
+// It exists for the paper's introductory query: "the probability that a
+// given stock's P/E ratio will rank among the top 10 by the end of the
+// week" (§1, §2.1) — a durability query whose condition is a *rank*, not
+// a simple threshold. The TopKMargin observer turns that condition into
+// the z(x) >= 1 form the samplers consume.
+type Market struct {
+	P0       []float64 // initial prices
+	E0       []float64 // initial per-share earnings (must be positive)
+	MarketSD float64   // common factor volatility per step
+	IdioSD   []float64 // per-stock idiosyncratic volatility
+	Beta     []float64 // per-stock exposure to the common factor
+	EarnRho  float64   // AR(1) coefficient of log-earnings around their start
+	EarnSD   float64   // earnings noise scale
+}
+
+// NewMarket builds a market with uniform parameters: each stock starts at
+// price p0*(1+i/n) and earnings e0, with market beta 1.
+func NewMarket(n int, p0, e0, marketSD, idioSD float64) (*Market, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("stochastic: market needs at least two stocks")
+	}
+	if p0 <= 0 || e0 <= 0 {
+		return nil, fmt.Errorf("stochastic: market needs positive initial price and earnings")
+	}
+	m := &Market{
+		MarketSD: marketSD,
+		EarnRho:  0.98,
+		EarnSD:   0.01,
+	}
+	for i := 0; i < n; i++ {
+		m.P0 = append(m.P0, p0*(1+float64(i)/float64(2*n)))
+		m.E0 = append(m.E0, e0)
+		m.IdioSD = append(m.IdioSD, idioSD)
+		m.Beta = append(m.Beta, 1)
+	}
+	return m, nil
+}
+
+// MarketState carries every stock's price and earnings.
+type MarketState struct {
+	Price []float64
+	Earn  []float64
+}
+
+// Clone implements State.
+func (s *MarketState) Clone() State {
+	return &MarketState{
+		Price: append([]float64(nil), s.Price...),
+		Earn:  append([]float64(nil), s.Earn...),
+	}
+}
+
+// Name implements Process.
+func (m *Market) Name() string { return fmt.Sprintf("market-%d", len(m.P0)) }
+
+// Initial implements Process.
+func (m *Market) Initial() State {
+	return &MarketState{
+		Price: append([]float64(nil), m.P0...),
+		Earn:  append([]float64(nil), m.E0...),
+	}
+}
+
+// Step implements Process: one trading period for every stock.
+func (m *Market) Step(s State, _ int, src *rng.Source) {
+	ms := s.(*MarketState)
+	factor := m.MarketSD * src.Norm()
+	for i := range ms.Price {
+		r := m.Beta[i]*factor + m.IdioSD[i]*src.Norm()
+		ms.Price[i] *= math.Exp(r - 0.5*(m.Beta[i]*m.Beta[i]*m.MarketSD*m.MarketSD+m.IdioSD[i]*m.IdioSD[i]))
+		// Log-earnings mean-revert to their initial level.
+		le := math.Log(ms.Earn[i]/m.E0[i])*m.EarnRho + m.EarnSD*src.Norm()
+		ms.Earn[i] = m.E0[i] * math.Exp(le)
+	}
+}
+
+// PE observes one stock's price/earnings ratio.
+func PE(stock int) Observer {
+	return func(s State) float64 {
+		ms, ok := s.(*MarketState)
+		if !ok {
+			panic(fmt.Sprintf("stochastic: PE applied to %T", s))
+		}
+		return ms.Price[stock] / ms.Earn[stock]
+	}
+}
+
+// PERank observes the 1-based rank of a stock by P/E ratio (1 = highest).
+func PERank(stock int) Observer {
+	return func(s State) float64 {
+		ms, ok := s.(*MarketState)
+		if !ok {
+			panic(fmt.Sprintf("stochastic: PERank applied to %T", s))
+		}
+		mine := ms.Price[stock] / ms.Earn[stock]
+		rank := 1
+		for i := range ms.Price {
+			if i == stock {
+				continue
+			}
+			if ms.Price[i]/ms.Earn[i] > mine {
+				rank++
+			}
+		}
+		return float64(rank)
+	}
+}
+
+// TopKMargin observes how close a stock is to entering the top k by P/E:
+// the ratio of its P/E to the k-th largest P/E among the *other* stocks.
+// The value reaches 1 exactly when the stock ranks within the top k, so
+// the durability query "stock enters the top k" is the standard threshold
+// query z(x) >= 1 — and the same expression doubles as an informative MLSS
+// value function.
+func TopKMargin(stock, k int) Observer {
+	return func(s State) float64 {
+		ms, ok := s.(*MarketState)
+		if !ok {
+			panic(fmt.Sprintf("stochastic: TopKMargin applied to %T", s))
+		}
+		if k < 1 || k > len(ms.Price)-1 {
+			panic(fmt.Sprintf("stochastic: TopKMargin k=%d out of range", k))
+		}
+		others := make([]float64, 0, len(ms.Price)-1)
+		for i := range ms.Price {
+			if i != stock {
+				others = append(others, ms.Price[i]/ms.Earn[i])
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(others)))
+		bar := others[k-1]
+		return (ms.Price[stock] / ms.Earn[stock]) / bar
+	}
+}

@@ -1,0 +1,166 @@
+package stochastic
+
+import (
+	"math"
+	"testing"
+
+	"durability/internal/rng"
+)
+
+func testMarket(t *testing.T) *Market {
+	t.Helper()
+	m, err := NewMarket(10, 100, 5, 0.01, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMarketValidation(t *testing.T) {
+	if _, err := NewMarket(1, 100, 5, 0.01, 0.02); err == nil {
+		t.Error("single-stock market accepted")
+	}
+	if _, err := NewMarket(3, 0, 5, 0.01, 0.02); err == nil {
+		t.Error("zero price accepted")
+	}
+	if _, err := NewMarket(3, 100, -1, 0.01, 0.02); err == nil {
+		t.Error("negative earnings accepted")
+	}
+}
+
+func TestMarketStepKeepsPositive(t *testing.T) {
+	m := testMarket(t)
+	src := rng.New(1)
+	s := m.Initial()
+	for i := 1; i <= 2000; i++ {
+		m.Step(s, i, src)
+		ms := s.(*MarketState)
+		for j := range ms.Price {
+			if ms.Price[j] <= 0 || ms.Earn[j] <= 0 {
+				t.Fatalf("stock %d price/earn non-positive at step %d", j, i)
+			}
+		}
+	}
+}
+
+func TestMarketCloneIndependence(t *testing.T) {
+	m := testMarket(t)
+	src := rng.New(2)
+	s := m.Initial()
+	for i := 1; i <= 10; i++ {
+		m.Step(s, i, src)
+	}
+	before := PE(3)(s)
+	c := s.Clone()
+	m.Step(c, 11, src)
+	if PE(3)(s) != before {
+		t.Fatal("stepping a clone mutated the market state")
+	}
+}
+
+func TestPERankConsistent(t *testing.T) {
+	m := testMarket(t)
+	src := rng.New(3)
+	s := m.Initial()
+	for i := 1; i <= 50; i++ {
+		m.Step(s, i, src)
+	}
+	ms := s.(*MarketState)
+	n := len(ms.Price)
+	// Ranks must be a permutation-ish: each rank in [1, n], and exactly
+	// one stock at rank 1 (ties have measure zero).
+	rank1 := 0
+	for i := 0; i < n; i++ {
+		r := PERank(i)(s)
+		if r < 1 || r > float64(n) {
+			t.Fatalf("rank of stock %d = %v", i, r)
+		}
+		if r == 1 {
+			rank1++
+		}
+	}
+	if rank1 != 1 {
+		t.Fatalf("%d stocks at rank 1", rank1)
+	}
+}
+
+func TestTopKMarginMatchesRank(t *testing.T) {
+	m := testMarket(t)
+	src := rng.New(4)
+	s := m.Initial()
+	const k = 3
+	for i := 1; i <= 200; i++ {
+		m.Step(s, i, src)
+		for stock := 0; stock < 5; stock++ {
+			margin := TopKMargin(stock, k)(s)
+			rank := PERank(stock)(s)
+			inTop := rank <= k
+			if inTop && margin < 1 {
+				t.Fatalf("step %d stock %d: rank %v but margin %v < 1", i, stock, rank, margin)
+			}
+			if !inTop && margin >= 1 {
+				t.Fatalf("step %d stock %d: rank %v but margin %v >= 1", i, stock, rank, margin)
+			}
+		}
+	}
+}
+
+func TestTopKMarginPanicsOnBadK(t *testing.T) {
+	m := testMarket(t)
+	s := m.Initial()
+	for _, k := range []int{0, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d did not panic", k)
+				}
+			}()
+			TopKMargin(0, k)(s)
+		}()
+	}
+}
+
+func TestMarketObserversPanicOnWrongType(t *testing.T) {
+	for name, obs := range map[string]Observer{
+		"PE": PE(0), "PERank": PERank(0), "TopKMargin": TopKMargin(0, 1),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on Scalar did not panic", name)
+				}
+			}()
+			obs(&Scalar{})
+		}()
+	}
+}
+
+func TestMarketCorrelation(t *testing.T) {
+	// With a dominant common factor, stock returns correlate strongly.
+	m, err := NewMarket(2, 100, 5, 0.03, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	s := m.Initial()
+	var sumXY, sumX, sumY, sumX2, sumY2 float64
+	prev := s.Clone().(*MarketState)
+	const n = 20000
+	for i := 1; i <= n; i++ {
+		m.Step(s, i, src)
+		ms := s.(*MarketState)
+		x := math.Log(ms.Price[0] / prev.Price[0])
+		y := math.Log(ms.Price[1] / prev.Price[1])
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumX2 += x * x
+		sumY2 += y * y
+		prev = s.Clone().(*MarketState)
+	}
+	cov := sumXY/n - (sumX/n)*(sumY/n)
+	corr := cov / math.Sqrt((sumX2/n-(sumX/n)*(sumX/n))*(sumY2/n-(sumY/n)*(sumY/n)))
+	if corr < 0.9 {
+		t.Fatalf("return correlation = %v, want > 0.9 with dominant common factor", corr)
+	}
+}

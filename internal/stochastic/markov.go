@@ -1,0 +1,159 @@
+package stochastic
+
+import (
+	"fmt"
+
+	"durability/internal/rng"
+)
+
+// MarkovChain is a time-homogeneous discrete-time Markov chain (§2.1
+// example (2)) over states 0..n-1 with a dense row-stochastic transition
+// matrix. Values maps each chain state to the real-valued observation
+// z(x); if nil, the observation is the state index itself.
+//
+// Because the exact hitting probability of a finite chain can be computed
+// by dynamic programming (HitProbability), this model anchors the
+// correctness tests: every sampler's estimate is compared against the
+// exact answer.
+type MarkovChain struct {
+	P      [][]float64 // P[i][j] = Pr[X_t = j | X_{t-1} = i]
+	Start  int         // initial chain state
+	Values []float64   // optional observation per state
+}
+
+// NewMarkovChain validates the transition matrix and returns the chain.
+func NewMarkovChain(p [][]float64, start int) (*MarkovChain, error) {
+	n := len(p)
+	if n == 0 {
+		return nil, fmt.Errorf("stochastic: empty transition matrix")
+	}
+	for i, row := range p {
+		if len(row) != n {
+			return nil, fmt.Errorf("stochastic: row %d has %d entries, want %d", i, len(row), n)
+		}
+		sum := 0.0
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("stochastic: P[%d][%d] = %v is negative", i, j, v)
+			}
+			sum += v
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			return nil, fmt.Errorf("stochastic: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("stochastic: start state %d out of range [0,%d)", start, n)
+	}
+	return &MarkovChain{P: p, Start: start}, nil
+}
+
+// ChainState is the integer state of a Markov chain.
+type ChainState struct {
+	I int
+}
+
+// Clone implements State.
+func (s *ChainState) Clone() State {
+	c := *s
+	return &c
+}
+
+// ChainIndex observes the raw chain-state index.
+func ChainIndex(s State) float64 {
+	cs, ok := s.(*ChainState)
+	if !ok {
+		panic(fmt.Sprintf("stochastic: ChainIndex applied to %T", s))
+	}
+	return float64(cs.I)
+}
+
+// Name implements Process.
+func (m *MarkovChain) Name() string { return fmt.Sprintf("markov-%d", len(m.P)) }
+
+// Initial implements Process.
+func (m *MarkovChain) Initial() State { return &ChainState{I: m.Start} }
+
+// Step implements Process.
+func (m *MarkovChain) Step(s State, _ int, src *rng.Source) {
+	cs := s.(*ChainState)
+	cs.I = src.Categorical(m.P[cs.I])
+}
+
+// Observe returns the model's observation function: Values[i] when Values
+// is set, the state index otherwise.
+func (m *MarkovChain) Observe() Observer {
+	if m.Values == nil {
+		return ChainIndex
+	}
+	vals := m.Values
+	return func(s State) float64 { return vals[s.(*ChainState).I] }
+}
+
+// HitProbability computes, exactly, the probability that the chain visits
+// any state in target within horizon steps of the start state. This is the
+// ground truth the sampler correctness tests compare against.
+//
+// The recurrence is h_0(i) = [i in target]; h_k(i) = [i in target] +
+// (1 - [i in target]) * sum_j P[i][j] h_{k-1}(j). The answer, matching the
+// query semantics Pr[∨_{1<=t<=s} q(X_t)], excludes the initial state's own
+// membership: it is sum_j P[start][j] * h_{horizon-1}(j).
+func (m *MarkovChain) HitProbability(target map[int]bool, horizon int) float64 {
+	n := len(m.P)
+	h := make([]float64, n)
+	next := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if target[i] {
+			h[i] = 1
+		}
+	}
+	for k := 1; k < horizon; k++ {
+		for i := 0; i < n; i++ {
+			if target[i] {
+				next[i] = 1
+				continue
+			}
+			sum := 0.0
+			for j, pij := range m.P[i] {
+				sum += pij * h[j]
+			}
+			next[i] = sum
+		}
+		h, next = next, h
+	}
+	if horizon <= 0 {
+		return 0
+	}
+	ans := 0.0
+	for j, pij := range m.P[m.Start] {
+		ans += pij * h[j]
+	}
+	return ans
+}
+
+// BirthDeathChain builds the classic birth-death chain on 0..n-1 with
+// up-probability p (down 1-p, reflecting at both ends), a standard
+// test-bed whose hitting probabilities stress the level machinery: with
+// small p, reaching high states is a rare event.
+func BirthDeathChain(n int, p float64, start int) *MarkovChain {
+	mat := make([][]float64, n)
+	for i := range mat {
+		mat[i] = make([]float64, n)
+		switch i {
+		case 0:
+			mat[i][1] = p
+			mat[i][0] = 1 - p
+		case n - 1:
+			mat[i][n-1] = p
+			mat[i][n-2] = 1 - p
+		default:
+			mat[i][i+1] = p
+			mat[i][i-1] = 1 - p
+		}
+	}
+	mc, err := NewMarkovChain(mat, start)
+	if err != nil {
+		panic(err) // construction above is always valid
+	}
+	return mc
+}

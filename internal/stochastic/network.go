@@ -1,0 +1,208 @@
+package stochastic
+
+import (
+	"fmt"
+
+	"durability/internal/rng"
+)
+
+// QueueNetwork is an open network of single-server exponential queues
+// (a Jackson network) observed at unit time steps: the generalisation of
+// the paper's tandem queue to arbitrary service topologies — the
+// "computer networks analysis" and "supply chain" settings its §6 cites
+// as the practical home of queueing durability queries.
+//
+// Node i receives external Poisson arrivals at rate Arrival[i] and serves
+// customers at rate Service[i]; a customer finishing at node i moves to
+// node j with probability Route[i][j] and leaves the network with
+// probability 1 - sum_j Route[i][j].
+//
+// The continuous-time Markov chain is simulated exactly within each unit
+// step (Gillespie), so like TandemQueue the state is just the queue
+// lengths.
+type QueueNetwork struct {
+	Arrival []float64   // external arrival rate per node
+	Service []float64   // service rate per node
+	Route   [][]float64 // routing probabilities; row sums must be <= 1
+}
+
+// NewQueueNetwork validates the topology.
+func NewQueueNetwork(arrival, service []float64, route [][]float64) (*QueueNetwork, error) {
+	n := len(service)
+	if n == 0 {
+		return nil, fmt.Errorf("stochastic: network needs at least one node")
+	}
+	if len(arrival) != n || len(route) != n {
+		return nil, fmt.Errorf("stochastic: network arrays disagree on node count")
+	}
+	totalArrival := 0.0
+	for i, a := range arrival {
+		if a < 0 {
+			return nil, fmt.Errorf("stochastic: negative arrival rate at node %d", i)
+		}
+		totalArrival += a
+		if service[i] <= 0 {
+			return nil, fmt.Errorf("stochastic: non-positive service rate at node %d", i)
+		}
+		if len(route[i]) != n {
+			return nil, fmt.Errorf("stochastic: routing row %d has %d entries, want %d", i, len(route[i]), n)
+		}
+		sum := 0.0
+		for j, p := range route[i] {
+			if p < 0 {
+				return nil, fmt.Errorf("stochastic: negative routing probability at (%d,%d)", i, j)
+			}
+			sum += p
+		}
+		if sum > 1+1e-9 {
+			return nil, fmt.Errorf("stochastic: routing row %d sums to %v > 1", i, sum)
+		}
+	}
+	if totalArrival <= 0 {
+		return nil, fmt.Errorf("stochastic: network has no external arrivals")
+	}
+	return &QueueNetwork{Arrival: arrival, Service: service, Route: route}, nil
+}
+
+// Tandem returns the paper's two-stage tandem topology as a QueueNetwork,
+// useful for cross-checking against the specialised TandemQueue model.
+func Tandem(lambda, rate1, rate2 float64) *QueueNetwork {
+	qn, err := NewQueueNetwork(
+		[]float64{lambda, 0},
+		[]float64{rate1, rate2},
+		[][]float64{{0, 1}, {0, 0}},
+	)
+	if err != nil {
+		panic(err) // static topology above is always valid
+	}
+	return qn
+}
+
+// NetworkState holds the per-node queue lengths.
+type NetworkState struct {
+	Q []int
+}
+
+// Clone implements State.
+func (s *NetworkState) Clone() State {
+	return &NetworkState{Q: append([]int(nil), s.Q...)}
+}
+
+// NodeLen observes the queue length at one node of a QueueNetwork.
+func NodeLen(node int) Observer {
+	return func(s State) float64 {
+		ns, ok := s.(*NetworkState)
+		if !ok {
+			panic(fmt.Sprintf("stochastic: NodeLen applied to %T", s))
+		}
+		return float64(ns.Q[node])
+	}
+}
+
+// TotalLen observes the total number of customers in the network.
+func TotalLen(s State) float64 {
+	ns, ok := s.(*NetworkState)
+	if !ok {
+		panic(fmt.Sprintf("stochastic: TotalLen applied to %T", s))
+	}
+	total := 0
+	for _, q := range ns.Q {
+		total += q
+	}
+	return float64(total)
+}
+
+// Name implements Process.
+func (n *QueueNetwork) Name() string { return fmt.Sprintf("queue-network-%d", len(n.Service)) }
+
+// Initial implements Process: the network starts empty.
+func (n *QueueNetwork) Initial() State { return &NetworkState{Q: make([]int, len(n.Service))} }
+
+// Step implements Process: exact CTMC simulation over one unit of time.
+func (n *QueueNetwork) Step(s State, _ int, src *rng.Source) {
+	ns := s.(*NetworkState)
+	remaining := 1.0
+	for {
+		rate := 0.0
+		for i, a := range n.Arrival {
+			rate += a
+			if ns.Q[i] > 0 {
+				rate += n.Service[i]
+			}
+		}
+		dt := src.Exp(rate)
+		if dt > remaining {
+			return
+		}
+		remaining -= dt
+		u := src.Float64() * rate
+		// Walk the event list: arrivals first, then service completions.
+		fired := false
+		for i, a := range n.Arrival {
+			if u < a {
+				ns.Q[i]++
+				fired = true
+				break
+			}
+			u -= a
+		}
+		if fired {
+			continue
+		}
+		for i := range n.Service {
+			if ns.Q[i] == 0 {
+				continue
+			}
+			if u < n.Service[i] {
+				ns.Q[i]--
+				// Route the customer onward, or let it leave.
+				p := src.Float64()
+				acc := 0.0
+				for j, pj := range n.Route[i] {
+					acc += pj
+					if p < acc {
+						ns.Q[j]++
+						break
+					}
+				}
+				break
+			}
+			u -= n.Service[i]
+		}
+	}
+}
+
+// Throughput returns the solution of the traffic equations
+// gamma = arrival + gamma * Route (effective arrival rate per node) via
+// fixed-point iteration, and each node's utilisation gamma_i/service_i.
+// A utilisation >= 1 marks an unstable node — the regime durability
+// queries about backlogs live in.
+func (n *QueueNetwork) Throughput() (gamma, util []float64) {
+	k := len(n.Service)
+	gamma = append([]float64(nil), n.Arrival...)
+	for iter := 0; iter < 1000; iter++ {
+		next := append([]float64(nil), n.Arrival...)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				next[j] += gamma[i] * n.Route[i][j]
+			}
+		}
+		delta := 0.0
+		for i := range next {
+			d := next[i] - gamma[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		gamma = next
+		if delta < 1e-12 {
+			break
+		}
+	}
+	util = make([]float64, k)
+	for i := range util {
+		util[i] = gamma[i] / n.Service[i]
+	}
+	return gamma, util
+}

@@ -1,0 +1,181 @@
+package stochastic
+
+import (
+	"math"
+	"testing"
+
+	"durability/internal/rng"
+	"durability/internal/stats"
+)
+
+func TestNewQueueNetworkValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		arrival []float64
+		service []float64
+		route   [][]float64
+	}{
+		{"empty", nil, nil, nil},
+		{"mismatched", []float64{1}, []float64{1, 1}, [][]float64{{0, 0}, {0, 0}}},
+		{"negative-arrival", []float64{-1}, []float64{1}, [][]float64{{0}}},
+		{"zero-service", []float64{1}, []float64{0}, [][]float64{{0}}},
+		{"ragged-route", []float64{1, 0}, []float64{1, 1}, [][]float64{{0}, {0, 0}}},
+		{"negative-route", []float64{1}, []float64{1}, [][]float64{{-0.5}}},
+		{"super-stochastic", []float64{1, 0}, []float64{1, 1}, [][]float64{{0.7, 0.7}, {0, 0}}},
+		{"no-arrivals", []float64{0, 0}, []float64{1, 1}, [][]float64{{0, 1}, {0, 0}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewQueueNetwork(tc.arrival, tc.service, tc.route); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := NewQueueNetwork([]float64{1}, []float64{2}, [][]float64{{0}}); err != nil {
+		t.Fatalf("valid single node rejected: %v", err)
+	}
+}
+
+func TestNetworkStateClone(t *testing.T) {
+	s := &NetworkState{Q: []int{1, 2, 3}}
+	c := s.Clone().(*NetworkState)
+	c.Q[0] = 99
+	if s.Q[0] != 1 {
+		t.Fatal("Clone shares the queue slice")
+	}
+}
+
+func TestNodeLenAndTotalLen(t *testing.T) {
+	s := &NetworkState{Q: []int{4, 7}}
+	if NodeLen(1)(s) != 7 {
+		t.Fatal("NodeLen wrong")
+	}
+	if TotalLen(s) != 11 {
+		t.Fatal("TotalLen wrong")
+	}
+}
+
+func TestNodeLenPanicsOnWrongType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NodeLen on Scalar did not panic")
+		}
+	}()
+	NodeLen(0)(&Scalar{})
+}
+
+// The tandem QueueNetwork must agree distributionally with the specialised
+// TandemQueue implementation: same long-run mean of queue 2 within noise.
+func TestNetworkMatchesTandemQueue(t *testing.T) {
+	// Stable regime so the mean is finite: rates, not means — service
+	// rate 1, arrival 0.5 gives rho = 0.5 at both stations.
+	qn := Tandem(0.5, 1, 1)
+	tq := &TandemQueue{ArrivalRate: 0.5, ServiceRate1: 1, ServiceRate2: 1}
+	const steps = 40000
+	measure := func(p Process, obs Observer, seed uint64) float64 {
+		src := rng.New(seed)
+		s := p.Initial()
+		var acc stats.Accumulator
+		for i := 1; i <= steps; i++ {
+			p.Step(s, i, src)
+			if i > 1000 { // burn-in
+				acc.Add(obs(s))
+			}
+		}
+		return acc.Mean()
+	}
+	a := measure(qn, NodeLen(1), 1)
+	b := measure(tq, Queue2Len, 2)
+	// M/M/1 with rho=0.5: mean number in system = rho/(1-rho) = 1.
+	if math.Abs(a-1) > 0.25 {
+		t.Errorf("network queue-2 mean = %v, want ~1", a)
+	}
+	if math.Abs(a-b) > 0.3 {
+		t.Errorf("network %v vs tandem %v", a, b)
+	}
+}
+
+func TestNetworkThroughput(t *testing.T) {
+	// Two-node tandem: all of node 1's throughput feeds node 2.
+	qn := Tandem(0.5, 2, 1)
+	gamma, util := qn.Throughput()
+	if math.Abs(gamma[0]-0.5) > 1e-9 || math.Abs(gamma[1]-0.5) > 1e-9 {
+		t.Fatalf("gamma = %v, want [0.5 0.5]", gamma)
+	}
+	if math.Abs(util[0]-0.25) > 1e-9 || math.Abs(util[1]-0.5) > 1e-9 {
+		t.Fatalf("util = %v, want [0.25 0.5]", util)
+	}
+}
+
+func TestNetworkThroughputWithFeedback(t *testing.T) {
+	// One node that routes half its output back to itself:
+	// gamma = a + gamma/2 => gamma = 2a.
+	qn, err := NewQueueNetwork([]float64{0.3}, []float64{2}, [][]float64{{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, util := qn.Throughput()
+	if math.Abs(gamma[0]-0.6) > 1e-9 {
+		t.Fatalf("gamma = %v, want 0.6", gamma[0])
+	}
+	if math.Abs(util[0]-0.3) > 1e-9 {
+		t.Fatalf("util = %v, want 0.3", util[0])
+	}
+}
+
+func TestNetworkConservation(t *testing.T) {
+	// Three-node fork-join-ish topology; queue lengths never go negative
+	// and customers only appear via arrivals.
+	qn, err := NewQueueNetwork(
+		[]float64{0.4, 0.2, 0},
+		[]float64{1, 1, 0.8},
+		[][]float64{
+			{0, 0.5, 0.5},
+			{0, 0, 0.7},
+			{0, 0, 0},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	s := qn.Initial()
+	for i := 1; i <= 5000; i++ {
+		qn.Step(s, i, src)
+		for node, q := range s.(*NetworkState).Q {
+			if q < 0 {
+				t.Fatalf("node %d negative at step %d", node, i)
+			}
+		}
+	}
+}
+
+func TestNetworkCriticalNodeGrows(t *testing.T) {
+	// An unstable node (util > 1) accumulates customers linearly.
+	qn, err := NewQueueNetwork([]float64{1.5}, []float64{1}, [][]float64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, util := qn.Throughput()
+	if util[0] <= 1 {
+		t.Fatalf("util = %v, want > 1", util[0])
+	}
+	src := rng.New(6)
+	s := qn.Initial()
+	const steps = 5000
+	for i := 1; i <= steps; i++ {
+		qn.Step(s, i, src)
+	}
+	got := NodeLen(0)(s)
+	want := 0.5 * steps // net growth rate 1.5 - 1
+	if math.Abs(got-want) > 0.15*want {
+		t.Fatalf("unstable node length = %v, want ~%v", got, want)
+	}
+}
+
+func BenchmarkNetworkStep(b *testing.B) {
+	qn := Tandem(0.5, 0.5, 0.5)
+	src := rng.New(1)
+	s := qn.Initial()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qn.Step(s, i+1, src)
+	}
+}

@@ -1,0 +1,95 @@
+// Package stochastic defines the simulation-model substrate of the
+// repository: the step-wise simulation procedure 𝔤 from §2.1 of the paper,
+// together with every concrete model the evaluation section uses.
+//
+// A Process generates one state per discrete time step. Samplers drive it
+// through the two-method interface only, which is the paper's key
+// architectural constraint: MLSS must work for arbitrarily complex
+// black-box models, so nothing outside this package may peek inside a
+// state except through an Observer function.
+package stochastic
+
+import (
+	"fmt"
+
+	"durability/internal/rng"
+)
+
+// State is one snapshot of a process. Implementations carry whatever the
+// model needs to continue the simulation (for a Markov chain a single
+// integer; for a recurrent network the whole hidden activation vector).
+//
+// Clone must return a deep copy that can be simulated forward
+// independently of the original; MLSS clones the entrance state every time
+// a path splits.
+type State interface {
+	Clone() State
+}
+
+// Process is the step-wise simulation procedure 𝔤 of §2.1. Given the state
+// at time t-1 it produces (in place) the state at time t, drawing all
+// randomness from src so that simulations are reproducible and
+// parallelisable.
+type Process interface {
+	// Name identifies the model in catalogs, reports and benchmarks.
+	Name() string
+	// Initial returns a freshly allocated state at time 0.
+	Initial() State
+	// Step advances s in place from time t-1 to time t. Implementations
+	// must not retain s or src.
+	Step(s State, t int, src *rng.Source)
+}
+
+// Observer extracts the real-valued evaluation z(x) of a state (§3,
+// "Value Functions"). Query conditions take the form z(x) >= beta.
+type Observer func(State) float64
+
+// Scalar is the one-value state shared by the random-walk, compound-
+// Poisson and similar models.
+type Scalar struct {
+	V float64
+}
+
+// Clone returns an independent copy.
+func (s *Scalar) Clone() State {
+	c := *s
+	return &c
+}
+
+// ScalarValue observes the value of a Scalar state. It panics if the state
+// is of a different type, which always indicates a miswired experiment.
+func ScalarValue(s State) float64 {
+	sc, ok := s.(*Scalar)
+	if !ok {
+		panic(fmt.Sprintf("stochastic: ScalarValue applied to %T", s))
+	}
+	return sc.V
+}
+
+// Simulate runs the process for exactly steps steps from its initial state
+// and returns the observed value at every time t = 1..steps. It is a
+// convenience for tests, examples and model calibration; the samplers have
+// their own, more careful driving loops.
+func Simulate(p Process, steps int, obs Observer, src *rng.Source) []float64 {
+	out := make([]float64, steps)
+	s := p.Initial()
+	for t := 1; t <= steps; t++ {
+		p.Step(s, t, src)
+		out[t-1] = obs(s)
+	}
+	return out
+}
+
+// MaxValue runs the process for steps steps and returns the maximum
+// observed value, a helper used by threshold-calibration code.
+func MaxValue(p Process, steps int, obs Observer, src *rng.Source) float64 {
+	s := p.Initial()
+	best := obs(s)
+	for t := 1; t <= steps; t++ {
+		p.Step(s, t, src)
+		if v := obs(s); v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,143 @@
+package durability
+
+import (
+	"io"
+
+	"durability/internal/neural"
+	"durability/internal/simdb"
+	"durability/internal/stochastic"
+)
+
+// The simulation models evaluated in the paper (§6) plus the supporting
+// processes, re-exported so downstream users never import internal
+// packages.
+
+type (
+	// TandemQueue is the two-stage queueing network of §6 model (1).
+	TandemQueue = stochastic.TandemQueue
+	// CompoundPoisson is the insurance risk process of §6 model (2).
+	CompoundPoisson = stochastic.CompoundPoisson
+	// RandomWalk is a Gaussian random walk.
+	RandomWalk = stochastic.RandomWalk
+	// AR is an auto-regressive AR(m) process.
+	AR = stochastic.AR
+	// MarkovChain is a finite time-homogeneous Markov chain with exact
+	// hitting probabilities via dynamic programming.
+	MarkovChain = stochastic.MarkovChain
+	// GBM is geometric Brownian motion.
+	GBM = stochastic.GBM
+	// QueueNetwork is an open Jackson network of exponential queues.
+	QueueNetwork = stochastic.QueueNetwork
+	// Market is a multi-stock price/earnings simulator for rank-based
+	// durability queries ("enters the top 10 by P/E").
+	Market = stochastic.Market
+	// RegimeSwitching is a Markov-modulated Gaussian walk (calm vs
+	// turbulent phases).
+	RegimeSwitching = stochastic.RegimeSwitching
+	// StockModel is the LSTM-MDN sequence model of §6 model (3).
+	StockModel = neural.Model
+	// StockModelConfig sizes a StockModel.
+	StockModelConfig = neural.Config
+	// StockProcess adapts a trained StockModel into a Process.
+	StockProcess = neural.StockProcess
+	// ModelDB is the embedded model database of §6.4: parameter tables,
+	// stored-procedure query execution and sample-path materialisation.
+	ModelDB = simdb.DB
+)
+
+// NewTandemQueue builds the paper's tandem queue: Poisson arrivals at rate
+// lambda, exponential service with means mu1 and mu2.
+func NewTandemQueue(lambda, mu1, mu2 float64) *TandemQueue {
+	return stochastic.NewTandemQueue(lambda, mu1, mu2)
+}
+
+// NewCompoundPoisson builds the risk process U(t) = u + c*t - S(t) with
+// claim rate lambda and uniform claim sizes on [lo, hi).
+func NewCompoundPoisson(u, c, lambda, lo, hi float64) *CompoundPoisson {
+	return stochastic.NewCompoundPoisson(u, c, lambda, lo, hi)
+}
+
+// NewAR builds an AR(m) process with the given lag coefficients, noise
+// standard deviation and constant initial history.
+func NewAR(phi []float64, sigma, start float64) *AR {
+	return stochastic.NewAR(phi, sigma, start)
+}
+
+// NewMarkovChain validates a row-stochastic transition matrix into a chain.
+func NewMarkovChain(p [][]float64, start int) (*MarkovChain, error) {
+	return stochastic.NewMarkovChain(p, start)
+}
+
+// NewStockModel builds an untrained LSTM-MDN model with deterministic
+// initial weights.
+func NewStockModel(cfg StockModelConfig, seed uint64) *StockModel {
+	return neural.NewModel(cfg, seed)
+}
+
+// LoadStockModel reads a model saved with (*StockModel).Save.
+func LoadStockModel(r io.Reader) (*StockModel, error) { return neural.Load(r) }
+
+// NewStockProcess wraps a trained model as a simulation process starting
+// at price s0, warming the recurrent state for warmup steps.
+func NewStockProcess(m *StockModel, s0 float64, warmup int) *StockProcess {
+	return neural.NewStockProcess(m, s0, warmup)
+}
+
+// NewModelDB creates an empty embedded model database.
+func NewModelDB() *ModelDB { return simdb.New() }
+
+// NewQueueNetwork validates an open queueing network: per-node external
+// arrival rates, service rates, and a routing matrix whose row sums may be
+// below 1 (the remainder leaves the network).
+func NewQueueNetwork(arrival, service []float64, route [][]float64) (*QueueNetwork, error) {
+	return stochastic.NewQueueNetwork(arrival, service, route)
+}
+
+// NewMarket builds an n-stock market with a common volatility factor, for
+// rank-based durability queries.
+func NewMarket(n int, p0, e0, marketSD, idioSD float64) (*Market, error) {
+	return stochastic.NewMarket(n, p0, e0, marketSD, idioSD)
+}
+
+// NewRegimeSwitching builds a Markov-modulated walk: the hidden chain
+// switchP selects the active (drift, sigma) pair each step.
+func NewRegimeSwitching(start float64, switchP [][]float64, drift, sigma []float64, startReg int) (*RegimeSwitching, error) {
+	return stochastic.NewRegimeSwitching(start, switchP, drift, sigma, startReg)
+}
+
+// RegimeValue observes the accumulated value of a RegimeSwitching state.
+var RegimeValue Observer = stochastic.RegimeValue
+
+// NodeLen observes the queue length at one node of a QueueNetwork.
+func NodeLen(node int) Observer { return stochastic.NodeLen(node) }
+
+// TotalLen observes the total customer count of a QueueNetwork.
+var TotalLen Observer = stochastic.TotalLen
+
+// PE observes a stock's price/earnings ratio in a Market state.
+func PE(stock int) Observer { return stochastic.PE(stock) }
+
+// PERank observes a stock's 1-based P/E rank in a Market state.
+func PERank(stock int) Observer { return stochastic.PERank(stock) }
+
+// TopKMargin observes how close a stock is to the top k by P/E; it
+// reaches 1 exactly when the stock is in the top k, so "enters the top k"
+// is the threshold query TopKMargin >= 1.
+func TopKMargin(stock, k int) Observer { return stochastic.TopKMargin(stock, k) }
+
+// Common observers for the built-in models.
+var (
+	// Queue2Len observes the number of customers in the second queue.
+	Queue2Len Observer = stochastic.Queue2Len
+	// Queue1Len observes the number of customers in the first queue.
+	Queue1Len Observer = stochastic.Queue1Len
+	// ScalarValue observes single-value states (CompoundPoisson,
+	// RandomWalk, GBM).
+	ScalarValue Observer = stochastic.ScalarValue
+	// ARValue observes the most recent value of an AR process.
+	ARValue Observer = stochastic.ARValue
+	// ChainIndex observes the integer state of a MarkovChain.
+	ChainIndex Observer = stochastic.ChainIndex
+	// StockPrice observes the price of a StockProcess state.
+	StockPrice Observer = neural.Price
+)
