@@ -1,0 +1,152 @@
+// Command durserve serves durability prediction queries over HTTP.
+//
+// It fronts the concurrent serving layer of internal/serve: a worker pool
+// executes queries, a bounded admission queue sheds load once the pool is
+// saturated, and a shared plan cache amortizes the paper's §5.2 level
+// search across queries of the same shape — the first query of a shape
+// pays the search, every later one samples immediately.
+//
+//	durserve -addr :8077 &
+//
+//	# One durability query (tandem queue backing up past 26 customers):
+//	curl -s localhost:8077/query -d '{"model":"queue","beta":26,"horizon":500,"re":0.1}'
+//
+//	# Serving statistics, including the plan-cache hit rate:
+//	curl -s localhost:8077/stats
+//
+// POST /query accepts a JSON serve.Request; the response carries the
+// estimate, its 95% confidence interval, cost accounting and whether the
+// level plan came from the cache. GET /stats reports a serve.Stats
+// snapshot. Model parameters are fixed at startup by flags (the same
+// defaults as cmd/durquery); queries select a model and observer by name.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"durability/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8077", "HTTP listen address")
+		pool       = flag.Int("pool", 0, "concurrent queries (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "admission queue depth")
+		simWorkers = flag.Int("sim-workers", 1, "simulation workers per query")
+		timeout    = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+		maxBudget  = flag.Int64("max-budget", 0, "per-query simulator-invocation cap (0 = default)")
+		defaultRE  = flag.Float64("re", 0.10, "default relative-error target")
+		seed       = flag.Uint64("seed", 1, "base random seed")
+		bucket     = flag.Float64("bucket", serve.DefaultBetaBucketWidth, "plan-cache threshold bucket width (relative)")
+
+		// queue parameters
+		lambda = flag.Float64("lambda", 0.5, "queue: arrival rate")
+		mu1    = flag.Float64("mu1", 2, "queue: mean service time, stage 1")
+		mu2    = flag.Float64("mu2", 2, "queue: mean service time, stage 2")
+		// cpp parameters
+		u0       = flag.Float64("u", 15, "cpp: initial surplus")
+		premium  = flag.Float64("c", 6.0, "cpp: per-step premium")
+		claimLam = flag.Float64("claim-rate", 0.8, "cpp: claim rate")
+		claimLo  = flag.Float64("claim-lo", 5, "cpp: claim size lower bound")
+		claimHi  = flag.Float64("claim-hi", 10, "cpp: claim size upper bound")
+		// walk / gbm parameters
+		start = flag.Float64("start", 0, "walk: start value")
+		drift = flag.Float64("drift", 0, "walk/gbm: per-step drift")
+		sigma = flag.Float64("sigma", 1, "walk/gbm: per-step volatility")
+		s0    = flag.Float64("s0", 1000, "gbm: initial price")
+	)
+	flag.Parse()
+
+	registry := buildRegistry(modelParams{
+		lambda: *lambda, mu1: *mu1, mu2: *mu2,
+		u0: *u0, premium: *premium, claimLam: *claimLam, claimLo: *claimLo, claimHi: *claimHi,
+		start: *start, drift: *drift, sigma: *sigma, s0: *s0,
+	})
+	srv := serve.NewServer(registry, serve.Config{
+		PoolWorkers:     *pool,
+		QueueDepth:      *queueDepth,
+		SimWorkers:      *simWorkers,
+		QueryTimeout:    *timeout,
+		MaxBudget:       *maxBudget,
+		DefaultRelErr:   *defaultRE,
+		Seed:            *seed,
+		BetaBucketWidth: *bucket,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: newMux(srv)}
+	go func() {
+		log.Printf("durserve: listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("durserve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("durserve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("durserve: shutdown: %v", err)
+	}
+}
+
+// newMux wires the serving endpoints; it is separated from main so tests
+// can drive the handlers through httptest.
+func newMux(srv *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		resp, err := srv.Do(r.Context(), req)
+		if err != nil {
+			switch {
+			case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
+				httpError(w, http.StatusServiceUnavailable, err)
+			case errors.Is(err, serve.ErrInternal):
+				httpError(w, http.StatusInternalServerError, err)
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				httpError(w, http.StatusGatewayTimeout, err)
+			default:
+				httpError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("durserve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

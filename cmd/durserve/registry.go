@@ -1,0 +1,45 @@
+package main
+
+import (
+	"durability"
+	"durability/internal/serve"
+	"durability/internal/stochastic"
+)
+
+// modelParams carries the flag-configurable parameters of the built-in
+// models, mirroring cmd/durquery.
+type modelParams struct {
+	lambda, mu1, mu2                        float64
+	u0, premium, claimLam, claimLo, claimHi float64
+	start, drift, sigma, s0                 float64
+}
+
+// buildRegistry assembles the serving registry from the built-in models,
+// following the registry idiom of internal/cluster: models are rebuilt
+// locally from factories, only names appear in requests. Every model
+// exposes a "value" observer (the canonical quantity its paper queries
+// threshold on); the tandem queue additionally exposes both stages.
+func buildRegistry(p modelParams) serve.Registry {
+	return serve.Registry{
+		"queue": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			proc := durability.NewTandemQueue(p.lambda, p.mu1, p.mu2)
+			return proc, map[string]stochastic.Observer{
+				"value": stochastic.Queue2Len,
+				"q1":    stochastic.Queue1Len,
+				"q2":    stochastic.Queue2Len,
+			}, nil
+		},
+		"cpp": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			proc := durability.NewCompoundPoisson(p.u0, p.premium, p.claimLam, p.claimLo, p.claimHi)
+			return proc, map[string]stochastic.Observer{"value": stochastic.ScalarValue}, nil
+		},
+		"walk": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			proc := &durability.RandomWalk{Start: p.start, Drift: p.drift, Sigma: p.sigma}
+			return proc, map[string]stochastic.Observer{"value": stochastic.ScalarValue}, nil
+		},
+		"gbm": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			proc := &durability.GBM{S0: p.s0, Mu: p.drift, Sigma: p.sigma}
+			return proc, map[string]stochastic.Observer{"value": stochastic.ScalarValue}, nil
+		},
+	}
+}

@@ -29,10 +29,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"durability/internal/core"
 	"durability/internal/mc"
 	"durability/internal/opt"
+	"durability/internal/serve"
 	"durability/internal/stochastic"
 )
 
@@ -56,34 +61,23 @@ type (
 	Plan = core.Plan
 )
 
-// Method selects the sampling algorithm.
-type Method int
+// Method selects the sampling algorithm. It aliases the serving layer's
+// enum (like Result and Plan alias theirs) so the two never drift.
+type Method = serve.Method
 
 // Available methods.
 const (
 	// GMLSS is general multi-level splitting (§4 of the paper): unbiased
 	// for arbitrary processes, including ones that skip levels. The
 	// default.
-	GMLSS Method = iota
+	GMLSS = serve.GMLSS
 	// SMLSS is simple multi-level splitting (§3): slightly cheaper
 	// bookkeeping, but unbiased only when the process cannot jump across
 	// a level boundary in a single step.
-	SMLSS
+	SMLSS = serve.SMLSS
 	// SRS is simple random sampling, the standard Monte-Carlo baseline.
-	SRS
+	SRS = serve.SRS
 )
-
-func (m Method) String() string {
-	switch m {
-	case GMLSS:
-		return "g-mlss"
-	case SMLSS:
-		return "s-mlss"
-	case SRS:
-		return "srs"
-	}
-	return fmt.Sprintf("method(%d)", int(m))
-}
 
 // Query is a durability prediction query in the standard threshold form:
 // the probability that Z(state) >= Beta at any time 1..Horizon.
@@ -91,6 +85,15 @@ type Query struct {
 	Z       Observer
 	Beta    float64
 	Horizon int
+
+	// ZName optionally names the observer for Session plan caching. With
+	// it empty the observer function value itself is the identity, which
+	// is right for package-level observers (ScalarValue, Queue2Len, ...)
+	// and for a closure built once and reused across a sweep. Set ZName
+	// when logically identical observers are constructed per query (say
+	// NodeLen(2) rebuilt in a loop) so their cached plans can be shared.
+	// It never influences the numerics.
+	ZName string
 }
 
 // Validate reports configuration errors.
@@ -116,17 +119,18 @@ const (
 )
 
 type config struct {
-	method    Method
-	ratio     int
-	workers   int
-	seed      uint64
-	stops     mc.Any
-	planMode  planMode
-	plan      core.Plan
-	balTau    float64
-	balLevels int
-	trace     func(Result)
-	maxSteps  int64
+	method      Method
+	ratio       int
+	workers     int
+	concurrency int
+	seed        uint64
+	stops       mc.Any
+	planMode    planMode
+	planSet     bool // an explicit plan option was given (conflicts with SRS)
+	plan        core.Plan
+	balTau      float64
+	balLevels   int
+	trace       func(Result)
 }
 
 // Option configures Run.
@@ -165,6 +169,7 @@ func WithPlan(boundaries ...float64) Option {
 			return err
 		}
 		c.planMode = planFixed
+		c.planSet = true
 		c.plan = p
 		return nil
 	}
@@ -176,6 +181,7 @@ func WithPlan(boundaries ...float64) Option {
 func WithAutoLevels() Option {
 	return func(c *config) error {
 		c.planMode = planAuto
+		c.planSet = true
 		return nil
 	}
 }
@@ -192,6 +198,7 @@ func WithBalancedLevels(tau float64, levels int) Option {
 			return fmt.Errorf("durability: level count %d must be >= 1", levels)
 		}
 		c.planMode = planBalanced
+		c.planSet = true
 		c.balTau = tau
 		c.balLevels = levels
 		return nil
@@ -211,6 +218,19 @@ func WithWorkers(n int) Option {
 			return fmt.Errorf("durability: worker count %d must be >= 1", n)
 		}
 		c.workers = n
+		return nil
+	}
+}
+
+// WithQueryConcurrency sets how many queries RunMany executes at once
+// (default: GOMAXPROCS, never more than the number of queries). It only
+// affects RunMany; single Run calls ignore it.
+func WithQueryConcurrency(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("durability: query concurrency %d must be >= 1", n)
+		}
+		c.concurrency = n
 		return nil
 	}
 }
@@ -260,10 +280,84 @@ func WithTrace(f func(Result)) Option {
 // and the event turns out to be (nearly) impossible.
 const defaultSafetyCap = int64(2_000_000_000)
 
+// buildConfig applies options over the defaults and finishes the
+// cross-option validation a single Option cannot see.
+func buildConfig(opts []Option) (config, error) {
+	cfg := config{method: GMLSS, ratio: 3, workers: 1, seed: 1, planMode: planAuto}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return config{}, err
+		}
+	}
+	if cfg.method == SRS && cfg.planSet {
+		return config{}, errors.New("durability: WithPlan, WithBalancedLevels and WithAutoLevels configure MLSS level partitions and cannot be combined with WithMethod(SRS)")
+	}
+	if len(cfg.stops) == 0 {
+		cfg.stops = append(cfg.stops, mc.RETarget{Target: 0.10})
+	}
+	cfg.stops = append(cfg.stops, mc.Budget{Steps: defaultSafetyCap})
+	return cfg, nil
+}
+
+// observerID identifies q's observer for plan caching: the explicit ZName
+// when given, the observer function value's identity otherwise. The
+// identity is the funcval pointer (the first word of the func value), not
+// the code pointer reflect.Value.Pointer exposes — whether same-origin
+// closures share a code pointer depends on inlining, and aliasing
+// distinct observers would reuse a plan tuned for the wrong level
+// geometry. The funcval address is best-effort too (a stack-allocated
+// closure can move; an address can be reused after its closure dies), but
+// in session flows observers escape into sampler specs and stay
+// heap-pinned for the session's life, and either failure mode only costs
+// a duplicate or mis-tuned search — MLSS stays unbiased under any plan.
+// ZName is the reliable identity; set it when constructing observers per
+// query.
+func observerID(q Query) string {
+	if q.ZName != "" {
+		return q.ZName
+	}
+	return fmt.Sprintf("fn:%x", *(*uintptr)(unsafe.Pointer(&q.Z)))
+}
+
+// spec lowers a validated (config, query) pair onto the serving layer.
+func (c config) spec(proc Process, q Query) serve.Spec {
+	var mode serve.PlanMode
+	switch c.planMode {
+	case planFixed:
+		mode = serve.PlanFixed
+	case planBalanced:
+		mode = serve.PlanBalanced
+	default:
+		mode = serve.PlanAuto
+	}
+	return serve.Spec{
+		Proc:       proc,
+		Obs:        q.Z,
+		ModelID:    proc.Name(),
+		ObserverID: observerID(q),
+		Beta:       q.Beta,
+		Horizon:    q.Horizon,
+		Method:     c.method,
+		PlanMode:   mode,
+		Plan:       c.plan,
+		BalTau:     c.balTau,
+		BalLevels:  c.balLevels,
+		Ratio:      c.ratio,
+		Seed:       c.seed,
+		SimWorkers: c.workers,
+		Stop:       c.stops,
+		Trace:      c.trace,
+	}
+}
+
 // Run answers the query against the process. At least one stopping option
 // (WithBudget, WithCITarget, WithRelativeErrorTarget) should be given;
 // with none, a relative-error target of 10% is used. A safety budget of
 // two billion simulator invocations always applies.
+//
+// Every Run call pays its own level search. When many queries share a
+// model, open a Session instead: its plan cache amortizes the search
+// across queries.
 func Run(ctx context.Context, proc Process, q Query, opts ...Option) (Result, error) {
 	if proc == nil {
 		return Result{}, errors.New("durability: nil process")
@@ -271,67 +365,12 @@ func Run(ctx context.Context, proc Process, q Query, opts ...Option) (Result, er
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
-	cfg := config{method: GMLSS, ratio: 3, workers: 1, seed: 1, planMode: planAuto}
-	for _, o := range opts {
-		if err := o(&cfg); err != nil {
-			return Result{}, err
-		}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return Result{}, err
 	}
-	if len(cfg.stops) == 0 {
-		cfg.stops = append(cfg.stops, mc.RETarget{Target: 0.10})
-	}
-	cfg.stops = append(cfg.stops, mc.Budget{Steps: defaultSafetyCap})
-
-	if cfg.method == SRS {
-		s := &mc.SRS{
-			Proc:    proc,
-			Query:   mc.Query{Cond: mc.Threshold(q.Z, q.Beta), Horizon: q.Horizon},
-			Stop:    cfg.stops,
-			Seed:    cfg.seed,
-			Workers: cfg.workers,
-			Trace:   cfg.trace,
-		}
-		return s.Run(ctx)
-	}
-
-	cq := core.Query{Value: core.ThresholdValue(q.Z, q.Beta), Horizon: q.Horizon}
-	plan := cfg.plan
-	var searchSteps int64
-	switch cfg.planMode {
-	case planAuto:
-		problem := &opt.Problem{Proc: proc, Query: cq, Ratio: cfg.ratio, Seed: cfg.seed, Workers: cfg.workers}
-		g, err := opt.Greedy(ctx, problem, opt.GreedyOptions{})
-		if err != nil {
-			return Result{}, err
-		}
-		plan = g.Plan
-		searchSteps = g.SearchSteps
-	case planBalanced:
-		problem := &opt.Problem{Proc: proc, Query: cq, Ratio: cfg.ratio, Seed: cfg.seed, Workers: cfg.workers}
-		p, cost, err := opt.BalancedPlan(ctx, problem, cfg.balTau, cfg.balLevels, 500)
-		if err != nil {
-			return Result{}, err
-		}
-		plan = p
-		searchSteps = cost
-	}
-
-	var res Result
-	var err error
-	if cfg.method == SMLSS {
-		s := &core.SMLSS{
-			Proc: proc, Query: cq, Plan: plan, Ratio: cfg.ratio,
-			Stop: cfg.stops, Seed: cfg.seed, Workers: cfg.workers, Trace: cfg.trace,
-		}
-		res, err = s.Run(ctx)
-	} else {
-		g := &core.GMLSS{
-			Proc: proc, Query: cq, Plan: plan, Ratio: cfg.ratio,
-			Stop: cfg.stops, Seed: cfg.seed, Workers: cfg.workers, Trace: cfg.trace,
-		}
-		res, err = g.Run(ctx)
-	}
-	res.Steps += searchSteps // level search is part of the query's cost
+	r := &serve.Runner{} // no cache: the paper's per-query behavior
+	res, _, err := r.Run(ctx, cfg.spec(proc, q))
 	return res, err
 }
 
@@ -360,3 +399,204 @@ func AutoPlan(ctx context.Context, proc Process, q Query, ratio int, seed uint64
 
 // NewPlan validates explicit level boundaries into a Plan.
 func NewPlan(boundaries ...float64) (Plan, error) { return core.NewPlan(boundaries...) }
+
+// Session answers many durability queries against one process while
+// amortizing the level-search cost across them. Run pays the adaptive
+// search of §5.2 on every call; a Session memoizes the resulting plans by
+// query shape (observer, normalized threshold bucket, horizon, splitting
+// ratio) with single-flight deduplication, so N concurrent queries of the
+// same shape trigger exactly one search and every later query samples
+// immediately. Reuse is safe: MLSS is unbiased under any level plan, so a
+// cached plan changes only the cost of an answer, never its distribution.
+//
+// A Session is safe for concurrent use, and results remain deterministic
+// even under concurrency: a cached plan is a pure function of the query
+// shape (the search runs at the bucket's canonical threshold with a
+// shape-derived seed), so it cannot depend on which concurrent query won
+// the single-flight race, and a query answered with a cached plan P and
+// seed s returns bit-for-bit the same estimate as Run with
+// WithPlan(P.Boundaries...) and WithSeed(s).
+type Session struct {
+	proc     Process
+	defaults []Option
+	runner   *serve.Runner
+
+	queries     atomic.Int64
+	sampleSteps atomic.Int64
+}
+
+// NewSession opens a session on the process. The options become defaults
+// for every query and may be overridden per call; they are validated
+// eagerly.
+func NewSession(proc Process, defaults ...Option) (*Session, error) {
+	if proc == nil {
+		return nil, errors.New("durability: nil process")
+	}
+	if _, err := buildConfig(defaults); err != nil {
+		return nil, err
+	}
+	return &Session{
+		proc:     proc,
+		defaults: append([]Option(nil), defaults...),
+		runner:   &serve.Runner{Cache: serve.NewPlanCache(0)},
+	}, nil
+}
+
+// Run answers one query through the session's plan cache. The result's
+// Steps include level-search cost only when this call performed the
+// search; queries served from the cache report their sampling cost alone.
+func (s *Session) Run(ctx context.Context, q Query, opts ...Option) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	all := append(append([]Option(nil), s.defaults...), opts...)
+	cfg, err := buildConfig(all)
+	if err != nil {
+		return Result{}, err
+	}
+	res, meta, err := s.runner.Run(ctx, cfg.spec(s.proc, q))
+	// Book the sampling cost even when the query failed mid-run — partial
+	// runs burned real simulation, and Stats must not hide it. (Search
+	// cost flows through the plan cache's counter, failed searches
+	// included.) Queries counts successful answers only.
+	s.sampleSteps.Add(res.Steps - meta.SearchSteps)
+	if err != nil {
+		return res, err
+	}
+	s.queries.Add(1)
+	return res, nil
+}
+
+// RunMany answers a batch of queries concurrently (WithQueryConcurrency
+// controls the parallelism; the default is GOMAXPROCS). Queries sharing a
+// shape deduplicate their level search even when they start
+// simultaneously. Results are positionally aligned with qs. The first
+// error cancels the remaining queries and is returned alongside whatever
+// results completed.
+func (s *Session) RunMany(ctx context.Context, qs []Query, opts ...Option) ([]Result, error) {
+	all := append(append([]Option(nil), s.defaults...), opts...)
+	cfg, err := buildConfig(all)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if len(qs) == 0 {
+		return nil, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(qs))
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := s.Run(ctx, qs[i], opts...)
+				results[i] = res
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := range qs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return results, firstErr
+}
+
+// CachedPlan reports the level plan the session would reuse for q's
+// shape, if one is cached. Options refine the shape the same way they
+// would for Run (splitting ratio, balanced-plan parameters).
+func (s *Session) CachedPlan(q Query, opts ...Option) (Plan, bool) {
+	if err := q.Validate(); err != nil {
+		return Plan{}, false
+	}
+	all := append(append([]Option(nil), s.defaults...), opts...)
+	cfg, err := buildConfig(all)
+	if err != nil {
+		return Plan{}, false
+	}
+	return s.runner.PeekPlan(cfg.spec(s.proc, q))
+}
+
+// Stats reports the session's accumulated cost accounting.
+func (s *Session) Stats() SessionStats {
+	cache := s.runner.Cache.Stats()
+	return SessionStats{
+		Queries:         s.queries.Load(),
+		SampleSteps:     s.sampleSteps.Load(),
+		PlanEntries:     cache.Entries,
+		PlanHits:        cache.Hits,
+		PlanMisses:      cache.Misses,
+		PlanSearchSteps: cache.SearchSteps,
+	}
+}
+
+// SessionStats is a point-in-time snapshot of a session.
+type SessionStats struct {
+	Queries     int64 // queries answered successfully
+	SampleSteps int64 // simulator invocations spent sampling, failed queries included
+	// Plan cache effectiveness: searches run, lookups served from cache,
+	// and the total simulator invocations searches consumed (failed and
+	// cancelled searches included).
+	PlanEntries     int
+	PlanHits        int64
+	PlanMisses      int64
+	PlanSearchSteps int64
+}
+
+// HitRate returns the plan-cache hit rate, or 0 before any MLSS query.
+func (st SessionStats) HitRate() float64 {
+	total := st.PlanHits + st.PlanMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.PlanHits) / float64(total)
+}
+
+// TotalSteps returns every simulator invocation the session performed.
+func (st SessionStats) TotalSteps() int64 { return st.SampleSteps + st.PlanSearchSteps }
+
+// RunMany is the one-shot convenience form of Session.RunMany: it opens a
+// session with the given options as defaults, answers the batch through a
+// shared plan cache, and discards the session.
+func RunMany(ctx context.Context, proc Process, qs []Query, opts ...Option) ([]Result, error) {
+	s, err := NewSession(proc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunMany(ctx, qs)
+}

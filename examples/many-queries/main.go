@@ -1,0 +1,77 @@
+// Many queries, one model: amortizing level search with a Session.
+//
+// An operations team watches a tandem queueing system and prices a whole
+// family of service-level questions at once: "what is the chance the
+// backlog at stage two reaches beta within 500 time units?" for a hundred
+// different thresholds — the shape a durability-query service sees when
+// many users ask near-identical questions of a shared model.
+//
+// Answered independently, every query pays the paper's §5.2 adaptive
+// level search before it can sample. A Session instead memoizes plans by
+// query shape (observer, normalized threshold bucket, horizon, ratio):
+// thresholds within a bucket share one search, concurrent queries
+// deduplicate in flight, and the sweep's total simulation drops several
+// fold at the same statistical quality.
+//
+//	go run ./examples/many-queries
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"durability"
+)
+
+func main() {
+	system := durability.NewTandemQueue(0.5, 2, 2)
+	const n = 100
+	queries := make([]durability.Query, n)
+	for i := range queries {
+		queries[i] = durability.Query{
+			Z:       durability.Queue2Len,
+			Beta:    24 + float64(i)*0.05, // thresholds 24.00, 24.05, ..., 28.95
+			Horizon: 500,
+		}
+	}
+	opts := []durability.Option{
+		durability.WithRelativeErrorTarget(0.10),
+		durability.WithSeed(7),
+	}
+	ctx := context.Background()
+
+	// The serving path: one session, every query through the plan cache.
+	session, err := durability.NewSession(system, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := session.RunMany(ctx, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := session.Stats()
+
+	fmt.Println("threshold sweep over the tandem queue (100 queries, RE target 10%):")
+	for _, i := range []int{0, 25, 50, 75, n - 1} {
+		fmt.Printf("  P(stage-2 backlog >= %.2f within 500) = %.3g  (%d steps)\n",
+			queries[i].Beta, results[i].P, results[i].Steps)
+	}
+	fmt.Printf("\nsession: %d queries, %d level searches (%d served from cache, hit rate %.0f%%)\n",
+		stats.Queries, stats.PlanMisses, stats.PlanHits, 100*stats.HitRate())
+	fmt.Printf("session total: %d simulator steps (%d searching + %d sampling)\n",
+		stats.TotalSteps(), stats.PlanSearchSteps, stats.SampleSteps)
+
+	// The same sweep the one-shot way: every Run pays its own search.
+	var independent int64
+	for _, q := range queries {
+		res, err := durability.Run(ctx, system, q, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		independent += res.Steps
+	}
+	fmt.Printf("independent Run calls: %d simulator steps\n", independent)
+	fmt.Printf("\namortization: %.1fx less simulation for the same quality targets\n",
+		float64(independent)/float64(stats.TotalSteps()))
+}

@@ -1,0 +1,3 @@
+module durability
+
+go 1.24.0

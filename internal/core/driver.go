@@ -11,6 +11,13 @@ import (
 // fanned out across workers; outputs land in a slice indexed by position
 // so that results are bit-for-bit independent of goroutine scheduling —
 // every root draws from its own PRNG substream keyed by its global index.
+//
+// On context cancellation the returned slice holds only completed work: it
+// is truncated to the longest contiguous prefix of finished roots, exactly
+// like the serial path, so callers never merge zero-valued roots into
+// their counters. (Roots a later worker finished beyond the first gap are
+// discarded — they were paid for but cannot be reported without leaving a
+// hole in the deterministic index space.)
 func forEachRoot[T any](ctx context.Context, workers int, lo, hi int64, run func(idx int64) T) ([]T, error) {
 	n := hi - lo
 	out := make([]T, n)
@@ -24,6 +31,7 @@ func forEachRoot[T any](ctx context.Context, workers int, lo, hi int64, run func
 		return out, nil
 	}
 	per := (n + int64(workers) - 1) / int64(workers)
+	done := make([]int64, workers) // done[w]: roots worker w completed, in chunk order
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wlo := int64(w) * per
@@ -32,19 +40,42 @@ func forEachRoot[T any](ctx context.Context, workers int, lo, hi int64, run func
 			whi = n
 		}
 		if wlo >= whi {
+			done[w] = 0
 			continue
 		}
 		wg.Add(1)
-		go func(wlo, whi int64) {
+		go func(w int, wlo, whi int64) {
 			defer wg.Done()
 			for i := wlo; i < whi; i++ {
 				if ctx.Err() != nil {
 					return
 				}
 				out[i] = run(lo + i)
+				done[w]++ // done[w] is written by this goroutine only
 			}
-		}(wlo, whi)
+		}(w, wlo, whi)
 	}
 	wg.Wait()
-	return out, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		// Truncate to the contiguous completed prefix: chunks are laid out
+		// in worker order, so the prefix ends inside the first chunk that
+		// did not finish.
+		prefix := n
+		for w := 0; w < workers; w++ {
+			wlo := int64(w) * per
+			whi := wlo + per
+			if whi > n {
+				whi = n
+			}
+			if wlo >= whi {
+				break
+			}
+			if done[w] < whi-wlo {
+				prefix = wlo + done[w]
+				break
+			}
+		}
+		return out[:prefix], err
+	}
+	return out, nil
 }

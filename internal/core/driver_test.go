@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// A cancelled batch must report only completed roots: the serial path
+// truncates to the finished prefix, and the parallel path must match, or
+// callers would merge zero-valued roots into their counters.
+func TestForEachRootCancelReturnsCompletedPrefix(t *testing.T) {
+	for _, workers := range []int{1, 4, 7} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		out, err := forEachRoot(ctx, workers, 100, 100+512, func(idx int64) int64 {
+			if calls.Add(1) == 40 {
+				cancel()
+			}
+			return idx + 1 // sentinel: a completed root is never zero
+		})
+		cancel()
+		if err == nil {
+			t.Fatalf("workers=%d: cancelled run returned no error", workers)
+		}
+		if len(out) == int(512) {
+			t.Fatalf("workers=%d: cancelled run reported the full batch", workers)
+		}
+		for i, v := range out {
+			if v != 100+int64(i)+1 {
+				t.Fatalf("workers=%d: position %d holds %d — an incomplete root leaked into the prefix", workers, i, v)
+			}
+		}
+	}
+}
+
+// Without cancellation the parallel path must fill every slot.
+func TestForEachRootComplete(t *testing.T) {
+	out, err := forEachRoot(context.Background(), 3, 0, 50, func(idx int64) int64 { return idx + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 50 {
+		t.Fatalf("got %d results, want 50", len(out))
+	}
+	for i, v := range out {
+		if v != int64(i)+1 {
+			t.Fatalf("position %d holds %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package serve is the concurrent query-serving layer: it turns the
+// one-shot samplers of internal/core into a system that answers heavy
+// streams of durability prediction queries.
+//
+// The paper pays the adaptive level search of §5.2 once per query. Under
+// serving workloads many queries share a model and a threshold family, so
+// the search — often the dominant cost for a single query — can be
+// amortized: a PlanCache memoizes level-partition plans keyed by the query
+// shape (model, observer, normalized-threshold bucket, horizon, splitting
+// ratio) with single-flight deduplication, so N concurrent queries of the
+// same shape trigger exactly one search. This is the same reuse instinct
+// as incremental view maintenance under updates: the expensive derived
+// structure (here a partition plan) outlives the single query that built
+// it. A Runner executes queries through the cache, and a Server adds a
+// worker-pool scheduler with admission control for network front ends.
+//
+// Plan reuse never affects correctness: both MLSS estimators are unbiased
+// under any partition plan (§3.2, §4.1); the plan only decides efficiency.
+// Reusing a plan searched at a nearby threshold is therefore safe, and the
+// bucket width bounds how far "nearby" stretches.
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"durability/internal/core"
+)
+
+// DefaultBetaBucketWidth is the relative width of a normalized-threshold
+// bucket: thresholds within ~10% of one another share a cached plan. The
+// value function is f = z/beta clamped to [0,1], so plans are expressed
+// relative to the threshold and transfer across small threshold changes.
+const DefaultBetaBucketWidth = 0.10
+
+// PlanKey identifies a family of queries that can share a partition plan.
+type PlanKey struct {
+	Model      string // model identity (the process being simulated)
+	Observer   string // observer identity (which quantity is thresholded)
+	BetaBucket int    // normalized threshold bucket (log scale)
+	Horizon    int    // query horizon
+	Ratio      int    // splitting ratio the plan was tuned for
+	Search     string // search strategy ("greedy", "balanced(tau,m)", ...)
+}
+
+// SearchFunc runs a level search and returns the plan plus the simulator
+// invocations it consumed.
+type SearchFunc func(ctx context.Context) (core.Plan, int64, error)
+
+// cacheEntry is one memoized (or in-flight) search. ready is closed when
+// plan/steps/err are final.
+type cacheEntry struct {
+	ready chan struct{}
+	plan  core.Plan
+	steps int64
+	err   error
+}
+
+// PlanCache memoizes level-partition plans by query shape with
+// single-flight deduplication: the first caller for a key runs the search,
+// concurrent callers for the same key block until it finishes, and later
+// callers get the plan for free. Failed searches are evicted so a
+// transient error (for example a cancelled context) does not poison the
+// key forever.
+type PlanCache struct {
+	bucketWidth float64
+
+	mu      sync.Mutex
+	entries map[PlanKey]*cacheEntry
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	searchSteps atomic.Int64
+}
+
+// NewPlanCache builds a cache with the given relative threshold-bucket
+// width; width <= 0 selects DefaultBetaBucketWidth.
+func NewPlanCache(bucketWidth float64) *PlanCache {
+	if bucketWidth <= 0 {
+		bucketWidth = DefaultBetaBucketWidth
+	}
+	return &PlanCache{
+		bucketWidth: bucketWidth,
+		entries:     make(map[PlanKey]*cacheEntry),
+	}
+}
+
+// BucketBeta maps a positive threshold onto its logarithmic bucket: two
+// thresholds land in the same bucket when they differ by less than
+// (roughly) the bucket width, at any magnitude.
+func (c *PlanCache) BucketBeta(beta float64) int {
+	if beta <= 0 || math.IsInf(beta, 0) || math.IsNaN(beta) {
+		return math.MinInt32 // sentinel bucket; such queries fail validation upstream
+	}
+	return int(math.Floor(math.Log(beta) / math.Log1p(c.bucketWidth)))
+}
+
+// RepresentativeBeta returns the canonical threshold of beta's bucket (its
+// geometric midpoint). Plan searches run at the representative, not at the
+// threshold of whichever query reaches the cache first, so the cached plan
+// for a bucket is a pure function of the key: concurrent queries racing
+// the single-flight search cannot make results scheduling-dependent.
+func (c *PlanCache) RepresentativeBeta(beta float64) float64 {
+	b := c.BucketBeta(beta)
+	if b == math.MinInt32 {
+		return beta
+	}
+	return math.Pow(1+c.bucketWidth, float64(b)+0.5)
+}
+
+// Key assembles a PlanKey for a threshold query shape.
+func (c *PlanCache) Key(model, observer string, beta float64, horizon, ratio int, search string) PlanKey {
+	return PlanKey{
+		Model:      model,
+		Observer:   observer,
+		BetaBucket: c.BucketBeta(beta),
+		Horizon:    horizon,
+		Ratio:      ratio,
+		Search:     search,
+	}
+}
+
+// GetOrSearch returns the plan for key, running search to fill the cache
+// on a miss. Exactly one search runs per key at a time; concurrent callers
+// wait for it (or their own context). The reported steps are nonzero only
+// for the caller that actually ran the search — waiters and later hits pay
+// nothing, which is precisely the amortization being measured.
+func (c *PlanCache) GetOrSearch(ctx context.Context, key PlanKey, search SearchFunc) (plan core.Plan, steps int64, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &cacheEntry{ready: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+
+			e.plan, e.steps, e.err = search(ctx)
+			// Steps were burned whether or not the search succeeded; the
+			// cost accounting must not hide failed or cancelled searches.
+			c.searchSteps.Add(e.steps)
+			if e.err != nil {
+				// Evict so the next caller can retry; waiters see the error.
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+			}
+			close(e.ready)
+			if e.err != nil {
+				return core.Plan{}, e.steps, false, e.err
+			}
+			c.misses.Add(1)
+			return e.plan, e.steps, false, nil
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return core.Plan{}, 0, false, ctx.Err()
+		}
+		if e.err != nil {
+			// The owner failed and evicted the entry; retry (possibly
+			// becoming the new owner) unless we are cancelled ourselves.
+			if ctx.Err() != nil {
+				return core.Plan{}, 0, false, ctx.Err()
+			}
+			continue
+		}
+		c.hits.Add(1)
+		return e.plan, 0, true, nil
+	}
+}
+
+// Peek returns the cached plan for key without triggering a search. It
+// reports false while the key is missing or still in flight.
+func (c *PlanCache) Peek(key PlanKey) (core.Plan, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return core.Plan{}, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return core.Plan{}, false
+	}
+	if e.err != nil {
+		return core.Plan{}, false
+	}
+	return e.plan, true
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries     int   // completed plans resident
+	Hits        int64 // lookups served from cache (including single-flight waiters)
+	Misses      int64 // lookups whose search completed a plan
+	SearchSteps int64 // total simulator invocations spent on searches, failed ones included
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:     n,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		SearchSteps: c.searchSteps.Load(),
+	}
+}

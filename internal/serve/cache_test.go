@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"durability/internal/core"
+)
+
+func TestBucketBeta(t *testing.T) {
+	c := NewPlanCache(0.10)
+	if c.BucketBeta(100) != c.BucketBeta(102) {
+		t.Error("thresholds 2% apart landed in different buckets")
+	}
+	if c.BucketBeta(100) == c.BucketBeta(150) {
+		t.Error("thresholds 50% apart shared a bucket")
+	}
+	// Relative bucketing: the same 10% spread groups together at any scale.
+	if c.BucketBeta(1e-6) != c.BucketBeta(1.02e-6) {
+		t.Error("small thresholds 2% apart landed in different buckets")
+	}
+	if c.BucketBeta(0) != c.BucketBeta(-3) {
+		t.Error("non-positive thresholds should share the sentinel bucket")
+	}
+}
+
+func TestPlanCacheSingleFlight(t *testing.T) {
+	c := NewPlanCache(0)
+	key := c.Key("walk", "value", 8, 100, 3, "greedy")
+	var searches atomic.Int64
+	release := make(chan struct{})
+	search := func(ctx context.Context) (core.Plan, int64, error) {
+		searches.Add(1)
+		<-release
+		return core.MustPlan(0.5), 1234, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	var hits, paid atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			plan, steps, hit, err := c.GetOrSearch(context.Background(), key, search)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(plan.Boundaries) != 1 || plan.Boundaries[0] != 0.5 {
+				t.Errorf("wrong plan %v", plan)
+			}
+			if hit {
+				hits.Add(1)
+			}
+			if steps > 0 {
+				paid.Add(steps)
+			}
+		}()
+	}
+	// Let every goroutine reach the cache before the search completes, then
+	// release it: all sixteen must share the single in-flight search.
+	close(release)
+	wg.Wait()
+
+	if got := searches.Load(); got != 1 {
+		t.Fatalf("%d searches for %d concurrent queries of one shape, want 1", got, n)
+	}
+	if hits.Load() != n-1 {
+		t.Fatalf("%d hits, want %d", hits.Load(), n-1)
+	}
+	if paid.Load() != 1234 {
+		t.Fatalf("search steps charged %d times over, want once", paid.Load()/1234)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Misses != 1 || st.Hits != n-1 || st.SearchSteps != 1234 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPlanCacheEvictsFailedSearch(t *testing.T) {
+	c := NewPlanCache(0)
+	key := c.Key("walk", "value", 8, 100, 3, "greedy")
+	boom := errors.New("boom")
+	_, _, _, err := c.GetOrSearch(context.Background(), key, func(context.Context) (core.Plan, int64, error) {
+		return core.Plan{}, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Peek(key); ok {
+		t.Fatal("failed search left a cache entry")
+	}
+	// The key must be retryable.
+	plan, _, hit, err := c.GetOrSearch(context.Background(), key, func(context.Context) (core.Plan, int64, error) {
+		return core.MustPlan(0.25), 10, nil
+	})
+	if err != nil || hit || len(plan.Boundaries) != 1 {
+		t.Fatalf("retry after failure: plan=%v hit=%v err=%v", plan, hit, err)
+	}
+	if p, ok := c.Peek(key); !ok || p.Boundaries[0] != 0.25 {
+		t.Fatalf("Peek after fill: %v %v", p, ok)
+	}
+}
+
+func TestPlanCacheWaiterRespectsContext(t *testing.T) {
+	c := NewPlanCache(0)
+	key := c.Key("walk", "value", 8, 100, 3, "greedy")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.GetOrSearch(context.Background(), key, func(context.Context) (core.Plan, int64, error) {
+		close(started)
+		<-release
+		return core.MustPlan(0.5), 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := c.GetOrSearch(ctx, key, func(context.Context) (core.Plan, int64, error) {
+		t.Error("cancelled waiter ran a second search")
+		return core.Plan{}, 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"durability/internal/core"
+	"durability/internal/mc"
+	"durability/internal/opt"
+	"durability/internal/stochastic"
+)
+
+// Method selects the sampling algorithm, mirroring the public API's enum.
+type Method int
+
+// Available methods.
+const (
+	GMLSS Method = iota
+	SMLSS
+	SRS
+)
+
+func (m Method) String() string {
+	switch m {
+	case GMLSS:
+		return "g-mlss"
+	case SMLSS:
+		return "s-mlss"
+	case SRS:
+		return "srs"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// PlanMode selects how an MLSS query obtains its level partition.
+type PlanMode int
+
+// Plan modes.
+const (
+	// PlanAuto runs (or reuses) the adaptive greedy search of §5.2.
+	PlanAuto PlanMode = iota
+	// PlanFixed uses Spec.Plan verbatim; the cache is bypassed.
+	PlanFixed
+	// PlanBalanced runs (or reuses) the balanced-growth construction of
+	// §5.1 from the prior BalTau with BalLevels levels.
+	PlanBalanced
+)
+
+// Spec is one fully resolved query: the model, the observable, the
+// threshold query itself and every execution knob. ModelID and ObserverID
+// identify the model/observer pair for plan caching; they never influence
+// the numerics.
+type Spec struct {
+	Proc       stochastic.Process
+	Obs        stochastic.Observer
+	ModelID    string
+	ObserverID string
+
+	Beta    float64
+	Horizon int
+
+	Method     Method
+	PlanMode   PlanMode
+	Plan       core.Plan // used when PlanMode == PlanFixed
+	BalTau     float64
+	BalLevels  int
+	Ratio      int
+	Seed       uint64
+	SimWorkers int // parallel simulation workers within this one query
+
+	Stop  mc.Any // stopping rules; at least one required
+	Trace func(mc.Result)
+}
+
+func (s *Spec) validate() error {
+	if s.Proc == nil {
+		return errors.New("serve: spec has no process")
+	}
+	if s.Obs == nil {
+		return errors.New("serve: spec has no observer")
+	}
+	if s.Beta <= 0 {
+		return fmt.Errorf("serve: threshold %v must be positive", s.Beta)
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("serve: horizon %d must be positive", s.Horizon)
+	}
+	if s.Ratio < 1 {
+		return fmt.Errorf("serve: splitting ratio %d must be >= 1", s.Ratio)
+	}
+	if len(s.Stop) == 0 {
+		return errors.New("serve: spec has no stopping rule")
+	}
+	return nil
+}
+
+// Meta reports how a query was executed, beyond the estimate itself.
+type Meta struct {
+	Plan        core.Plan // the partition plan the sampler ran with (empty for SRS)
+	SearchSteps int64     // simulator invocations this call spent on level search
+	CacheHit    bool      // true when the plan came from the cache
+}
+
+// Runner executes query specs. With a Cache, plan searches are memoized
+// and deduplicated across queries; with Cache == nil every query pays its
+// own search, which is exactly the per-query behavior of durability.Run.
+type Runner struct {
+	Cache *PlanCache
+}
+
+// searchTag names the plan-search strategy for cache keying, so greedy and
+// balanced plans for the same query shape never alias.
+func (s *Spec) searchTag() string {
+	if s.PlanMode == PlanBalanced {
+		return fmt.Sprintf("balanced(%g,%d)", s.BalTau, s.BalLevels)
+	}
+	return "greedy"
+}
+
+// planSeed derives the level-search seed from the cache key, so a cached
+// plan is a pure function of the query shape — not of the seed (or
+// scheduling luck) of whichever query triggered the search.
+func planSeed(key PlanKey) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d\x00%s", key.Model, key.Observer, key.BetaBucket, key.Horizon, key.Ratio, key.Search)
+	seed := h.Sum64()
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// searchFunc builds the level search for the spec at the given threshold
+// and seed.
+func (s *Spec) searchFunc(beta float64, seed uint64) SearchFunc {
+	return func(ctx context.Context) (core.Plan, int64, error) {
+		problem := &opt.Problem{
+			Proc:    s.Proc,
+			Query:   core.Query{Value: core.ThresholdValue(s.Obs, beta), Horizon: s.Horizon},
+			Ratio:   s.Ratio,
+			Seed:    seed,
+			Workers: s.SimWorkers,
+		}
+		if s.PlanMode == PlanBalanced {
+			return opt.BalancedPlan(ctx, problem, s.BalTau, s.BalLevels, 500)
+		}
+		g, err := opt.Greedy(ctx, problem, opt.GreedyOptions{})
+		if err != nil {
+			return core.Plan{}, g.SearchSteps, err
+		}
+		return g.Plan, g.SearchSteps, nil
+	}
+}
+
+// resolvePlan obtains the level partition for an MLSS query, through the
+// cache when one is configured. Cached searches run at the bucket's
+// representative threshold with a key-derived seed; uncached searches run
+// at the query's own threshold and seed, reproducing Run's per-query
+// behavior exactly.
+func (r *Runner) resolvePlan(ctx context.Context, s *Spec) (core.Plan, Meta, error) {
+	if s.PlanMode == PlanFixed {
+		return s.Plan, Meta{Plan: s.Plan}, nil
+	}
+	if r.Cache == nil {
+		plan, steps, err := s.searchFunc(s.Beta, s.Seed)(ctx)
+		if err != nil {
+			return core.Plan{}, Meta{SearchSteps: steps}, err
+		}
+		return plan, Meta{Plan: plan, SearchSteps: steps}, nil
+	}
+	key := r.Cache.Key(s.ModelID, s.ObserverID, s.Beta, s.Horizon, s.Ratio, s.searchTag())
+	plan, steps, hit, err := r.Cache.GetOrSearch(ctx, key, s.searchFunc(r.Cache.RepresentativeBeta(s.Beta), planSeed(key)))
+	if err != nil {
+		return core.Plan{}, Meta{SearchSteps: steps}, err
+	}
+	return plan, Meta{Plan: plan, SearchSteps: steps, CacheHit: hit}, nil
+}
+
+// PeekPlan reports the cached plan that would serve the spec's shape, if
+// the runner has a cache and the plan is resident.
+func (r *Runner) PeekPlan(s Spec) (core.Plan, bool) {
+	if r.Cache == nil || s.PlanMode == PlanFixed {
+		return core.Plan{}, false
+	}
+	return r.Cache.Peek(r.Cache.Key(s.ModelID, s.ObserverID, s.Beta, s.Horizon, s.Ratio, s.searchTag()))
+}
+
+// Run answers one query. The result's Steps include the level-search cost
+// only when this call actually performed the search; cache hits report the
+// sampling cost alone, so summing Steps over a workload measures the total
+// simulation actually performed.
+func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
+	if err := s.validate(); err != nil {
+		return mc.Result{}, Meta{}, err
+	}
+	if s.Method == SRS {
+		srs := &mc.SRS{
+			Proc:    s.Proc,
+			Query:   mc.Query{Cond: mc.Threshold(s.Obs, s.Beta), Horizon: s.Horizon},
+			Stop:    s.Stop,
+			Seed:    s.Seed,
+			Workers: s.SimWorkers,
+			Trace:   s.Trace,
+		}
+		res, err := srs.Run(ctx)
+		return res, Meta{}, err
+	}
+
+	cq := core.Query{Value: core.ThresholdValue(s.Obs, s.Beta), Horizon: s.Horizon}
+	plan, meta, err := r.resolvePlan(ctx, &s)
+	if err != nil {
+		return mc.Result{Steps: meta.SearchSteps}, meta, err
+	}
+
+	var res mc.Result
+	if s.Method == SMLSS {
+		sampler := &core.SMLSS{
+			Proc: s.Proc, Query: cq, Plan: plan, Ratio: s.Ratio,
+			Stop: s.Stop, Seed: s.Seed, Workers: s.SimWorkers, Trace: s.Trace,
+		}
+		res, err = sampler.Run(ctx)
+	} else {
+		sampler := &core.GMLSS{
+			Proc: s.Proc, Query: cq, Plan: plan, Ratio: s.Ratio,
+			Stop: s.Stop, Seed: s.Seed, Workers: s.SimWorkers, Trace: s.Trace,
+		}
+		res, err = sampler.Run(ctx)
+	}
+	res.Steps += meta.SearchSteps // search cost is part of this query's bill
+	return res, meta, err
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+func walkRegistry() Registry {
+	return Registry{
+		"walk": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return &stochastic.RandomWalk{Start: 0, Drift: 0, Sigma: 1},
+				map[string]stochastic.Observer{"value": stochastic.ScalarValue}, nil
+		},
+	}
+}
+
+func TestServerServesAndCachesPlans(t *testing.T) {
+	s := NewServer(walkRegistry(), Config{PoolWorkers: 2, SimWorkers: 1, Seed: 1})
+	defer s.Close()
+
+	req := Request{Model: "walk", Beta: 8, Horizon: 100, RelErr: 0.2}
+	first, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.P <= 0 || first.P >= 1 {
+		t.Fatalf("estimate %v outside (0,1)", first.P)
+	}
+	if first.PlanCached || first.SearchSteps == 0 {
+		t.Fatalf("first query should pay the search: %+v", first)
+	}
+
+	second, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.PlanCached || second.SearchSteps != 0 {
+		t.Fatalf("second query should hit the plan cache: cached=%v searchSteps=%d",
+			second.PlanCached, second.SearchSteps)
+	}
+	if second.P != first.P {
+		t.Fatalf("same request, same seed: %v != %v", second.P, first.P)
+	}
+
+	st := s.Stats()
+	if st.QueriesServed != 2 || st.PlanMisses != 1 || st.PlanHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.SearchSteps == 0 || st.SampleSteps == 0 {
+		t.Fatalf("cost split missing: %+v", st)
+	}
+}
+
+func TestServerValidatesRequests(t *testing.T) {
+	s := NewServer(walkRegistry(), Config{PoolWorkers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	for _, req := range []Request{
+		{Model: "nope", Beta: 8, Horizon: 100},
+		{Model: "walk", Observer: "nope", Beta: 8, Horizon: 100},
+		{Model: "walk", Beta: -1, Horizon: 100},
+		{Model: "walk", Beta: 8, Horizon: 0},
+		{Model: "walk", Beta: 8, Horizon: 100, Method: "nope"},
+	} {
+		if _, err := s.Do(ctx, req); err == nil {
+			t.Errorf("request %+v accepted", req)
+		}
+	}
+	if st := s.Stats(); st.Errors != 5 {
+		t.Fatalf("errors = %d, want 5", st.Errors)
+	}
+}
+
+// gateProc blocks every Step until the gate closes — it lets the test hold
+// a pool worker busy deterministically.
+type gateProc struct{ gate chan struct{} }
+
+func (p *gateProc) Name() string              { return "gate" }
+func (p *gateProc) Initial() stochastic.State { return &stochastic.Scalar{} }
+func (p *gateProc) Step(s stochastic.State, t int, src *rng.Source) {
+	<-p.gate
+	s.(*stochastic.Scalar).V++
+}
+
+func TestServerAdmissionControl(t *testing.T) {
+	gate := make(chan struct{})
+	reg := Registry{
+		"gate": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return &gateProc{gate: gate}, map[string]stochastic.Observer{"value": stochastic.ScalarValue}, nil
+		},
+	}
+	s := NewServer(reg, Config{PoolWorkers: 1, QueueDepth: 1, Seed: 1})
+	defer s.Close()
+
+	// SRS avoids the plan search; the value climbs one per step, so the
+	// query finishes as soon as the gate opens.
+	req := Request{Model: "gate", Beta: 3, Horizon: 10, Method: "srs", Budget: 1000}
+	type res struct {
+		err error
+	}
+	replies := make(chan res, 2)
+	submit := func() { _, err := s.Do(context.Background(), req); replies <- res{err} }
+
+	go submit() // occupies the single pool worker, blocked on the gate
+	waitFor(t, func() bool { return s.Stats().InFlight == 1 })
+	go submit() // sits in the queue (depth 1)
+	waitFor(t, func() bool { return s.Stats().QueueDepth == 1 })
+
+	// Queue full, worker busy: the third query must be shed immediately.
+	if _, err := s.Do(context.Background(), req); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if r := <-replies; r.err != nil {
+			t.Fatalf("held query failed: %v", r.err)
+		}
+	}
+}
+
+func TestServerFactoryFailureIsInternal(t *testing.T) {
+	reg := Registry{
+		"broken": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return nil, nil, errors.New("weights file missing")
+		},
+	}
+	s := NewServer(reg, Config{PoolWorkers: 1})
+	defer s.Close()
+	_, err := s.Do(context.Background(), Request{Model: "broken", Beta: 8, Horizon: 100})
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	// An unknown model stays a client error.
+	_, err = s.Do(context.Background(), Request{Model: "nope", Beta: 8, Horizon: 100})
+	if err == nil || errors.Is(err, ErrInternal) {
+		t.Fatalf("unknown model: err = %v, want a non-internal error", err)
+	}
+}
+
+// Submissions racing Close must resolve to ErrClosed or a served answer,
+// never a send on the closed queue (which would panic the process). Run
+// with -race to make the window count.
+func TestServerDoCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := NewServer(walkRegistry(), Config{PoolWorkers: 2, QueueDepth: 4, Seed: 1})
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := Request{Model: "walk", Beta: 8, Horizon: 100, Method: "srs", Budget: 1000}
+				if _, err := s.Do(context.Background(), req); err != nil &&
+					!errors.Is(err, ErrClosed) && !errors.Is(err, ErrOverloaded) {
+					t.Errorf("unexpected error: %v", err)
+				}
+			}()
+		}
+		s.Close()
+		wg.Wait()
+	}
+}
+
+func TestServerClosed(t *testing.T) {
+	s := NewServer(walkRegistry(), Config{PoolWorkers: 1})
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Do(context.Background(), Request{Model: "walk", Beta: 8, Horizon: 100}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestServerQueryTimeout(t *testing.T) {
+	// The first Step blocks until well past the server's per-query
+	// deadline; once released, the sampler's next context check must end
+	// the query with the deadline error even though the caller imposed no
+	// deadline of its own — proving the timeout propagates from the
+	// server's config into the simulation loop.
+	gate := make(chan struct{})
+	reg := Registry{
+		"gate": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return &gateProc{gate: gate}, map[string]stochastic.Observer{"value": stochastic.ScalarValue}, nil
+		},
+	}
+	s := NewServer(reg, Config{PoolWorkers: 1, QueryTimeout: 30 * time.Millisecond, Seed: 1})
+	defer s.Close()
+	time.AfterFunc(300*time.Millisecond, func() { close(gate) })
+	_, err := s.Do(context.Background(), Request{Model: "gate", Beta: 3, Horizon: 10, Method: "srs", Budget: 1000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import "sync/atomic"
+
+// serverCounters are the server's hot-path counters; everything is atomic
+// so query workers never contend on a stats lock.
+type serverCounters struct {
+	served      atomic.Int64
+	errors      atomic.Int64
+	rejected    atomic.Int64
+	sampleSteps atomic.Int64
+	inFlight    atomic.Int64
+	queueDepth  atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the server, shaped for the
+// GET /stats endpoint of cmd/durserve.
+type Stats struct {
+	QueriesServed int64 `json:"queriesServed"`
+	Errors        int64 `json:"errors"`
+	Rejected      int64 `json:"rejected"` // shed by admission control or expired in queue
+	InFlight      int64 `json:"inFlight"`
+	QueueDepth    int64 `json:"queueDepth"`
+	QueueCap      int   `json:"queueCap"`
+	PoolWorkers   int   `json:"poolWorkers"`
+
+	// Cost accounting, in simulator invocations: how much simulation went
+	// into answering queries versus searching for level plans. The ratio
+	// SearchSteps/(QueriesServed) shrinking toward zero is the plan cache
+	// doing its job.
+	SampleSteps int64 `json:"sampleSteps"`
+	SearchSteps int64 `json:"searchSteps"`
+
+	// Plan cache effectiveness.
+	PlanEntries int     `json:"planEntries"`
+	PlanHits    int64   `json:"planHits"`
+	PlanMisses  int64   `json:"planMisses"`
+	PlanHitRate float64 `json:"planHitRate"`
+	TotalSteps  int64   `json:"totalSteps"`
+	SearchShare float64 `json:"searchShare"` // SearchSteps / TotalSteps
+}
+
+// Stats snapshots the server counters and its plan cache.
+func (s *Server) Stats() Stats {
+	cache := s.runner.Cache.Stats()
+	out := Stats{
+		QueriesServed: s.stats.served.Load(),
+		Errors:        s.stats.errors.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		InFlight:      s.stats.inFlight.Load(),
+		QueueDepth:    s.stats.queueDepth.Load(),
+		QueueCap:      s.cfg.QueueDepth,
+		PoolWorkers:   s.cfg.PoolWorkers,
+		SampleSteps:   s.stats.sampleSteps.Load(),
+		SearchSteps:   cache.SearchSteps,
+		PlanEntries:   cache.Entries,
+		PlanHits:      cache.Hits,
+		PlanMisses:    cache.Misses,
+		PlanHitRate:   cache.HitRate(),
+	}
+	out.TotalSteps = out.SampleSteps + out.SearchSteps
+	if out.TotalSteps > 0 {
+		out.SearchShare = float64(out.SearchSteps) / float64(out.TotalSteps)
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package durability
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// SRS uses no level partition, so plan options silently doing nothing was
+// a trap; they must be rejected regardless of option order.
+func TestSRSRejectsPlanOptions(t *testing.T) {
+	w, q := walkQuery()
+	ctx := context.Background()
+	cases := [][]Option{
+		{WithMethod(SRS), WithPlan(0.5)},
+		{WithPlan(0.5), WithMethod(SRS)}, // order must not matter
+		{WithMethod(SRS), WithAutoLevels()},
+		{WithMethod(SRS), WithBalancedLevels(0.01, 4)},
+	}
+	for i, opts := range cases {
+		if _, err := Run(ctx, w, q, append(opts, WithBudget(1000))...); err == nil {
+			t.Errorf("case %d: SRS with a plan option accepted", i)
+		}
+	}
+	// Plain SRS (auto mode is only the default, not an explicit choice)
+	// must keep working.
+	if _, err := Run(ctx, w, q, WithMethod(SRS), WithBudget(1000)); err != nil {
+		t.Fatalf("plain SRS rejected: %v", err)
+	}
+	// Sessions apply the same validation.
+	if _, err := NewSession(w, WithMethod(SRS), WithPlan(0.5)); err == nil {
+		t.Error("NewSession accepted SRS with a plan option")
+	}
+}
+
+// A cancelled context must surface ctx.Err() from every method, both with
+// a fixed plan and through the level search.
+func TestRunCancelledContext(t *testing.T) {
+	w, q := walkQuery()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := map[string][]Option{
+		"srs":          {WithMethod(SRS)},
+		"smlss-fixed":  {WithMethod(SMLSS), WithPlan(0.5)},
+		"gmlss-fixed":  {WithMethod(GMLSS), WithPlan(0.5)},
+		"gmlss-auto":   {WithMethod(GMLSS)},
+		"gmlss-balanc": {WithMethod(GMLSS), WithBalancedLevels(0.01, 4)},
+	}
+	for name, opts := range cases {
+		_, err := Run(ctx, w, q, append(opts, WithBudget(1_000_000))...)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// A deadline expiring mid-run must end the query at the next batch
+// boundary, not run to its (enormous) budget.
+func TestRunDeadlineMidRun(t *testing.T) {
+	w := &RandomWalk{Start: 0, Drift: 0, Sigma: 1}
+	q := Query{Z: ScalarValue, Beta: 38, Horizon: 100} // tau ~ 1e-4: far beyond a 100ms budget
+	for _, m := range []Method{SRS, SMLSS, GMLSS} {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		start := time.Now()
+		opts := []Option{WithMethod(m), WithBudget(2_000_000_000), WithWorkers(4), WithSeed(1)}
+		if m != SRS {
+			opts = append(opts, WithPlan(0.3, 0.55, 0.8))
+		}
+		_, err := Run(ctx, w, q, opts...)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%v: err = %v, want context.DeadlineExceeded", m, err)
+		}
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Errorf("%v: deadline ignored for %v", m, elapsed)
+		}
+	}
+}
+
+func TestSessionCancelledContext(t *testing.T) {
+	w, q := walkQuery()
+	s, err := NewSession(w, WithBudget(1_000_000), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Session.Run err = %v, want context.Canceled", err)
+	}
+	if _, err := s.RunMany(ctx, []Query{q, q}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Session.RunMany err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	w, q := walkQuery()
+	if _, err := NewSession(nil); err == nil {
+		t.Error("nil process accepted")
+	}
+	if _, err := NewSession(w, WithWorkers(0)); err == nil {
+		t.Error("bad default option accepted")
+	}
+	s, err := NewSession(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), Query{Z: nil, Beta: 1, Horizon: 5}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := s.RunMany(context.Background(), []Query{q}, WithQueryConcurrency(0)); err == nil {
+		t.Error("zero query concurrency accepted")
+	}
+	if res, err := s.RunMany(context.Background(), nil); err != nil || res != nil {
+		t.Errorf("empty batch: %v %v", res, err)
+	}
+}
+
+// The headline amortization claim, end to end: a 100-query threshold sweep
+// over one model must spend at most a fifth of the simulation that one
+// hundred independent Run calls spend at the same relative-error target,
+// because the level searches collapse into a handful of cached ones — and
+// the sweep must be exactly reproducible under a fixed seed.
+func TestSessionPlanReuseBeatsIndependentRuns(t *testing.T) {
+	w := &RandomWalk{Start: 0, Drift: 0, Sigma: 1}
+	const n = 100
+	queries := make([]Query, n)
+	for i := range queries {
+		queries[i] = Query{Z: ScalarValue, Beta: 7.5 + float64(i)*0.01, Horizon: 100}
+	}
+	opts := []Option{WithRelativeErrorTarget(0.10), WithSeed(1)}
+	ctx := context.Background()
+
+	sweep := func() ([]Result, SessionStats) {
+		s, err := NewSession(w, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := s.RunMany(ctx, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, s.Stats()
+	}
+	results, stats := sweep()
+
+	var independent int64
+	for i, q := range queries {
+		res, err := Run(ctx, w, q, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		independent += res.Steps
+		// Per-query estimates must be sane either way.
+		if results[i].P <= 0 || results[i].P >= 1 {
+			t.Fatalf("query %d: session estimate %v", i, results[i].P)
+		}
+	}
+
+	total := stats.TotalSteps()
+	if total*5 > independent {
+		t.Fatalf("sweep spent %d steps, independent runs %d — want <= 1/5 (searches: %d cached hits, %d misses)",
+			total, independent, stats.PlanHits, stats.PlanMisses)
+	}
+	if stats.PlanMisses >= 10 || stats.PlanHits != n-stats.PlanMisses {
+		t.Fatalf("plan cache ineffective: %+v", stats)
+	}
+	if stats.Queries != n {
+		t.Fatalf("queries = %d, want %d", stats.Queries, n)
+	}
+	t.Logf("sweep: %d steps vs %d independent (%.1fx); %d searches for %d queries (hit rate %.0f%%)",
+		total, independent, float64(independent)/float64(total),
+		stats.PlanMisses, n, 100*stats.HitRate())
+
+	// Determinism: a second sweep with the same seed reproduces every
+	// estimate bit for bit, concurrency notwithstanding.
+	again, _ := sweep()
+	for i := range results {
+		if results[i].P != again[i].P || results[i].Variance != again[i].Variance {
+			t.Fatalf("query %d not reproducible: %v vs %v", i, results[i].P, again[i].P)
+		}
+	}
+}
+
+// A query answered with a cached plan is bit-for-bit the query one would
+// have run by hand with WithPlan: caching changes cost, never results.
+// And the cached plan itself is a pure function of the query shape, so a
+// fresh session derives the identical plan.
+func TestSessionMatchesExplicitPlan(t *testing.T) {
+	w := &RandomWalk{Start: 0, Drift: 0, Sigma: 1}
+	q := Query{Z: ScalarValue, Beta: 8, Horizon: 100}
+	opts := []Option{WithRelativeErrorTarget(0.15), WithSeed(3)}
+	ctx := context.Background()
+
+	s, err := NewSession(w, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.CachedPlan(q); ok {
+		t.Fatal("cold session reported a cached plan")
+	}
+	if _, err := s.Run(ctx, q); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	cached, err := s.Run(ctx, q) // pure cache hit: no search steps
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, ok := s.CachedPlan(q)
+	if !ok {
+		t.Fatal("warmed session reported no cached plan")
+	}
+
+	manual, err := Run(ctx, w, q, append(opts, WithPlan(plan.Boundaries...))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.P != manual.P || cached.Steps != manual.Steps {
+		t.Fatalf("cached run (p=%v, %d steps) != manual plan run (p=%v, %d steps)",
+			cached.P, cached.Steps, manual.P, manual.Steps)
+	}
+
+	// Shape-determinism: an independent session must derive the same plan.
+	s2, err := NewSession(w, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	plan2, ok := s2.CachedPlan(q)
+	if !ok {
+		t.Fatal("second session reported no cached plan")
+	}
+	if len(plan2.Boundaries) != len(plan.Boundaries) {
+		t.Fatalf("sessions derived different plans: %v vs %v", plan, plan2)
+	}
+	for i := range plan.Boundaries {
+		if plan.Boundaries[i] != plan2.Boundaries[i] {
+			t.Fatalf("sessions derived different plans: %v vs %v", plan, plan2)
+		}
+	}
+}
+
+func TestRunManyConvenience(t *testing.T) {
+	w := &RandomWalk{Start: 0, Drift: 0, Sigma: 1}
+	qs := []Query{
+		{Z: ScalarValue, Beta: 8, Horizon: 100},
+		{Z: ScalarValue, Beta: 8.05, Horizon: 100},
+		{Z: ScalarValue, Beta: 8.1, Horizon: 100},
+	}
+	results, err := RunMany(context.Background(), w, qs,
+		WithRelativeErrorTarget(0.2), WithSeed(2), WithQueryConcurrency(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(results), len(qs))
+	}
+	for i, r := range results {
+		if r.P <= 0 || r.P >= 1 || math.IsNaN(r.P) {
+			t.Fatalf("query %d: estimate %v", i, r.P)
+		}
+	}
+}
+
+// Observer identity drives plan caching: ZName overrides; otherwise the
+// function value identifies. Package-level observers have static funcvals,
+// so their ids are unconditionally stable; closure identity is exercised
+// through the Session surface below, where observers escape into sampler
+// specs and stay heap-pinned.
+func TestObserverNaming(t *testing.T) {
+	q1 := Query{Z: NodeLen(0), Beta: 5, Horizon: 50, ZName: "node0"}
+	q2 := Query{Z: NodeLen(1), Beta: 5, Horizon: 50, ZName: "node1"}
+	if observerID(q1) == observerID(q2) {
+		t.Fatal("named observers alias")
+	}
+	// ZName lets logically identical but separately constructed closures
+	// share a cache entry.
+	qa := Query{Z: NodeLen(0), ZName: "node0"}
+	qb := Query{Z: NodeLen(0), ZName: "node0"}
+	if observerID(qa) != observerID(qb) {
+		t.Fatal("equal ZNames produced different ids")
+	}
+	if observerID(Query{Z: ScalarValue}) != observerID(Query{Z: ScalarValue}) {
+		t.Fatal("one package observer produced two ids")
+	}
+	if observerID(Query{Z: ScalarValue}) == observerID(Query{Z: ARValue}) {
+		t.Fatal("distinct package observers alias")
+	}
+}
+
+// A closure observer reused across session queries must hit the plan
+// cache: in the session flow the observer escapes into the sampler spec,
+// pinning its identity for the session's life.
+func TestSessionClosureObserverCacheHit(t *testing.T) {
+	w := &RandomWalk{Start: 0, Drift: 0, Sigma: 1}
+	obs := func(s State) float64 { return ScalarValue(s) } // a closure, not a package func
+	s, err := NewSession(w, WithRelativeErrorTarget(0.2), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Z: obs, Beta: 8, Horizon: 100}
+	ctx := context.Background()
+	if _, err := s.Run(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PlanHits != 1 || st.PlanMisses != 1 {
+		t.Fatalf("closure observer did not cache: %+v", st)
+	}
+}
