@@ -1,0 +1,132 @@
+// Command durbench measures the serving layer's cost trajectory: how
+// many simulator steps a query costs cold (durability.Run: level search
+// plus full sampling) versus maintained incrementally as a standing
+// query over a live stream (durability.Watch), at the same quality
+// target. It writes the numbers as JSON — scripts/bench emits
+// BENCH_serve.json at the repository root — so successive PRs can track
+// the serve/stream performance trajectory.
+//
+//	go run ./cmd/durbench -out BENCH_serve.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"durability"
+	"durability/internal/rng"
+)
+
+// benchReport is the BENCH_serve.json schema.
+type benchReport struct {
+	Scenario string  `json:"scenario"`
+	Ticks    int     `json:"ticks"`
+	RelErr   float64 `json:"relErrTarget"`
+
+	// Cold path: durability.Run at sampled ticks.
+	ColdRuns          int     `json:"coldRuns"`
+	ColdStepsPerQuery float64 `json:"coldStepsPerQuery"`
+
+	// Incremental path: standing-query maintenance.
+	IncrementalStepsPerTick float64 `json:"incrementalStepsPerTick"`
+	FreshRootsPerTick       float64 `json:"freshRootsPerTick"`
+	Replans                 int64   `json:"replans"`
+
+	// The headline: cold steps per query divided by incremental steps
+	// per tick.
+	Speedup float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_serve.json", "output path")
+		ticks     = flag.Int("ticks", 500, "market ticks to maintain through")
+		coldEvery = flag.Int("cold-every", 50, "cold re-run sampling interval (ticks)")
+		re        = flag.Float64("re", 0.10, "relative-error target for both paths")
+		seed      = flag.Uint64("seed", 42, "base random seed")
+	)
+	flag.Parse()
+
+	const (
+		s0      = 100.0
+		beta    = 130.0
+		horizon = 250
+	)
+	ctx := context.Background()
+	market := &durability.GBM{S0: s0, Mu: 0.0003, Sigma: 0.01}
+	query := durability.Query{Z: durability.ScalarValue, Beta: beta, Horizon: horizon, ZName: "price"}
+	target := []durability.Option{
+		durability.WithRelativeErrorTarget(*re),
+		durability.WithSeed(*seed),
+	}
+
+	session, err := durability.NewSession(market, target...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := session.Watch(ctx, "bench", query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+
+	feed := market.Initial()
+	src := rng.NewStream(2026, 0)
+	var incSteps, coldSteps, freshRoots int64
+	coldRuns := 0
+	for tick := 1; tick <= *ticks; tick++ {
+		market.Step(feed, tick, src)
+		refreshes, err := session.Publish(ctx, "bench", feed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if refreshes[0].Err != nil {
+			log.Fatal(refreshes[0].Err)
+		}
+		ans := refreshes[0].Answer
+		incSteps += ans.FreshSteps + ans.SearchSteps
+		freshRoots += ans.FreshRoots
+
+		if tick%*coldEvery != 0 || ans.Satisfied {
+			continue
+		}
+		price := durability.ScalarValue(feed)
+		cold, err := durability.Run(ctx,
+			&durability.GBM{S0: price, Mu: market.Mu, Sigma: market.Sigma}, query, target...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coldSteps += cold.Steps
+		coldRuns++
+	}
+	if coldRuns == 0 {
+		log.Fatal("durbench: no cold run completed (stream stayed above threshold?)")
+	}
+
+	report := benchReport{
+		Scenario:                fmt.Sprintf("gbm(s0=%.0f) beta=%.0f horizon=%d", s0, beta, horizon),
+		Ticks:                   *ticks,
+		RelErr:                  *re,
+		ColdRuns:                coldRuns,
+		ColdStepsPerQuery:       float64(coldSteps) / float64(coldRuns),
+		IncrementalStepsPerTick: float64(incSteps) / float64(*ticks),
+		FreshRootsPerTick:       float64(freshRoots) / float64(*ticks),
+		Replans:                 session.StreamStats().Replans,
+	}
+	report.Speedup = report.ColdStepsPerQuery / report.IncrementalStepsPerTick
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("durbench: cold %.0f steps/query, incremental %.0f steps/tick (%.1fx) -> %s\n",
+		report.ColdStepsPerQuery, report.IncrementalStepsPerTick, report.Speedup, *out)
+}

@@ -19,6 +19,23 @@
 // level plan came from the cache. GET /stats reports a serve.Stats
 // snapshot. Model parameters are fixed at startup by flags (the same
 // defaults as cmd/durquery); queries select a model and observer by name.
+//
+// Standing queries ride the incremental maintenance engine of
+// internal/stream:
+//
+//	# Register a standing query against the gbm live state:
+//	curl -s localhost:8077/subscribe -d '{"model":"gbm","beta":1200,"horizon":250,"re":0.1}'
+//
+//	# Advance the live state three ticks (answers refresh incrementally):
+//	curl -s localhost:8077/tick -d '{"stream":"gbm","steps":3}'
+//
+//	# Long-poll the maintained answer past tick 3:
+//	curl -s 'localhost:8077/updates?id=sub-1&since=3&timeoutSec=30'
+//
+// DELETE /subscribe?id=sub-1 deregisters; GET /streams reports the
+// maintenance engine's cost accounting. The -tick flag auto-advances
+// every live stream on an interval, turning the daemon into a
+// self-contained live demo.
 package main
 
 import (
@@ -27,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -48,6 +66,8 @@ func main() {
 		defaultRE  = flag.Float64("re", 0.10, "default relative-error target")
 		seed       = flag.Uint64("seed", 1, "base random seed")
 		bucket     = flag.Float64("bucket", serve.DefaultBetaBucketWidth, "plan-cache threshold bucket width (relative)")
+		planCache  = flag.Int("plan-cache", serve.DefaultPlanCacheCap, "plan-cache capacity (completed plans; < 0 = unlimited)")
+		tick       = flag.Duration("tick", 0, "auto-advance every live stream on this interval (0 = ticks only via POST /tick)")
 
 		// queue parameters
 		lambda = flag.Float64("lambda", 0.5, "queue: arrival rate")
@@ -81,10 +101,21 @@ func main() {
 		DefaultRelErr:   *defaultRE,
 		Seed:            *seed,
 		BetaBucketWidth: *bucket,
+		PlanCacheCap:    *planCache,
 	})
 	defer srv.Close()
+	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed)
+	if *tick > 0 {
+		ticker := time.NewTicker(*tick)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				hub.autoTick(context.Background())
+			}
+		}()
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: newMux(srv)}
+	httpSrv := &http.Server{Addr: *addr, Handler: newMux(srv, hub)}
 	go func() {
 		log.Printf("durserve: listening on %s", *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -103,28 +134,48 @@ func main() {
 	}
 }
 
+// decodeJSON strictly decodes a request body: unknown fields (usually
+// typos of real ones) and trailing data are rejected, so malformed
+// bodies surface as 400s instead of silently defaulted queries.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("bad request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// queryStatus maps a serving error onto its HTTP status.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrInternal):
+		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 // newMux wires the serving endpoints; it is separated from main so tests
 // can drive the handlers through httptest.
-func newMux(srv *serve.Server) *http.ServeMux {
+func newMux(srv *serve.Server, hub *streamHub) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		resp, err := srv.Do(r.Context(), req)
 		if err != nil {
-			switch {
-			case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
-				httpError(w, http.StatusServiceUnavailable, err)
-			case errors.Is(err, serve.ErrInternal):
-				httpError(w, http.StatusInternalServerError, err)
-			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-				httpError(w, http.StatusGatewayTimeout, err)
-			default:
-				httpError(w, http.StatusBadRequest, err)
-			}
+			httpError(w, queryStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -135,6 +186,46 @@ func newMux(srv *serve.Server) *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+
+	// Standing queries: register, long-poll, advance, deregister.
+	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
+		var req subscribeRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := hub.subscribe(r.Context(), req)
+		if err != nil {
+			httpError(w, queryStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("DELETE /subscribe", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if !hub.unsubscribe(id) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown subscription %q", id))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /updates", hub.handleUpdates)
+	mux.HandleFunc("POST /tick", func(w http.ResponseWriter, r *http.Request) {
+		var req tickRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := hub.tick(r.Context(), req)
+		if err != nil {
+			httpError(w, queryStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, hub.stats())
 	})
 	return mux
 }

@@ -12,13 +12,15 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := serve.NewServer(buildRegistry(modelParams{
+	registry := buildRegistry(modelParams{
 		lambda: 0.5, mu1: 2, mu2: 2,
 		u0: 15, premium: 6, claimLam: 0.8, claimLo: 5, claimHi: 10,
 		sigma: 1, s0: 1000,
-	}), serve.Config{PoolWorkers: 2, Seed: 1})
+	})
+	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1})
 	t.Cleanup(srv.Close)
-	ts := httptest.NewServer(newMux(srv))
+	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1)
+	ts := httptest.NewServer(newMux(srv, hub))
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -39,6 +39,7 @@ import (
 	"durability/internal/opt"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
+	"durability/internal/stream"
 )
 
 // Re-exported substrate types. State, Process and Observer form the
@@ -131,6 +132,10 @@ type config struct {
 	balTau      float64
 	balLevels   int
 	trace       func(Result)
+
+	// Standing-query (Watch) knobs; ignored by Run/RunMany.
+	driftTol float64
+	maxAge   int64
 }
 
 // Option configures Run.
@@ -266,6 +271,35 @@ func WithRelativeErrorTarget(re float64) Option {
 			return fmt.Errorf("durability: relative error target %v must be positive", re)
 		}
 		c.stops = append(c.stops, mc.RETarget{Target: re})
+		return nil
+	}
+}
+
+// WithDriftTolerance sets a standing query's survival tolerance: root
+// paths sampled earlier keep contributing to the maintained answer while
+// the live state's observed value stays within tol*Beta of the value they
+// started from. It is the staleness/cost dial of Watch — wider keeps more
+// of the pool alive across ticks (cheaper maintenance), tighter keeps the
+// answer closer to the exact point value. Run and RunMany ignore it.
+func WithDriftTolerance(tol float64) Option {
+	return func(c *config) error {
+		if tol <= 0 || tol >= 1 {
+			return fmt.Errorf("durability: drift tolerance %v must be in (0,1)", tol)
+		}
+		c.driftTol = tol
+		return nil
+	}
+}
+
+// WithMaxAnswerAge caps, in ticks, how long a standing query's root paths
+// may keep contributing to its maintained answer, bounding staleness on a
+// becalmed stream. Run and RunMany ignore it.
+func WithMaxAnswerAge(ticks int64) Option {
+	return func(c *config) error {
+		if ticks < 1 {
+			return fmt.Errorf("durability: max answer age %d must be >= 1", ticks)
+		}
+		c.maxAge = ticks
 		return nil
 	}
 }
@@ -420,6 +454,11 @@ type Session struct {
 	proc     Process
 	defaults []Option
 	runner   *serve.Runner
+
+	// Standing-query engine, created lazily by Watch/Publish; it shares
+	// runner (and so the plan cache) with the one-shot query path.
+	streamOnce sync.Once
+	stream     *stream.Engine
 
 	queries     atomic.Int64
 	sampleSteps atomic.Int64

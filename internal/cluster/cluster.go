@@ -170,6 +170,7 @@ func (c *Coordinator) Run(ctx context.Context, addrs []string) (mc.Result, error
 	initLevel := plan.LevelOf(core.ThresholdValue(obs, c.Beta)(proc.Initial(), 0))
 
 	clients := make([]*rpc.Client, len(addrs))
+	dead := make([]bool, len(addrs))
 	for i, addr := range addrs {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
@@ -177,6 +178,15 @@ func (c *Coordinator) Run(ctx context.Context, addrs []string) (mc.Result, error
 		}
 		clients[i] = rpc.NewClient(conn)
 		defer clients[i].Close()
+	}
+	alive := func() []int {
+		var out []int
+		for i := range clients {
+			if !dead[i] {
+				out = append(out, i)
+			}
+		}
+		return out
 	}
 
 	shardRoots := c.ShardRoots
@@ -200,16 +210,60 @@ func (c *Coordinator) Run(ctx context.Context, addrs []string) (mc.Result, error
 	bootSrc := rng.NewStream(c.Seed, 1<<61)
 	next := int64(0)
 
+	merge := func(r core.ShardResult) {
+		agg.Add(r.Agg)
+		groups = append(groups, r.Groups...)
+		rootsPerGroup = r.Roots / int64(len(r.Groups))
+		res.Steps += r.Steps
+		res.Paths += r.Roots
+		res.Hits += int64(r.Agg.Hits)
+	}
+	call := func(idx int, req ShardRequest) (core.ShardResult, error) {
+		var reply ShardReply
+		if err := clients[idx].Call("Worker.Run", req, &reply); err != nil {
+			return core.ShardResult{}, err
+		}
+		return reply.Result, nil
+	}
+	// retry reassigns a failed shard to the remaining live workers, one
+	// by one. Root ranges travel with the request, so a retried shard
+	// simulates exactly the substreams the dead worker was assigned and
+	// determinism is preserved.
+	retry := func(req ShardRequest, lastErr error) (core.ShardResult, error) {
+		for _, idx := range alive() {
+			r, err := call(idx, req)
+			if err == nil {
+				return r, nil
+			}
+			dead[idx] = true
+			lastErr = err
+		}
+		return core.ShardResult{}, fmt.Errorf("cluster: shard [%d,%d) failed on every live worker: %w",
+			req.RootLo, req.RootHi, lastErr)
+	}
+
 	for {
 		if err := ctx.Err(); err != nil {
 			res.Elapsed = time.Since(start)
 			return res, err
 		}
-		// One synchronisation round: every worker simulates one shard.
-		var mu sync.Mutex
+		workers := alive()
+		if len(workers) == 0 {
+			res.Elapsed = time.Since(start)
+			return res, errors.New("cluster: no live workers remain")
+		}
+		// One synchronisation round: every live worker simulates one
+		// shard. A worker that fails its shard is marked dead and the
+		// shard is retried on the survivors, so losing a machine mid-run
+		// costs its in-flight shard's work, not the query.
+		type outcome struct {
+			req    ShardRequest
+			result core.ShardResult
+			err    error
+		}
+		results := make([]outcome, len(workers))
 		var wg sync.WaitGroup
-		var firstErr error
-		for _, client := range clients {
+		for i, idx := range workers {
 			req := ShardRequest{
 				Model:      c.Model,
 				Beta:       c.Beta,
@@ -222,31 +276,26 @@ func (c *Coordinator) Run(ctx context.Context, addrs []string) (mc.Result, error
 				Groups:     16,
 			}
 			next += shardRoots
+			results[i].req = req
 			wg.Add(1)
-			go func(client *rpc.Client, req ShardRequest) {
+			go func(i, idx int, req ShardRequest) {
 				defer wg.Done()
-				var reply ShardReply
-				err := client.Call("Worker.Run", req, &reply)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				agg.Add(reply.Result.Agg)
-				groups = append(groups, reply.Result.Groups...)
-				rootsPerGroup = reply.Result.Roots / int64(len(reply.Result.Groups))
-				res.Steps += reply.Result.Steps
-				res.Paths += reply.Result.Roots
-				res.Hits += int64(reply.Result.Agg.Hits)
-			}(client, req)
+				results[i].result, results[i].err = call(idx, req)
+			}(i, idx, req)
 		}
 		wg.Wait()
-		if firstErr != nil {
-			res.Elapsed = time.Since(start)
-			return res, firstErr
+		for i, idx := range workers {
+			if results[i].err == nil {
+				merge(results[i].result)
+				continue
+			}
+			dead[idx] = true
+			r, err := retry(results[i].req, results[i].err)
+			if err != nil {
+				res.Elapsed = time.Since(start)
+				return res, err
+			}
+			merge(r)
 		}
 
 		res.P = core.EstimateFromCounters(agg, res.Paths, m, initLevel)

@@ -198,6 +198,126 @@ func TestClusterWorkerFailsMidRun(t *testing.T) {
 	}
 }
 
+// A worker dropping mid-run must not fail (or hang) the query: the
+// coordinator marks it dead and retries its shard on a live worker. The
+// answer stays bit-for-bit deterministic because root ranges travel with
+// the retried shard.
+func TestClusterWorkerDropRetriesOnLiveWorker(t *testing.T) {
+	reg, beta, _, horizon := chainRegistry()
+	healthy := startWorkers(t, reg, 1)
+
+	// A "worker" that accepts connections and slams them shut: the dial
+	// succeeds, so the coordinator counts it as a member, but its first
+	// shard call fails — the machine dropping right after the query
+	// starts.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	boundaries := []float64{3.0 / 7, 5.0 / 7}
+	coord := &Coordinator{
+		Model:      "chain",
+		Beta:       beta,
+		Horizon:    horizon,
+		Boundaries: boundaries,
+		Ratio:      3,
+		Stop:       mc.Budget{Steps: 400_000},
+		Seed:       7,
+		ShardRoots: 128,
+		Registry:   reg,
+	}
+	done := make(chan error, 1)
+	var cres mc.Result
+	go func() {
+		var err error
+		cres, err = coord.Run(context.Background(), []string{healthy[0], ln.Addr().String()})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("coordinator failed instead of retrying on the live worker: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator hung after worker drop")
+	}
+	if cres.Paths == 0 || cres.Steps == 0 {
+		t.Fatalf("no work accounted: %+v", cres)
+	}
+
+	// Exactly the same roots on one machine: the retried shards must not
+	// have disturbed determinism.
+	proc, obs, err := reg["chain"]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &core.GMLSS{
+		Proc:    proc,
+		Query:   core.Query{Value: core.ThresholdValue(obs, beta), Horizon: horizon},
+		Plan:    core.MustPlan(boundaries...),
+		Ratio:   3,
+		Stop:    mc.Budget{Steps: 1},
+		Seed:    7,
+		Workers: 4,
+	}
+	shard, err := g.RunRoots(context.Background(), 0, cres.Paths, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := core.EstimateFromCounters(shard.Agg, shard.Roots, core.MustPlan(boundaries...).M(), 0)
+	if math.Abs(local-cres.P) > 1e-9 {
+		t.Fatalf("estimate after retry %v differs from single-machine %v over the same roots", cres.P, local)
+	}
+}
+
+// Losing every worker is still an error, not a hang.
+func TestClusterAllWorkersDead(t *testing.T) {
+	reg, beta, _, horizon := chainRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	coord := &Coordinator{
+		Model: "chain", Beta: beta, Horizon: horizon,
+		Boundaries: []float64{3.0 / 7, 5.0 / 7}, Ratio: 3,
+		Stop: mc.Budget{Steps: 1000}, Seed: 7, Registry: reg,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Run(context.Background(), []string{ln.Addr().String()})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("coordinator succeeded with no live workers")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator hung with no live workers")
+	}
+}
+
 func TestWorkerRejectsUnknownModel(t *testing.T) {
 	reg, _, _, _ := chainRegistry()
 	w := NewWorker(reg, 1)

@@ -134,6 +134,21 @@ func (p Plan) LevelOf(f float64) int {
 	return idx
 }
 
+// Equal reports whether two plans have identical boundaries. Counters
+// accumulated under one plan are interpretable under another exactly when
+// the plans are equal, which incremental maintenance relies on.
+func (p Plan) Equal(o Plan) bool {
+	if len(p.Boundaries) != len(o.Boundaries) {
+		return false
+	}
+	for i, b := range p.Boundaries {
+		if b != o.Boundaries[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func (p Plan) String() string {
 	return fmt.Sprintf("plan%v", p.Boundaries)
 }

@@ -21,6 +21,7 @@
 package serve
 
 import (
+	"container/list"
 	"context"
 	"math"
 	"sync"
@@ -35,6 +36,12 @@ import (
 // relative to the threshold and transfer across small threshold changes.
 const DefaultBetaBucketWidth = 0.10
 
+// DefaultPlanCacheCap bounds the number of completed plans the cache keeps
+// resident. Every distinct query shape costs one entry, so an adversarial
+// stream of never-repeating shapes (say, a fresh horizon per request) would
+// otherwise grow the map without bound.
+const DefaultPlanCacheCap = 1024
+
 // PlanKey identifies a family of queries that can share a partition plan.
 type PlanKey struct {
 	Model      string // model identity (the process being simulated)
@@ -43,6 +50,7 @@ type PlanKey struct {
 	Horizon    int    // query horizon
 	Ratio      int    // splitting ratio the plan was tuned for
 	Search     string // search strategy ("greedy", "balanced(tau,m)", ...)
+	Start      int    // start-state drift bucket (0 for canonical initial states)
 }
 
 // SearchFunc runs a level search and returns the plan plus the simulator
@@ -50,12 +58,18 @@ type PlanKey struct {
 type SearchFunc func(ctx context.Context) (core.Plan, int64, error)
 
 // cacheEntry is one memoized (or in-flight) search. ready is closed when
-// plan/steps/err are final.
+// plan/steps/err are final. elem is the entry's node in the LRU list; it
+// is nil while the search is in flight (in-flight entries are never
+// evicted — waiters hold a pointer to the entry, not to the map slot).
+// doomed marks an in-flight entry invalidated mid-search: its result is
+// handed to the waiters but discarded instead of retained.
 type cacheEntry struct {
-	ready chan struct{}
-	plan  core.Plan
-	steps int64
-	err   error
+	ready  chan struct{}
+	plan   core.Plan
+	steps  int64
+	err    error
+	elem   *list.Element
+	doomed bool
 }
 
 // PlanCache memoizes level-partition plans by query shape with
@@ -63,28 +77,50 @@ type cacheEntry struct {
 // concurrent callers for the same key block until it finishes, and later
 // callers get the plan for free. Failed searches are evicted so a
 // transient error (for example a cancelled context) does not poison the
-// key forever.
+// key forever. Completed plans are kept in LRU order and capped, so an
+// adversarial stream of never-repeating query shapes cannot grow the
+// cache without bound.
 type PlanCache struct {
 	bucketWidth float64
+	capacity    int
 
 	mu      sync.Mutex
 	entries map[PlanKey]*cacheEntry
+	lru     *list.List // completed keys, front = most recently used
 
 	hits        atomic.Int64
 	misses      atomic.Int64
+	evictions   atomic.Int64
+	invalidated atomic.Int64
 	searchSteps atomic.Int64
+}
+
+// CacheOption configures a PlanCache beyond its bucket width.
+type CacheOption func(*PlanCache)
+
+// WithCacheCapacity caps the number of completed plans kept resident
+// (default DefaultPlanCacheCap); the least recently used plan is evicted
+// beyond the cap. n <= 0 removes the cap.
+func WithCacheCapacity(n int) CacheOption {
+	return func(c *PlanCache) { c.capacity = n }
 }
 
 // NewPlanCache builds a cache with the given relative threshold-bucket
 // width; width <= 0 selects DefaultBetaBucketWidth.
-func NewPlanCache(bucketWidth float64) *PlanCache {
+func NewPlanCache(bucketWidth float64, opts ...CacheOption) *PlanCache {
 	if bucketWidth <= 0 {
 		bucketWidth = DefaultBetaBucketWidth
 	}
-	return &PlanCache{
+	c := &PlanCache{
 		bucketWidth: bucketWidth,
+		capacity:    DefaultPlanCacheCap,
 		entries:     make(map[PlanKey]*cacheEntry),
+		lru:         list.New(),
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // BucketBeta maps a positive threshold onto its logarithmic bucket: two
@@ -110,8 +146,11 @@ func (c *PlanCache) RepresentativeBeta(beta float64) float64 {
 	return math.Pow(1+c.bucketWidth, float64(b)+0.5)
 }
 
-// Key assembles a PlanKey for a threshold query shape.
-func (c *PlanCache) Key(model, observer string, beta float64, horizon, ratio int, search string) PlanKey {
+// Key assembles a PlanKey for a threshold query shape. start is the
+// start-state drift bucket — 0 for queries answered from a model's
+// canonical initial state, and the bucketed normalized start value for
+// standing queries maintained against a live state (internal/stream).
+func (c *PlanCache) Key(model, observer string, beta float64, horizon, ratio int, search string, start int) PlanKey {
 	return PlanKey{
 		Model:      model,
 		Observer:   observer,
@@ -119,6 +158,7 @@ func (c *PlanCache) Key(model, observer string, beta float64, horizon, ratio int
 		Horizon:    horizon,
 		Ratio:      ratio,
 		Search:     search,
+		Start:      start,
 	}
 }
 
@@ -140,18 +180,29 @@ func (c *PlanCache) GetOrSearch(ctx context.Context, key PlanKey, search SearchF
 			// Steps were burned whether or not the search succeeded; the
 			// cost accounting must not hide failed or cancelled searches.
 			c.searchSteps.Add(e.steps)
-			if e.err != nil {
-				// Evict so the next caller can retry; waiters see the error.
-				c.mu.Lock()
-				delete(c.entries, key)
-				c.mu.Unlock()
+			c.mu.Lock()
+			if c.entries[key] == e {
+				if e.err != nil || e.doomed {
+					// Failed searches evict so the next caller can retry
+					// (waiters see the error through the entry they hold);
+					// searches invalidated mid-flight are discarded rather
+					// than retained, so the next lookup re-searches.
+					delete(c.entries, key)
+				} else {
+					e.elem = c.lru.PushFront(key)
+					c.enforceCapLocked()
+				}
 			}
+			c.mu.Unlock()
 			close(e.ready)
 			if e.err != nil {
 				return core.Plan{}, e.steps, false, e.err
 			}
 			c.misses.Add(1)
 			return e.plan, e.steps, false, nil
+		}
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
 		}
 		c.mu.Unlock()
 
@@ -171,6 +222,51 @@ func (c *PlanCache) GetOrSearch(ctx context.Context, key PlanKey, search SearchF
 		c.hits.Add(1)
 		return e.plan, 0, true, nil
 	}
+}
+
+// enforceCapLocked evicts least-recently-used completed entries beyond the
+// capacity. Callers must hold c.mu. In-flight entries are not in the LRU
+// and never count against the cap.
+func (c *PlanCache) enforceCapLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		key := back.Value.(PlanKey)
+		c.lru.Remove(back)
+		delete(c.entries, key)
+		c.evictions.Add(1)
+	}
+}
+
+// Invalidate removes every completed plan whose key matches pred and
+// reports how many were dropped. It is the hook live-state subsystems use
+// when a model's dynamics change (say, a stream is re-registered with a
+// recalibrated process): plans tuned for the old dynamics remain unbiased
+// but may be badly shaped, so they are dropped and re-searched on next
+// use. A search still in flight keeps deduplicating concurrent callers
+// until it finishes — they receive its (stale but unbiased) plan — and
+// is then discarded instead of retained; such entries are not counted.
+func (c *PlanCache) Invalidate(pred func(PlanKey) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, e := range c.entries {
+		if !pred(key) {
+			continue
+		}
+		if e.elem == nil {
+			// In flight: the owner discards the result on completion.
+			e.doomed = true
+			continue
+		}
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
+		n++
+	}
+	c.invalidated.Add(int64(n))
+	return n
 }
 
 // Peek returns the cached plan for key without triggering a search. It
@@ -198,6 +294,8 @@ type CacheStats struct {
 	Entries     int   // completed plans resident
 	Hits        int64 // lookups served from cache (including single-flight waiters)
 	Misses      int64 // lookups whose search completed a plan
+	Evictions   int64 // completed plans dropped by the LRU cap
+	Invalidated int64 // completed plans dropped by Invalidate
 	SearchSteps int64 // total simulator invocations spent on searches, failed ones included
 }
 
@@ -219,6 +317,8 @@ func (c *PlanCache) Stats() CacheStats {
 		Entries:     n,
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Invalidated: c.invalidated.Load(),
 		SearchSteps: c.searchSteps.Load(),
 	}
 }

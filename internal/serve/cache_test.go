@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"durability/internal/core"
 )
@@ -29,7 +30,7 @@ func TestBucketBeta(t *testing.T) {
 
 func TestPlanCacheSingleFlight(t *testing.T) {
 	c := NewPlanCache(0)
-	key := c.Key("walk", "value", 8, 100, 3, "greedy")
+	key := c.Key("walk", "value", 8, 100, 3, "greedy", 0)
 	var searches atomic.Int64
 	release := make(chan struct{})
 	search := func(ctx context.Context) (core.Plan, int64, error) {
@@ -83,7 +84,7 @@ func TestPlanCacheSingleFlight(t *testing.T) {
 
 func TestPlanCacheEvictsFailedSearch(t *testing.T) {
 	c := NewPlanCache(0)
-	key := c.Key("walk", "value", 8, 100, 3, "greedy")
+	key := c.Key("walk", "value", 8, 100, 3, "greedy", 0)
 	boom := errors.New("boom")
 	_, _, _, err := c.GetOrSearch(context.Background(), key, func(context.Context) (core.Plan, int64, error) {
 		return core.Plan{}, 0, boom
@@ -106,9 +107,135 @@ func TestPlanCacheEvictsFailedSearch(t *testing.T) {
 	}
 }
 
+// fill inserts a completed plan for key via a trivial search.
+func fill(t *testing.T, c *PlanCache, key PlanKey, boundary float64) {
+	t.Helper()
+	_, _, _, err := c.GetOrSearch(context.Background(), key, func(context.Context) (core.Plan, int64, error) {
+		return core.MustPlan(boundary), 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(0, WithCacheCapacity(2))
+	keys := []PlanKey{
+		c.Key("walk", "value", 8, 100, 3, "greedy", 0),
+		c.Key("walk", "value", 8, 200, 3, "greedy", 0),
+		c.Key("walk", "value", 8, 300, 3, "greedy", 0),
+	}
+	fill(t, c, keys[0], 0.25)
+	fill(t, c, keys[1], 0.5)
+	// Touch keys[0] so keys[1] becomes the least recently used.
+	if _, _, hit, _ := c.GetOrSearch(context.Background(), keys[0], nil); !hit {
+		t.Fatal("expected hit on resident key")
+	}
+	fill(t, c, keys[2], 0.75)
+
+	if _, ok := c.Peek(keys[1]); ok {
+		t.Fatal("least recently used plan survived past the cap")
+	}
+	for _, k := range []PlanKey{keys[0], keys[2]} {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("recently used plan %v was evicted", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 entries and 1 eviction", st)
+	}
+	// The evicted key is re-searchable.
+	fill(t, c, keys[1], 0.5)
+	if st := c.Stats(); st.Evictions != 2 || st.Entries != 2 {
+		t.Fatalf("stats after refill %+v", st)
+	}
+}
+
+func TestPlanCacheUncapped(t *testing.T) {
+	c := NewPlanCache(0, WithCacheCapacity(-1))
+	for h := 1; h <= 2*DefaultPlanCacheCap; h++ {
+		fill(t, c, c.Key("walk", "value", 8, h, 3, "greedy", 0), 0.5)
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Entries != 2*DefaultPlanCacheCap {
+		t.Fatalf("uncapped cache evicted: %+v", st)
+	}
+}
+
+func TestPlanCacheInvalidate(t *testing.T) {
+	c := NewPlanCache(0)
+	walk := c.Key("walk", "value", 8, 100, 3, "greedy", 0)
+	gbm := c.Key("gbm", "value", 8, 100, 3, "greedy", 0)
+	fill(t, c, walk, 0.25)
+	fill(t, c, gbm, 0.5)
+
+	n := c.Invalidate(func(k PlanKey) bool { return k.Model == "walk" })
+	if n != 1 {
+		t.Fatalf("invalidated %d entries, want 1", n)
+	}
+	if _, ok := c.Peek(walk); ok {
+		t.Fatal("invalidated plan still resident")
+	}
+	if _, ok := c.Peek(gbm); !ok {
+		t.Fatal("unrelated plan was dropped")
+	}
+	if st := c.Stats(); st.Invalidated != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Invalidation racing an in-flight search: the search's result must not
+	// be resurrected into the cache, but single-flight keeps holding until
+	// the doomed search completes — a waiter gets its result rather than
+	// starting a duplicate search.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.GetOrSearch(context.Background(), walk, func(context.Context) (core.Plan, int64, error) {
+			close(started)
+			<-release
+			return core.MustPlan(0.75), 1, nil
+		})
+	}()
+	<-started
+	c.Invalidate(func(k PlanKey) bool { return k.Model == "walk" })
+	waited := make(chan core.Plan, 1)
+	go func() {
+		plan, _, _, err := c.GetOrSearch(context.Background(), walk, func(context.Context) (core.Plan, int64, error) {
+			t.Error("waiter started a duplicate search for a doomed in-flight key")
+			return core.Plan{}, 0, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		waited <- plan
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block on the in-flight entry
+	close(release)
+	<-done
+	if plan := <-waited; len(plan.Boundaries) != 1 || plan.Boundaries[0] != 0.75 {
+		t.Fatalf("waiter got %v, want the doomed search's plan", plan)
+	}
+	if _, ok := c.Peek(walk); ok {
+		t.Fatal("search finishing after invalidation re-inserted its plan")
+	}
+}
+
+func TestStartBucketSeparatesKeys(t *testing.T) {
+	c := NewPlanCache(0)
+	a := c.Key("walk", "value", 8, 100, 3, "greedy", 0)
+	b := c.Key("walk", "value", 8, 100, 3, "greedy", 2)
+	if a == b {
+		t.Fatal("distinct start buckets produced the same plan key")
+	}
+	if planSeed(a) == planSeed(b) {
+		t.Fatal("distinct start buckets share a search seed")
+	}
+}
+
 func TestPlanCacheWaiterRespectsContext(t *testing.T) {
 	c := NewPlanCache(0)
-	key := c.Key("walk", "value", 8, 100, 3, "greedy")
+	key := c.Key("walk", "value", 8, 100, 3, "greedy", 0)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	go c.GetOrSearch(context.Background(), key, func(context.Context) (core.Plan, int64, error) {

@@ -70,6 +70,14 @@ type Spec struct {
 	Seed       uint64
 	SimWorkers int // parallel simulation workers within this one query
 
+	// StartBucket is the drift bucket of the start state for plan keying.
+	// Queries answered from a model's canonical initial state leave it 0;
+	// standing queries maintained against a live state (internal/stream)
+	// bucket the normalized start value, so a level plan is re-searched
+	// only when the live state drifts across a bucket boundary — and
+	// returning to a previously visited bucket reuses its plan for free.
+	StartBucket int
+
 	Stop  mc.Any // stopping rules; at least one required
 	Trace func(mc.Result)
 }
@@ -124,7 +132,7 @@ func (s *Spec) searchTag() string {
 // scheduling luck) of whichever query triggered the search.
 func planSeed(key PlanKey) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d\x00%s", key.Model, key.Observer, key.BetaBucket, key.Horizon, key.Ratio, key.Search)
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d\x00%s\x00%d", key.Model, key.Observer, key.BetaBucket, key.Horizon, key.Ratio, key.Search, key.Start)
 	seed := h.Sum64()
 	if seed == 0 {
 		seed = 1
@@ -154,12 +162,13 @@ func (s *Spec) searchFunc(beta float64, seed uint64) SearchFunc {
 	}
 }
 
-// resolvePlan obtains the level partition for an MLSS query, through the
+// ResolvePlan obtains the level partition for an MLSS query, through the
 // cache when one is configured. Cached searches run at the bucket's
 // representative threshold with a key-derived seed; uncached searches run
 // at the query's own threshold and seed, reproducing Run's per-query
-// behavior exactly.
-func (r *Runner) resolvePlan(ctx context.Context, s *Spec) (core.Plan, Meta, error) {
+// behavior exactly. It is exported for callers that sample incrementally
+// themselves (internal/stream) but still want plan memoization.
+func (r *Runner) ResolvePlan(ctx context.Context, s *Spec) (core.Plan, Meta, error) {
 	if s.PlanMode == PlanFixed {
 		return s.Plan, Meta{Plan: s.Plan}, nil
 	}
@@ -170,12 +179,17 @@ func (r *Runner) resolvePlan(ctx context.Context, s *Spec) (core.Plan, Meta, err
 		}
 		return plan, Meta{Plan: plan, SearchSteps: steps}, nil
 	}
-	key := r.Cache.Key(s.ModelID, s.ObserverID, s.Beta, s.Horizon, s.Ratio, s.searchTag())
+	key := s.planKey(r.Cache)
 	plan, steps, hit, err := r.Cache.GetOrSearch(ctx, key, s.searchFunc(r.Cache.RepresentativeBeta(s.Beta), planSeed(key)))
 	if err != nil {
 		return core.Plan{}, Meta{SearchSteps: steps}, err
 	}
 	return plan, Meta{Plan: plan, SearchSteps: steps, CacheHit: hit}, nil
+}
+
+// planKey assembles the spec's cache key.
+func (s *Spec) planKey(c *PlanCache) PlanKey {
+	return c.Key(s.ModelID, s.ObserverID, s.Beta, s.Horizon, s.Ratio, s.searchTag(), s.StartBucket)
 }
 
 // PeekPlan reports the cached plan that would serve the spec's shape, if
@@ -184,7 +198,7 @@ func (r *Runner) PeekPlan(s Spec) (core.Plan, bool) {
 	if r.Cache == nil || s.PlanMode == PlanFixed {
 		return core.Plan{}, false
 	}
-	return r.Cache.Peek(r.Cache.Key(s.ModelID, s.ObserverID, s.Beta, s.Horizon, s.Ratio, s.searchTag()))
+	return r.Cache.Peek(s.planKey(r.Cache))
 }
 
 // Run answers one query. The result's Steps include the level-search cost
@@ -209,7 +223,7 @@ func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
 	}
 
 	cq := core.Query{Value: core.ThresholdValue(s.Obs, s.Beta), Horizon: s.Horizon}
-	plan, meta, err := r.resolvePlan(ctx, &s)
+	plan, meta, err := r.ResolvePlan(ctx, &s)
 	if err != nil {
 		return mc.Result{Steps: meta.SearchSteps}, meta, err
 	}

@@ -80,6 +80,9 @@ type Config struct {
 	// BetaBucketWidth is the plan cache's relative threshold-bucket width
 	// (default DefaultBetaBucketWidth).
 	BetaBucketWidth float64
+	// PlanCacheCap caps the number of completed plans kept resident
+	// (default DefaultPlanCacheCap; negative removes the cap).
+	PlanCacheCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -165,10 +168,14 @@ type Server struct {
 // the pool.
 func NewServer(registry Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cap := cfg.PlanCacheCap
+	if cap == 0 {
+		cap = DefaultPlanCacheCap
+	}
 	s := &Server{
 		cfg:      cfg,
 		registry: registry,
-		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth)},
+		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth, WithCacheCapacity(cap))},
 		models:   make(map[string]*builtModel),
 		queue:    make(chan *job, cfg.QueueDepth),
 	}
@@ -198,6 +205,12 @@ func (s *Server) Close() {
 	close(s.queue)
 	s.wg.Wait()
 }
+
+// Runner exposes the server's query runner (and through it the shared
+// plan cache), so sibling subsystems — the standing-query engine of
+// internal/stream in particular — amortize their level searches against
+// the same cache the one-shot query path fills.
+func (s *Server) Runner() *Runner { return s.runner }
 
 // Do submits a query and waits for its answer. Admission control is
 // immediate: a full queue rejects with ErrOverloaded instead of blocking,

@@ -32,31 +32,35 @@ type Stats struct {
 	SearchSteps int64 `json:"searchSteps"`
 
 	// Plan cache effectiveness.
-	PlanEntries int     `json:"planEntries"`
-	PlanHits    int64   `json:"planHits"`
-	PlanMisses  int64   `json:"planMisses"`
-	PlanHitRate float64 `json:"planHitRate"`
-	TotalSteps  int64   `json:"totalSteps"`
-	SearchShare float64 `json:"searchShare"` // SearchSteps / TotalSteps
+	PlanEntries     int     `json:"planEntries"`
+	PlanHits        int64   `json:"planHits"`
+	PlanMisses      int64   `json:"planMisses"`
+	PlanEvictions   int64   `json:"planEvictions"`
+	PlanInvalidated int64   `json:"planInvalidated"`
+	PlanHitRate     float64 `json:"planHitRate"`
+	TotalSteps      int64   `json:"totalSteps"`
+	SearchShare     float64 `json:"searchShare"` // SearchSteps / TotalSteps
 }
 
 // Stats snapshots the server counters and its plan cache.
 func (s *Server) Stats() Stats {
 	cache := s.runner.Cache.Stats()
 	out := Stats{
-		QueriesServed: s.stats.served.Load(),
-		Errors:        s.stats.errors.Load(),
-		Rejected:      s.stats.rejected.Load(),
-		InFlight:      s.stats.inFlight.Load(),
-		QueueDepth:    s.stats.queueDepth.Load(),
-		QueueCap:      s.cfg.QueueDepth,
-		PoolWorkers:   s.cfg.PoolWorkers,
-		SampleSteps:   s.stats.sampleSteps.Load(),
-		SearchSteps:   cache.SearchSteps,
-		PlanEntries:   cache.Entries,
-		PlanHits:      cache.Hits,
-		PlanMisses:    cache.Misses,
-		PlanHitRate:   cache.HitRate(),
+		QueriesServed:   s.stats.served.Load(),
+		Errors:          s.stats.errors.Load(),
+		Rejected:        s.stats.rejected.Load(),
+		InFlight:        s.stats.inFlight.Load(),
+		QueueDepth:      s.stats.queueDepth.Load(),
+		QueueCap:        s.cfg.QueueDepth,
+		PoolWorkers:     s.cfg.PoolWorkers,
+		SampleSteps:     s.stats.sampleSteps.Load(),
+		SearchSteps:     cache.SearchSteps,
+		PlanEntries:     cache.Entries,
+		PlanHits:        cache.Hits,
+		PlanMisses:      cache.Misses,
+		PlanEvictions:   cache.Evictions,
+		PlanInvalidated: cache.Invalidated,
+		PlanHitRate:     cache.HitRate(),
 	}
 	out.TotalSteps = out.SampleSteps + out.SearchSteps
 	if out.TotalSteps > 0 {

@@ -1,0 +1,492 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"durability/internal/core"
+	"durability/internal/mc"
+	"durability/internal/rng"
+	"durability/internal/serve"
+	"durability/internal/stochastic"
+	"sync"
+)
+
+// ErrSubscriptionClosed reports use of a closed subscription.
+var ErrSubscriptionClosed = errors.New("stream: subscription closed")
+
+// SubSpec describes one standing durability query: the probability that
+// Obs(state) >= Beta at any time within Horizon steps of the live state
+// it is registered against.
+type SubSpec struct {
+	Stream     string              // live state the query stands against
+	Obs        stochastic.Observer // quantity thresholded
+	ObserverID string              // observer identity for plan caching
+	Beta       float64             // threshold
+	Horizon    int                 // sliding horizon, in steps from "now"
+
+	Ratio      int    // splitting ratio (default 3)
+	Seed       uint64 // base random seed (default 1)
+	SimWorkers int    // parallel simulation workers per refresh (default 1)
+
+	// DriftTol and MaxAge override the engine's survival tolerance and
+	// age cap for this subscription (0 keeps the engine default). They
+	// are the staleness/cost dial: a wider tolerance keeps root paths
+	// alive longer and makes ticks cheaper, but lets the answer lag a
+	// faster-moving state further.
+	DriftTol float64
+	MaxAge   int64
+
+	// Stop is the quality target each maintained answer is restored to —
+	// typically a relative-error or CI-width rule, optionally alongside a
+	// Budget bounding the root pool. Default: 10% relative error.
+	Stop mc.Any
+}
+
+// driftTol resolves the subscription's survival tolerance.
+func (s SubSpec) driftTol(cfg Config) float64 {
+	if s.DriftTol > 0 {
+		return s.DriftTol
+	}
+	return cfg.DriftTol
+}
+
+// maxAge resolves the subscription's batch age cap.
+func (s SubSpec) maxAge(cfg Config) int64 {
+	if s.MaxAge > 0 {
+		return s.MaxAge
+	}
+	return cfg.MaxAgeTicks
+}
+
+func (s SubSpec) withDefaults() (SubSpec, error) {
+	if s.Stream == "" {
+		return s, errors.New("stream: subscription names no stream")
+	}
+	if s.Obs == nil {
+		return s, errors.New("stream: subscription has no observer")
+	}
+	if s.Beta <= 0 {
+		return s, fmt.Errorf("stream: threshold %v must be positive", s.Beta)
+	}
+	if s.Horizon <= 0 {
+		return s, fmt.Errorf("stream: horizon %d must be positive", s.Horizon)
+	}
+	if s.Ratio <= 0 {
+		s.Ratio = 3
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.SimWorkers <= 0 {
+		s.SimWorkers = 1
+	}
+	if len(s.Stop) == 0 {
+		s.Stop = mc.Any{mc.RETarget{Target: 0.10}}
+	}
+	return s, nil
+}
+
+// Answer is one maintained answer to a standing query, together with the
+// accounting of what its refresh cost.
+type Answer struct {
+	// Result is the estimate over the current root pool. Paths and Steps
+	// describe the whole surviving pool (the cost embodied in the
+	// answer), not this refresh; Elapsed is this refresh's wall time.
+	Result mc.Result
+	// Tick is the stream tick the answer corresponds to.
+	Tick int64
+	// Satisfied reports that the condition holds at the live state right
+	// now, making the answer trivially 1 with no sampling.
+	Satisfied bool
+
+	// Per-refresh maintenance cost: fresh root trees simulated, their
+	// simulator invocations, and any plan-search invocations paid.
+	FreshRoots  int64
+	FreshSteps  int64
+	SearchSteps int64
+
+	// Pool movement: SurvivedRoots are roots carried over from previous
+	// ticks that still contribute to this answer; DroppedRoots were
+	// deleted by age; PoolRoots is the whole retained pool, including
+	// dormant roots kept for revival if the state drifts back to them.
+	SurvivedRoots int64
+	DroppedRoots  int64
+	PoolRoots     int64
+
+	// Plan handling: Replanned marks a drift-bucket crossing that
+	// re-resolved the plan; PlanCached marks the resolution coming from
+	// the shared plan cache rather than a fresh search.
+	Replanned  bool
+	PlanCached bool
+
+	// Capped reports the refresh hit MaxRefreshSteps before restoring
+	// the quality target — the answer is the best available, below
+	// target.
+	Capped bool
+}
+
+// P returns the maintained point estimate.
+func (a Answer) P() float64 { return a.Result.P }
+
+// Refresh is the outcome of maintaining one subscription on one update.
+type Refresh struct {
+	SubID  uint64
+	Answer Answer
+	Err    error
+}
+
+// batch is the unit of root survival: the g-MLSS sufficient statistics
+// of a small set of root trees simulated from one snapshot of the live
+// state, with equal-size bootstrap groups for variance estimation. A
+// batch contributes to the answer while it is "active" — simulated under
+// the current plan, from the current start level, with a start value
+// within the drift tolerance of the live state. An inactive batch stays
+// in the pool dormant and revives when the state drifts back into its
+// neighborhood (the revisit case); only age deletes it.
+type batch struct {
+	tick      int64     // tick the roots were simulated at
+	f0        float64   // normalized start value z/beta at simulation time
+	initLevel int       // start level under the plan at simulation time
+	plan      core.Plan // the plan the trees were split under
+	roots     int64
+	steps     int64
+	agg       core.Counters
+	groups    []core.Counters
+}
+
+// SubStats is lifetime cost accounting for one subscription.
+type SubStats struct {
+	Refreshes   int64 // refreshes performed (including the initial one)
+	FreshRoots  int64 // root trees simulated
+	FreshSteps  int64 // simulator invocations spent on fresh roots
+	SearchSteps int64 // plan-search invocations paid by this subscription
+	Replans     int64 // drift-bucket crossings that re-resolved the plan
+}
+
+// Subscription is one registered standing query. Its answer is refreshed
+// by the engine on every update of the stream it stands against; readers
+// poll Answer or block on Wait.
+type Subscription struct {
+	id     uint64
+	engine *Engine
+	ls     *liveState
+	spec   SubSpec
+
+	// Maintenance state, touched only while holding ls.mu (refreshes of
+	// one stream are serialized by the engine).
+	havePlan  bool
+	plan      core.Plan
+	bucket    int // drift bucket the plan was resolved for
+	batches   []*batch
+	nextRoot  int64 // next root index; strictly increasing so substreams never repeat
+	bootSrc   *rng.Source
+	destroyed bool // removed from ls.subs
+
+	// Published state, guarded by mu so readers never contend with a
+	// running refresh.
+	mu     sync.Mutex
+	answer Answer
+	notify chan struct{} // closed and replaced on every stored answer
+	closed bool
+	stats  SubStats
+}
+
+// ID returns the subscription's engine-unique identifier.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Stream returns the name of the live state the query stands against.
+func (s *Subscription) Stream() string { return s.ls.name }
+
+// Spec returns the subscription's (defaulted) specification.
+func (s *Subscription) Spec() SubSpec { return s.spec }
+
+// Answer returns the latest maintained answer.
+func (s *Subscription) Answer() Answer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.answer
+}
+
+// Stats returns the subscription's lifetime cost accounting.
+func (s *Subscription) Stats() SubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Wait blocks until the maintained answer corresponds to a tick later
+// than since, then returns it — the long-poll primitive network front
+// ends build on. It returns early with the context's error on
+// cancellation, or ErrSubscriptionClosed once the subscription closes.
+func (s *Subscription) Wait(ctx context.Context, since int64) (Answer, error) {
+	s.mu.Lock()
+	for {
+		if s.answer.Tick > since {
+			ans := s.answer
+			s.mu.Unlock()
+			return ans, nil
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return Answer{}, ErrSubscriptionClosed
+		}
+		ch := s.notify
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return Answer{}, ctx.Err()
+		}
+		s.mu.Lock()
+	}
+}
+
+// Publish is the single-subscriber convenience for Engine.Update: it
+// publishes a new snapshot of the subscription's stream (refreshing every
+// subscription on it) and returns this subscription's refreshed answer.
+func (s *Subscription) Publish(ctx context.Context, st stochastic.State) (Answer, error) {
+	refreshes, err := s.engine.Update(ctx, s.ls.name, st)
+	if err != nil {
+		return Answer{}, err
+	}
+	for _, r := range refreshes {
+		if r.SubID == s.id {
+			return r.Answer, r.Err
+		}
+	}
+	return Answer{}, ErrSubscriptionClosed
+}
+
+// Close deregisters the subscription, releases its root pool and wakes
+// any Wait callers. It is idempotent.
+func (s *Subscription) Close() {
+	s.ls.mu.Lock()
+	if !s.destroyed {
+		s.destroyed = true
+		delete(s.ls.subs, s.id)
+		s.batches = nil
+	}
+	s.ls.mu.Unlock()
+
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.notify)
+	}
+	s.mu.Unlock()
+}
+
+// forceReplan drops the plan and the root pool; the caller holds ls.mu.
+// It is the invalidation hook Register uses when a stream's dynamics are
+// replaced: plans and counters simulated under the old process must not
+// leak into answers under the new one.
+func (s *Subscription) forceReplan() {
+	s.havePlan = false
+	s.batches = nil
+}
+
+// store publishes a refreshed answer and updates the lifetime counters.
+func (s *Subscription) store(ans Answer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.answer = ans
+	s.stats.Refreshes++
+	s.stats.FreshRoots += ans.FreshRoots
+	s.stats.FreshSteps += ans.FreshSteps
+	s.stats.SearchSteps += ans.SearchSteps
+	if ans.Replanned {
+		s.stats.Replans++
+	}
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// refresh maintains the answer against a new snapshot of the live state.
+// The caller holds ls.mu, which serializes refreshes per stream; proc and
+// state are the stream's current dynamics and snapshot, tick its clock.
+//
+// The maintenance sequence is: resolve the plan (re-searching only when
+// the normalized start value crossed a drift-bucket boundary, and then
+// usually hitting the shared plan cache), expire aged batches, select
+// the surviving batches still within drift tolerance of the new state,
+// and top up with fresh root trees from the new state until the quality
+// target holds again.
+func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, state stochastic.State, tick int64) (Answer, error) {
+	e := s.engine
+	cfg := e.cfg
+	start := time.Now()
+	ans := Answer{Tick: tick}
+	defer e.refreshes.Add(1)
+
+	if s.bootSrc == nil {
+		// Dedicated resampling stream, disjoint from the root substreams.
+		s.bootSrc = rng.NewStream(s.spec.Seed^s.id, 1<<62)
+	}
+
+	value := core.ThresholdValue(s.spec.Obs, s.spec.Beta)
+	f0 := s.spec.Obs(state) / s.spec.Beta
+	if f0 >= 1 {
+		// The condition holds at the live state itself: the answer is 1
+		// with certainty and no simulation. The pool is left in place —
+		// if the state recedes below the threshold, surviving batches
+		// resume contributing (age and drift pruning still apply).
+		ans.Satisfied = true
+		ans.Result = mc.Result{P: 1, Elapsed: time.Since(start)}
+		s.store(ans)
+		return ans, nil
+	}
+
+	bucket := int(math.Floor(math.Max(f0, 0) / cfg.StartBucketWidth))
+	sspec := serve.Spec{
+		Proc:       pinned{proc: proc, st: state},
+		Obs:        s.spec.Obs,
+		ModelID:    s.ls.name,
+		ObserverID: s.spec.ObserverID,
+		Beta:       s.spec.Beta,
+		Horizon:    s.spec.Horizon,
+		Method:     serve.GMLSS,
+		PlanMode:   serve.PlanAuto,
+		Ratio:      s.spec.Ratio,
+		Seed:       s.spec.Seed,
+		SimWorkers: s.spec.SimWorkers,
+		// Offset by one so standing-query keys can never alias the
+		// constant StartBucket 0 of point-in-time queries, whose plans
+		// are searched from the model's canonical initial state. f0 is
+		// clamped at 0 above, so the offset bucket is always >= 1.
+		StartBucket: 1 + bucket,
+		Stop:        s.spec.Stop,
+	}
+	if !s.havePlan || bucket != s.bucket {
+		plan, meta, err := e.runner.ResolvePlan(ctx, &sspec)
+		ans.SearchSteps = meta.SearchSteps
+		e.searchSteps.Add(meta.SearchSteps)
+		if err != nil {
+			// Keep the previous plan and answer; the next update retries.
+			return s.Answer(), fmt.Errorf("stream: resolving plan: %w", err)
+		}
+		ans.Replanned = s.havePlan
+		ans.PlanCached = meta.CacheHit
+		if s.havePlan {
+			e.replans.Add(1)
+		}
+		s.plan, s.bucket, s.havePlan = plan, bucket, true
+	}
+	m := s.plan.M()
+	initLevel := s.plan.LevelOf(value(state, 0))
+
+	// Age pruning bounds the pool; everything else is kept, dormant
+	// batches included, so a revisit finds its roots alive.
+	s.expire(tick, &ans)
+
+	// Survival: a batch contributes to this answer when its trees were
+	// split under the current plan, start from the current level, and its
+	// start value is within the drift tolerance of the new state.
+	tol := s.spec.driftTol(cfg)
+	active := make([]*batch, 0, len(s.batches)+1)
+	for _, b := range s.batches {
+		ans.PoolRoots += b.roots
+		if b.initLevel == initLevel && math.Abs(b.f0-f0) <= tol && b.plan.Equal(s.plan) {
+			active = append(active, b)
+			ans.SurvivedRoots += b.roots
+		}
+	}
+
+	// Top up with fresh root trees from the new state until the quality
+	// target is restored.
+	g := &core.GMLSS{
+		Proc:    sspec.Proc,
+		Query:   core.Query{Value: value, Horizon: s.spec.Horizon},
+		Plan:    s.plan,
+		Ratio:   s.spec.Ratio,
+		Stop:    mc.Budget{Steps: 1}, // unused by RunRoots; validation wants a rule
+		Seed:    s.spec.Seed,
+		Workers: s.spec.SimWorkers,
+	}
+	res := s.evaluate(active, m, initLevel)
+	var err error
+	for !s.spec.Stop.Done(res) {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			ans.Capped = true
+			break
+		}
+		if ans.FreshSteps >= cfg.MaxRefreshSteps {
+			ans.Capped = true
+			break
+		}
+		lo, hi := s.nextRoot, s.nextRoot+int64(cfg.TopUpRoots)
+		shard, serr := g.RunRoots(ctx, lo, hi, cfg.TopUpRoots/cfg.GroupRoots)
+		if serr != nil {
+			err = serr
+			ans.Capped = true
+			break
+		}
+		s.nextRoot = hi
+		ans.FreshRoots += shard.Roots
+		ans.FreshSteps += shard.Steps
+		ans.PoolRoots += shard.Roots
+		e.freshRoots.Add(shard.Roots)
+		e.freshSteps.Add(shard.Steps)
+		b := &batch{
+			tick: tick, f0: f0, initLevel: initLevel, plan: s.plan,
+			roots: shard.Roots, steps: shard.Steps,
+			agg: shard.Agg, groups: shard.Groups,
+		}
+		s.batches = append(s.batches, b)
+		active = append(active, b)
+		res = s.evaluate(active, m, initLevel)
+	}
+	res.Elapsed = time.Since(start)
+	ans.Result = res
+	s.store(ans)
+	return ans, err
+}
+
+// expire deletes batches older than MaxAgeTicks, booking their roots into
+// the answer's drop accounting. The caller holds ls.mu.
+func (s *Subscription) expire(tick int64, ans *Answer) {
+	maxAge := s.spec.maxAge(s.engine.cfg)
+	kept := s.batches[:0]
+	for _, b := range s.batches {
+		if tick-b.tick > maxAge {
+			ans.DroppedRoots += b.roots
+			s.engine.dropped.Add(b.roots)
+			continue
+		}
+		kept = append(kept, b)
+	}
+	// Zero the tail so dropped batches are collectable.
+	for i := len(kept); i < len(s.batches); i++ {
+		s.batches[i] = nil
+	}
+	s.batches = kept
+}
+
+// evaluate computes the merged estimate and bootstrap variance over the
+// active batches. The caller holds ls.mu.
+func (s *Subscription) evaluate(active []*batch, m, initLevel int) mc.Result {
+	agg := core.NewCounters(m)
+	var roots, steps int64
+	groups := make([]core.Counters, 0, len(active)*2)
+	for _, b := range active {
+		agg.Add(b.agg)
+		roots += b.roots
+		steps += b.steps
+		groups = append(groups, b.groups...)
+	}
+	res := mc.Result{Paths: roots, Steps: steps, Hits: int64(agg.Hits)}
+	if roots == 0 {
+		res.Variance = math.Inf(1)
+		return res
+	}
+	res.P = core.EstimateFromCounters(agg, roots, m, initLevel)
+	res.Variance = core.BootstrapVarianceFromGroups(groups, int64(s.engine.cfg.GroupRoots), m, initLevel, s.engine.cfg.BootstrapReps, s.bootSrc)
+	return res
+}

@@ -43,6 +43,11 @@ type (
 	// ModelDB is the embedded model database of §6.4: parameter tables,
 	// stored-procedure query execution and sample-path materialisation.
 	ModelDB = simdb.DB
+	// Scalar is the single-value state used by RandomWalk, GBM and
+	// CompoundPoisson. It is exported so live feeds can publish observed
+	// values directly into standing queries: Publish(ctx, "ticker",
+	// &Scalar{V: price}).
+	Scalar = stochastic.Scalar
 )
 
 // NewTandemQueue builds the paper's tandem queue: Poisson arrivals at rate

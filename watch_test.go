@@ -1,0 +1,174 @@
+package durability
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"durability/internal/rng"
+)
+
+func TestSessionWatchMaintainsAnswer(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewSession(&RandomWalk{Sigma: 1},
+		WithRelativeErrorTarget(0.15), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Z: ScalarValue, Beta: 20, Horizon: 100}
+	sub, err := s.Watch(ctx, "live", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	first := sub.Answer()
+	if first.P() <= 0 || first.P() >= 1 {
+		t.Fatalf("initial answer %v outside (0,1)", first.P())
+	}
+	if first.FreshSteps == 0 {
+		t.Fatal("initial answer did no sampling")
+	}
+
+	// Publishing a nearby state maintains the answer incrementally.
+	refreshes, err := s.Publish(ctx, "live", &Scalar{V: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refreshes) != 1 {
+		t.Fatalf("%d refreshes, want 1", len(refreshes))
+	}
+	ans := refreshes[0].Answer
+	if ans.SurvivedRoots == 0 {
+		t.Fatalf("no roots carried forward: %+v", ans)
+	}
+	if ans.FreshSteps+ans.SearchSteps >= first.FreshSteps+first.SearchSteps {
+		t.Fatalf("maintenance (%d steps) cost as much as the cold start (%d)",
+			ans.FreshSteps+ans.SearchSteps, first.FreshSteps+first.SearchSteps)
+	}
+	if st := s.StreamStats(); st.Streams != 1 || st.Subscriptions != 1 || st.Ticks != 1 {
+		t.Fatalf("stream stats %+v", st)
+	}
+}
+
+func TestWatchRejectsIncompatibleOptions(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewSession(&RandomWalk{Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Z: ScalarValue, Beta: 20, Horizon: 100}
+	if _, err := s.Watch(ctx, "live", q, WithMethod(SRS)); err == nil {
+		t.Error("Watch accepted SRS")
+	}
+	if _, err := s.Watch(ctx, "live", q, WithMethod(SMLSS)); err == nil {
+		t.Error("Watch accepted s-MLSS")
+	}
+	if _, err := s.Watch(ctx, "live", q, WithPlan(0.5)); err == nil {
+		t.Error("Watch accepted a fixed plan")
+	}
+	if _, err := s.Watch(ctx, "live", q, WithBalancedLevels(0.01, 4)); err == nil {
+		t.Error("Watch accepted balanced levels")
+	}
+	if _, err := s.Watch(ctx, "live", Query{Z: ScalarValue, Beta: -1, Horizon: 100}); err == nil {
+		t.Error("Watch accepted an invalid query")
+	}
+}
+
+func TestPackageWatch(t *testing.T) {
+	ctx := context.Background()
+	sub, err := Watch(ctx, &RandomWalk{Sigma: 1},
+		Query{Z: ScalarValue, Beta: 20, Horizon: 100},
+		WithRelativeErrorTarget(0.15), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ans, err := sub.Publish(ctx, &Scalar{V: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Tick != 1 || ans.P() <= 0 {
+		t.Fatalf("published answer %+v", ans)
+	}
+}
+
+// TestLiveTickerIncrementalBeatsCold is the acceptance benchmark behind
+// examples/live-ticker: a standing query maintained over a market stream
+// must cost at least 5x fewer simulation steps per tick than re-running
+// the query cold (same quality target) at that tick's state.
+func TestLiveTickerIncrementalBeatsCold(t *testing.T) {
+	const (
+		s0        = 100.0
+		beta      = 130.0
+		horizon   = 250
+		ticks     = 200
+		coldEvery = 25
+	)
+	ctx := context.Background()
+	market := &GBM{S0: s0, Mu: 0.0003, Sigma: 0.01}
+	q := Query{Z: ScalarValue, Beta: beta, Horizon: horizon, ZName: "price"}
+	target := []Option{WithRelativeErrorTarget(0.10), WithSeed(42)}
+
+	s, err := NewSession(market, target...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.Watch(ctx, "ticker", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// The live feed: the market's own dynamics driven tick by tick.
+	feed := market.Initial()
+	src := rng.NewStream(2026, 0)
+	var incrementalSteps, coldSteps int64
+	coldRuns := 0
+	for tick := 1; tick <= ticks; tick++ {
+		market.Step(feed, tick, src)
+		refreshes, err := s.Publish(ctx, "ticker", feed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans := refreshes[0].Answer
+		if refreshes[0].Err != nil {
+			t.Fatal(refreshes[0].Err)
+		}
+		incrementalSteps += ans.FreshSteps + ans.SearchSteps
+
+		if tick%coldEvery != 0 || ans.Satisfied {
+			continue
+		}
+		// Cold baseline: answer the same query from the current price
+		// with a fresh Run — full level search plus full sampling.
+		price := ScalarValue(feed)
+		cold, err := Run(ctx, &GBM{S0: price, Mu: market.Mu, Sigma: market.Sigma}, q, target...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldSteps += cold.Steps
+		coldRuns++
+		// The maintained answer must agree with the cold answer: its pool
+		// mixes roots started within the drift tolerance, so allow a
+		// factor-2 band on top of both runs' 10% relative-error targets.
+		if ans.P() < cold.P/2 || ans.P() > cold.P*2 {
+			t.Errorf("tick %d: maintained answer %v vs cold %v", tick, ans.P(), cold.P)
+		}
+	}
+	if coldRuns == 0 {
+		t.Fatal("no cold comparison ran")
+	}
+
+	perTick := float64(incrementalSteps) / float64(ticks)
+	perCold := float64(coldSteps) / float64(coldRuns)
+	ratio := perCold / perTick
+	t.Logf("incremental: %.0f steps/tick over %d ticks; cold: %.0f steps/query over %d runs; ratio %.1fx",
+		perTick, ticks, perCold, coldRuns, ratio)
+	if ratio < 5 {
+		t.Fatalf("incremental refresh saved only %.1fx steps per tick vs cold, want >= 5x", ratio)
+	}
+	if math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		t.Fatalf("degenerate ratio %v", ratio)
+	}
+}
