@@ -2,9 +2,11 @@
 // many simulator steps a query costs cold (durability.Run: level search
 // plus full sampling) versus maintained incrementally as a standing
 // query over a live stream (durability.Watch), at the same quality
-// target. It writes the numbers as JSON — scripts/bench emits
-// BENCH_serve.json at the repository root — so successive PRs can track
-// the serve/stream performance trajectory.
+// target — and, when -workers > 0, the same maintenance sharded across
+// an in-process worker fleet through the execution seam of
+// internal/exec. It writes the numbers as a JSON array — scripts/bench
+// emits BENCH_serve.json at the repository root — so successive PRs can
+// track the serve/stream performance trajectory.
 //
 //	go run ./cmd/durbench -out BENCH_serve.json
 package main
@@ -18,18 +20,24 @@ import (
 	"os"
 
 	"durability"
+	"durability/internal/cluster"
+	"durability/internal/exec"
+	"durability/internal/mc"
 	"durability/internal/rng"
+	"durability/internal/stochastic"
+	"durability/internal/stream"
 )
 
-// benchReport is the BENCH_serve.json schema.
+// benchReport is one entry of the BENCH_serve.json array.
 type benchReport struct {
 	Scenario string  `json:"scenario"`
+	Backend  string  `json:"backend"`
 	Ticks    int     `json:"ticks"`
 	RelErr   float64 `json:"relErrTarget"`
 
-	// Cold path: durability.Run at sampled ticks.
-	ColdRuns          int     `json:"coldRuns"`
-	ColdStepsPerQuery float64 `json:"coldStepsPerQuery"`
+	// Cold path: durability.Run at sampled ticks (local scenario only).
+	ColdRuns          int     `json:"coldRuns,omitempty"`
+	ColdStepsPerQuery float64 `json:"coldStepsPerQuery,omitempty"`
 
 	// Incremental path: standing-query maintenance.
 	IncrementalStepsPerTick float64 `json:"incrementalStepsPerTick"`
@@ -37,9 +45,18 @@ type benchReport struct {
 	Replans                 int64   `json:"replans"`
 
 	// The headline: cold steps per query divided by incremental steps
-	// per tick.
+	// per tick. The sharded scenario reuses the local cold baseline —
+	// the cold path is the same either way.
 	Speedup float64 `json:"speedup"`
 }
+
+const (
+	s0      = 100.0
+	beta    = 130.0
+	horizon = 250
+	mu      = 0.0003
+	sigma   = 0.01
+)
 
 func main() {
 	var (
@@ -48,16 +65,12 @@ func main() {
 		coldEvery = flag.Int("cold-every", 50, "cold re-run sampling interval (ticks)")
 		re        = flag.Float64("re", 0.10, "relative-error target for both paths")
 		seed      = flag.Uint64("seed", 42, "base random seed")
+		workers   = flag.Int("workers", 2, "in-process shard workers for the sharded scenario (0 = skip)")
 	)
 	flag.Parse()
 
-	const (
-		s0      = 100.0
-		beta    = 130.0
-		horizon = 250
-	)
 	ctx := context.Background()
-	market := &durability.GBM{S0: s0, Mu: 0.0003, Sigma: 0.01}
+	market := &durability.GBM{S0: s0, Mu: mu, Sigma: sigma}
 	query := durability.Query{Z: durability.ScalarValue, Beta: beta, Horizon: horizon, ZName: "price"}
 	target := []durability.Option{
 		durability.WithRelativeErrorTarget(*re),
@@ -107,8 +120,9 @@ func main() {
 		log.Fatal("durbench: no cold run completed (stream stayed above threshold?)")
 	}
 
-	report := benchReport{
+	local := benchReport{
 		Scenario:                fmt.Sprintf("gbm(s0=%.0f) beta=%.0f horizon=%d", s0, beta, horizon),
+		Backend:                 "local",
 		Ticks:                   *ticks,
 		RelErr:                  *re,
 		ColdRuns:                coldRuns,
@@ -117,9 +131,30 @@ func main() {
 		FreshRootsPerTick:       float64(freshRoots) / float64(*ticks),
 		Replans:                 session.StreamStats().Replans,
 	}
-	report.Speedup = report.ColdStepsPerQuery / report.IncrementalStepsPerTick
+	local.Speedup = local.ColdStepsPerQuery / local.IncrementalStepsPerTick
+	reports := []benchReport{local}
 
-	blob, err := json.MarshalIndent(report, "", "  ")
+	if *workers > 0 {
+		sharded, err := runSharded(ctx, *workers, *ticks, *re, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sharded.ColdRuns = 0
+		sharded.Speedup = local.ColdStepsPerQuery / sharded.IncrementalStepsPerTick
+		// The two scenarios resolve their subscription settings through
+		// different paths (the public Session options vs a hand-built
+		// stream.SubSpec in runSharded); the headline claim is that equal
+		// settings make the backends' costs bit-for-bit equal, so if the
+		// paths ever drift apart the comparison must announce itself as
+		// broken rather than quietly compare two configurations.
+		if sharded.IncrementalStepsPerTick != local.IncrementalStepsPerTick {
+			log.Printf("durbench: WARNING: sharded scenario diverged from local (%.3f vs %.3f steps/tick) — runSharded's SubSpec no longer mirrors the Session defaults",
+				sharded.IncrementalStepsPerTick, local.IncrementalStepsPerTick)
+		}
+		reports = append(reports, sharded)
+	}
+
+	blob, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,6 +162,77 @@ func main() {
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("durbench: cold %.0f steps/query, incremental %.0f steps/tick (%.1fx) -> %s\n",
-		report.ColdStepsPerQuery, report.IncrementalStepsPerTick, report.Speedup, *out)
+	for _, r := range reports {
+		fmt.Printf("durbench[%s]: incremental %.0f steps/tick (%.1fx vs cold %.0f steps/query)\n",
+			r.Backend, r.IncrementalStepsPerTick, r.Speedup, local.ColdStepsPerQuery)
+	}
+	fmt.Printf("durbench: wrote %d scenarios -> %s\n", len(reports), *out)
+}
+
+// runSharded maintains the same standing query over the cluster
+// execution backend: n in-process rpc workers on loopback listeners,
+// each rebuilding the market model from its registry. The live feed is
+// driven by the same seeds as the local scenario, so the maintained
+// answers — not just the costs — are directly comparable.
+func runSharded(ctx context.Context, n, ticks int, re float64, seed uint64) (benchReport, error) {
+	// The observer is registered under the name the local scenario keys
+	// its plans with ("price", the query's ZName), so both scenarios
+	// search identical plans and their costs compare like for like.
+	reg := cluster.Registry{
+		"gbm-bench": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return &stochastic.GBM{S0: s0, Mu: mu, Sigma: sigma}, map[string]stochastic.Observer{"price": stochastic.ScalarValue}, nil
+		},
+	}
+	addrs, stop, err := cluster.ServeLocal(reg, n, 2)
+	if err != nil {
+		return benchReport{}, err
+	}
+	defer stop()
+	backend := exec.NewCluster(addrs...)
+	defer backend.Close()
+
+	market := &stochastic.GBM{S0: s0, Mu: mu, Sigma: sigma}
+	eng := stream.NewEngine(stream.Config{Exec: backend})
+	if err := eng.RegisterModel("bench", "gbm-bench", market, market.Initial()); err != nil {
+		return benchReport{}, err
+	}
+	sub, err := eng.Subscribe(ctx, stream.SubSpec{
+		Stream:     "bench",
+		Obs:        stochastic.ScalarValue,
+		ObserverID: "price",
+		Beta:       beta,
+		Horizon:    horizon,
+		Seed:       seed,
+		Stop:       mc.Any{mc.RETarget{Target: re}},
+	})
+	if err != nil {
+		return benchReport{}, err
+	}
+	defer sub.Close()
+
+	feed := market.Initial()
+	src := rng.NewStream(2026, 0)
+	var incSteps, freshRoots int64
+	for tick := 1; tick <= ticks; tick++ {
+		market.Step(feed, tick, src)
+		refreshes, err := eng.Update(ctx, "bench", feed)
+		if err != nil {
+			return benchReport{}, err
+		}
+		if refreshes[0].Err != nil {
+			return benchReport{}, refreshes[0].Err
+		}
+		ans := refreshes[0].Answer
+		incSteps += ans.FreshSteps + ans.SearchSteps
+		freshRoots += ans.FreshRoots
+	}
+	return benchReport{
+		Scenario:                fmt.Sprintf("gbm(s0=%.0f) beta=%.0f horizon=%d", s0, beta, horizon),
+		Backend:                 fmt.Sprintf("cluster(%d workers)", n),
+		Ticks:                   ticks,
+		RelErr:                  re,
+		IncrementalStepsPerTick: float64(incSteps) / float64(ticks),
+		FreshRootsPerTick:       float64(freshRoots) / float64(ticks),
+		Replans:                 eng.Stats().Replans,
+	}, nil
 }

@@ -1,6 +1,10 @@
 // Command durcluster runs the distributed MLSS execution of §3.1: one
 // process per machine in worker mode, plus one coordinator that fans root
-// paths out, merges counters and stops at the quality target.
+// paths out, merges counters and stops at the quality target. The
+// coordinator rides the pluggable execution seam of internal/exec — the
+// same cluster backend durserve mounts with -workers — so a query here is
+// bit-for-bit the run a single machine would have produced at the same
+// seed.
 //
 // Start two workers (different machines or ports):
 //
@@ -27,17 +31,20 @@ import (
 
 	"durability/internal/cluster"
 	coreq "durability/internal/core"
+	"durability/internal/exec"
 	"durability/internal/experiments"
 	"durability/internal/mc"
 	"durability/internal/opt"
 	"durability/internal/stochastic"
 )
 
-// registry exposes the evaluation models under stable names.
+// registry exposes the evaluation models under stable names. Every model
+// publishes its canonical observable as "value", the name shard requests
+// default to.
 func registry() cluster.Registry {
 	fromSpec := func(spec *experiments.Spec) cluster.ModelFactory {
-		return func() (stochastic.Process, stochastic.Observer, error) {
-			return spec.Proc, spec.Obs, nil
+		return func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return spec.Proc, map[string]stochastic.Observer{"value": spec.Obs}, nil
 		}
 	}
 	return cluster.Registry{
@@ -45,25 +52,26 @@ func registry() cluster.Registry {
 		"cpp":            fromSpec(experiments.CPPSpec()),
 		"volatile-queue": fromSpec(experiments.VolatileQueueSpec()),
 		"volatile-cpp":   fromSpec(experiments.VolatileCPPSpec()),
-		"walk": func() (stochastic.Process, stochastic.Observer, error) {
-			return &stochastic.RandomWalk{Sigma: 1}, stochastic.ScalarValue, nil
+		"walk": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return &stochastic.RandomWalk{Sigma: 1}, map[string]stochastic.Observer{"value": stochastic.ScalarValue}, nil
 		},
 	}
 }
 
 func main() {
 	var (
-		serve   = flag.String("serve", "", "worker mode: listen on this address")
-		local   = flag.Int("local-workers", 4, "worker mode: local simulation parallelism")
-		model   = flag.String("model", "queue", "coordinator: model name")
-		beta    = flag.Float64("beta", 58, "coordinator: threshold")
-		horizon = flag.Int("horizon", 500, "coordinator: time horizon")
-		re      = flag.Float64("re", 0.1, "coordinator: relative-error target")
-		budget  = flag.Int64("budget", 2_000_000_000, "coordinator: hard step budget")
-		ratio   = flag.Int("ratio", 3, "coordinator: splitting ratio")
-		seed    = flag.Uint64("seed", 1, "coordinator: random seed")
-		peers   = flag.String("peers", "", "coordinator: comma-separated worker addresses")
-		bounds  = flag.String("levels", "", "coordinator: comma-separated boundaries in (0,1); empty = greedy search")
+		serve      = flag.String("serve", "", "worker mode: listen on this address")
+		local      = flag.Int("local-workers", 4, "worker mode: local simulation parallelism")
+		model      = flag.String("model", "queue", "coordinator: model name")
+		beta       = flag.Float64("beta", 58, "coordinator: threshold")
+		horizon    = flag.Int("horizon", 500, "coordinator: time horizon")
+		re         = flag.Float64("re", 0.1, "coordinator: relative-error target")
+		budget     = flag.Int64("budget", 2_000_000_000, "coordinator: hard step budget")
+		ratio      = flag.Int("ratio", 3, "coordinator: splitting ratio")
+		seed       = flag.Uint64("seed", 1, "coordinator: random seed")
+		peers      = flag.String("peers", "", "coordinator: comma-separated worker addresses")
+		bounds     = flag.String("levels", "", "coordinator: comma-separated boundaries in (0,1); empty = greedy search")
+		batchRoots = flag.Int("batch-roots", 256, "coordinator: root paths per synchronization round (fixed regardless of fleet size, so results are identical across peer counts)")
 	)
 	flag.Parse()
 	reg := registry()
@@ -88,6 +96,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "durcluster: unknown model %q\n", *model)
 		os.Exit(1)
 	}
+	proc, observers, err := factory()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "durcluster:", err)
+		os.Exit(1)
+	}
+	obs := observers["value"]
 
 	var boundaries []float64
 	if *bounds != "" {
@@ -100,11 +114,6 @@ func main() {
 			boundaries = append(boundaries, v)
 		}
 	} else {
-		proc, obs, err := factory()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "durcluster:", err)
-			os.Exit(1)
-		}
 		prob := &opt.Problem{
 			Proc:  proc,
 			Query: coreq.Query{Value: coreq.ThresholdValue(obs, *beta), Horizon: *horizon},
@@ -120,17 +129,31 @@ func main() {
 		fmt.Printf("greedy levels: %v (search cost %d steps)\n", boundaries, g.SearchSteps)
 	}
 
-	coord := &cluster.Coordinator{
+	var addrs []string
+	for _, a := range strings.Split(*peers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "durcluster: -peers names no worker addresses")
+		os.Exit(1)
+	}
+	backend := exec.NewCluster(addrs...)
+	defer backend.Close()
+	res, err := exec.Sample(context.Background(), backend, exec.Task{
+		Proc:       proc,
+		Obs:        obs,
 		Model:      *model,
 		Beta:       *beta,
 		Horizon:    *horizon,
 		Boundaries: boundaries,
 		Ratio:      *ratio,
-		Stop:       mc.Any{mc.RETarget{Target: *re}, mc.Budget{Steps: *budget}},
 		Seed:       *seed,
-		Registry:   reg,
-	}
-	res, err := coord.Run(context.Background(), strings.Split(*peers, ","))
+	}, exec.SampleOptions{
+		Stop:       mc.Any{mc.RETarget{Target: *re}, mc.Budget{Steps: *budget}},
+		BatchRoots: *batchRoots,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "durcluster:", err)
 		os.Exit(1)

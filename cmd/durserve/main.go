@@ -36,6 +36,20 @@
 // maintenance engine's cost accounting. The -tick flag auto-advances
 // every live stream on an interval, turning the daemon into a
 // self-contained live demo.
+//
+// Both query paths can shard their simulation across a worker fleet —
+// the §3.1 parallelization, behind the pluggable execution seam of
+// internal/exec. Start shard workers (same binary, same model flags, one
+// per machine), then point the serving daemon at them:
+//
+//	durserve -worker 127.0.0.1:7070 &
+//	durserve -worker 127.0.0.1:7071 &
+//	durserve -addr :8077 -workers 127.0.0.1:7070,127.0.0.1:7071
+//
+// Root path i draws from PRNG substream i regardless of which worker
+// simulates it, so a sharded daemon returns bit-for-bit the answers a
+// single-machine daemon would; a worker dying mid-query costs a retry,
+// not the answer.
 package main
 
 import (
@@ -46,12 +60,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"durability/internal/cluster"
+	"durability/internal/exec"
 	"durability/internal/serve"
 )
 
@@ -68,6 +86,11 @@ func main() {
 		bucket     = flag.Float64("bucket", serve.DefaultBetaBucketWidth, "plan-cache threshold bucket width (relative)")
 		planCache  = flag.Int("plan-cache", serve.DefaultPlanCacheCap, "plan-cache capacity (completed plans; < 0 = unlimited)")
 		tick       = flag.Duration("tick", 0, "auto-advance every live stream on this interval (0 = ticks only via POST /tick)")
+		workers    = flag.String("workers", "", "comma-separated shard-worker addresses; g-MLSS simulation is distributed across them")
+		worker     = flag.String("worker", "", "run as a shard worker on this address instead of serving HTTP")
+		localSim   = flag.Int("worker-sim", 4, "worker mode: local simulation parallelism per shard")
+		batchRoots = flag.Int("batch-roots", 0, "one-shot queries: root paths per round (0 = 256); a round spreads over at most batch-roots/16 workers")
+		topUpRoots = flag.Int("topup-roots", 0, "standing queries: fresh root paths per refresh top-up (0 = 64); a top-up spreads over at most topup-roots/16 workers")
 
 		// queue parameters
 		lambda = flag.Float64("lambda", 0.5, "queue: arrival rate")
@@ -92,6 +115,32 @@ func main() {
 		u0: *u0, premium: *premium, claimLam: *claimLam, claimLo: *claimLo, claimHi: *claimHi,
 		start: *start, drift: *drift, sigma: *sigma, s0: *s0,
 	})
+
+	if *worker != "" {
+		// Shard-worker mode: serve root-path ranges over rpc for a
+		// durserve (or durcluster) coordinator. The registry is the same
+		// one the HTTP daemon queries, so a fleet started with identical
+		// model flags simulates identical dynamics.
+		ln, err := net.Listen("tcp", *worker)
+		if err != nil {
+			log.Fatalf("durserve: %v", err)
+		}
+		addr := cluster.Serve(cluster.NewWorker(clusterRegistry(registry), *localSim), ln)
+		log.Printf("durserve: shard worker serving on %s (%d local sim workers)", addr, *localSim)
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		return
+	}
+
+	var backend exec.Executor
+	if *workers != "" {
+		cl := exec.NewCluster(strings.Split(*workers, ",")...)
+		defer cl.Close()
+		backend = cl
+		log.Printf("durserve: distributing g-MLSS simulation across %s", *workers)
+	}
+
 	srv := serve.NewServer(registry, serve.Config{
 		PoolWorkers:     *pool,
 		QueueDepth:      *queueDepth,
@@ -102,9 +151,11 @@ func main() {
 		Seed:            *seed,
 		BetaBucketWidth: *bucket,
 		PlanCacheCap:    *planCache,
+		Executor:        backend,
+		ExecBatchRoots:  *batchRoots,
 	})
 	defer srv.Close()
-	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed)
+	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed, backend, *topUpRoots)
 	if *tick > 0 {
 		ticker := time.NewTicker(*tick)
 		defer ticker.Stop()

@@ -11,6 +11,13 @@ import (
 )
 
 func testServer(t *testing.T) *httptest.Server {
+	ts, _ := testServerHub(t)
+	return ts
+}
+
+// testServerHub also hands back the hub, for tests that drive handlers
+// directly or inspect hub internals.
+func testServerHub(t *testing.T) (*httptest.Server, *streamHub) {
 	t.Helper()
 	registry := buildRegistry(modelParams{
 		lambda: 0.5, mu1: 2, mu2: 2,
@@ -19,10 +26,10 @@ func testServer(t *testing.T) *httptest.Server {
 	})
 	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1})
 	t.Cleanup(srv.Close)
-	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1)
+	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0)
 	ts := httptest.NewServer(newMux(srv, hub))
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, hub
 }
 
 func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, serve.Response) {

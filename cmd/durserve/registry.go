@@ -2,6 +2,7 @@ package main
 
 import (
 	"durability"
+	"durability/internal/cluster"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
 )
@@ -12,6 +13,18 @@ type modelParams struct {
 	lambda, mu1, mu2                        float64
 	u0, premium, claimLam, claimLo, claimHi float64
 	start, drift, sigma, s0                 float64
+}
+
+// clusterRegistry adapts the serving registry for the shard-worker rpc
+// service: the factory shapes are identical, only the named types
+// differ, so a worker fleet started with the same model flags simulates
+// exactly what the HTTP daemon would.
+func clusterRegistry(reg serve.Registry) cluster.Registry {
+	out := make(cluster.Registry, len(reg))
+	for name, factory := range reg {
+		out[name] = cluster.ModelFactory(factory)
+	}
+	return out
 }
 
 // buildRegistry assembles the serving registry from the built-in models,

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"durability/internal/cluster"
+	"durability/internal/exec"
+	"durability/internal/serve"
+)
+
+// shardedServer builds the -workers configuration end to end: shard
+// workers serving the same registry as the HTTP daemon, with both the
+// query server and the stream hub on the cluster backend.
+func shardedServer(t *testing.T, nWorkers int) (*httptest.Server, *httptest.Server) {
+	t.Helper()
+	registry := buildRegistry(modelParams{
+		lambda: 0.5, mu1: 2, mu2: 2,
+		u0: 15, premium: 6, claimLam: 0.8, claimLo: 5, claimHi: 10,
+		sigma: 1, s0: 1000,
+	})
+
+	addrs, stop, err := cluster.ServeLocal(clusterRegistry(registry), nWorkers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+	backend := exec.NewCluster(addrs...)
+	t.Cleanup(backend.Close)
+
+	shardedSrv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Executor: backend})
+	t.Cleanup(shardedSrv.Close)
+	shardedHub := newStreamHub(shardedSrv, registry, 0.15, 50_000_000, 1, backend, 0)
+	sharded := httptest.NewServer(newMux(shardedSrv, shardedHub))
+	t.Cleanup(sharded.Close)
+
+	localSrv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Executor: exec.Local{}})
+	t.Cleanup(localSrv.Close)
+	localHub := newStreamHub(localSrv, registry, 0.15, 50_000_000, 1, exec.Local{}, 0)
+	local := httptest.NewServer(newMux(localSrv, localHub))
+	t.Cleanup(local.Close)
+	return sharded, local
+}
+
+// A daemon sharding across workers must answer one-shot queries and
+// maintain standing queries bit-for-bit as the single-machine daemon
+// does, straight through the HTTP surface.
+func TestShardedDaemonMatchesLocal(t *testing.T) {
+	sharded, local := shardedServer(t, 2)
+
+	const query = `{"model":"walk","beta":12,"horizon":100,"re":0.2,"seed":7}`
+	sresp, sout := postQuery(t, sharded, query)
+	lresp, lout := postQuery(t, local, query)
+	if sresp.StatusCode != 200 || lresp.StatusCode != 200 {
+		t.Fatalf("query status sharded %d, local %d", sresp.StatusCode, lresp.StatusCode)
+	}
+	if sout.P != lout.P || sout.Steps != lout.Steps || sout.Paths != lout.Paths {
+		t.Fatalf("sharded query (P=%v, steps=%d, paths=%d) differs from local (P=%v, steps=%d, paths=%d)",
+			sout.P, sout.Steps, sout.Paths, lout.P, lout.Steps, lout.Paths)
+	}
+
+	const subBody = `{"model":"walk","beta":15,"horizon":100,"re":0.2,"seed":7}`
+	ssub := subscribe(t, sharded, subBody)
+	lsub := subscribe(t, local, subBody)
+	if ssub.Answer.P != lsub.Answer.P || ssub.Answer.FreshSteps != lsub.Answer.FreshSteps {
+		t.Fatalf("sharded initial answer (P=%v, freshSteps=%d) differs from local (P=%v, freshSteps=%d)",
+			ssub.Answer.P, ssub.Answer.FreshSteps, lsub.Answer.P, lsub.Answer.FreshSteps)
+	}
+
+	// Both hubs drive the feed with the same seed, so the live states —
+	// and therefore the maintained answers — stay in lockstep.
+	for i := 0; i < 3; i++ {
+		_, sraw := postJSON(t, sharded, "/tick", `{"stream":"walk"}`)
+		_, lraw := postJSON(t, local, "/tick", `{"stream":"walk"}`)
+		var stk, ltk tickResponse
+		if err := json.Unmarshal(sraw, &stk); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(lraw, &ltk); err != nil {
+			t.Fatal(err)
+		}
+		sa, la := stk.Refreshes[0].Answer, ltk.Refreshes[0].Answer
+		if sa.P != la.P || sa.FreshSteps != la.FreshSteps || sa.SurvivedRoots != la.SurvivedRoots {
+			t.Fatalf("tick %d: sharded answer (P=%v, fresh=%d, survived=%d) differs from local (P=%v, fresh=%d, survived=%d)",
+				i+1, sa.P, sa.FreshSteps, sa.SurvivedRoots, la.P, la.FreshSteps, la.SurvivedRoots)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"durability/internal/exec"
 	"durability/internal/mc"
 	"durability/internal/rng"
 	"durability/internal/serve"
@@ -32,10 +33,11 @@ type streamHub struct {
 	maxBudget     int64
 	seed          uint64
 
-	mu     sync.Mutex
-	nextID int64
-	subs   map[string]*stream.Subscription
-	feeds  map[string]*feed
+	mu       sync.Mutex
+	nextID   int64
+	subs     map[string]*stream.Subscription
+	feeds    map[string]*feed
+	tickErrs map[string]int64 // auto-tick failures per stream
 }
 
 // feed is the live state the hub advances for one stream: the model's own
@@ -54,7 +56,7 @@ type feed struct {
 	steps int
 }
 
-func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr float64, maxBudget int64, seed uint64) *streamHub {
+func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr float64, maxBudget int64, seed uint64, backend exec.Executor, topUpRoots int) *streamHub {
 	if defaultRelErr <= 0 {
 		defaultRelErr = 0.10
 	}
@@ -65,13 +67,14 @@ func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr floa
 		seed = 1
 	}
 	return &streamHub{
-		engine:        stream.NewEngine(stream.Config{Runner: srv.Runner()}),
+		engine:        stream.NewEngine(stream.Config{Runner: srv.Runner(), Exec: backend, TopUpRoots: topUpRoots}),
 		registry:      registry,
 		defaultRelErr: defaultRelErr,
 		maxBudget:     maxBudget,
 		seed:          seed,
 		subs:          make(map[string]*stream.Subscription),
 		feeds:         make(map[string]*feed),
+		tickErrs:      make(map[string]int64),
 	}
 }
 
@@ -182,7 +185,9 @@ func (h *streamHub) ensureFeed(streamName, model string) (*feed, error) {
 		return nil, fmt.Errorf("%w: building model %q: %v", serve.ErrInternal, model, err)
 	}
 	state := proc.Initial()
-	if err := h.engine.Register(streamName, proc, state); err != nil {
+	// The model name rides along as the stream's registry identity, so a
+	// distributed execution backend can rebuild the model on its workers.
+	if err := h.engine.RegisterModel(streamName, model, proc, state); err != nil {
 		return nil, err
 	}
 	f := &feed{
@@ -350,7 +355,9 @@ func (h *streamHub) tick(ctx context.Context, req tickRequest) (tickResponse, er
 }
 
 // autoTick advances every known stream once; the -tick flag drives it on
-// a timer.
+// a timer. One stream's failure must not starve the others — the sweep
+// continues past it and the failure is booked in the per-stream error
+// counters GET /streams exposes.
 func (h *streamHub) autoTick(ctx context.Context) {
 	h.mu.Lock()
 	names := make([]string, 0, len(h.feeds))
@@ -360,7 +367,9 @@ func (h *streamHub) autoTick(ctx context.Context) {
 	h.mu.Unlock()
 	for _, name := range names {
 		if _, err := h.tick(ctx, tickRequest{Stream: name, Steps: 1}); err != nil {
-			return
+			h.mu.Lock()
+			h.tickErrs[name]++
+			h.mu.Unlock()
 		}
 	}
 }
@@ -402,7 +411,11 @@ func (h *streamHub) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, toAnswerJSON(ans))
 	case errors.Is(err, stream.ErrSubscriptionClosed):
 		httpError(w, http.StatusGone, err)
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// An expired wait — or the client abandoning its own long poll —
+		// is the protocol working, not a gateway failure: clients simply
+		// re-arm. (Canceled used to map to 504 and count as a server
+		// error, miscoloring every aborted poll in the error stats.)
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		httpError(w, http.StatusGatewayTimeout, err)
@@ -413,11 +426,22 @@ func (h *streamHub) handleUpdates(w http.ResponseWriter, r *http.Request) {
 type streamStats struct {
 	Engine        stream.EngineStats `json:"engine"`
 	Subscriptions int                `json:"subscriptions"`
+	// TickErrors counts auto-tick sweeps that failed, per stream; a
+	// failing stream no longer stops the sweep, so these are the only
+	// trace it leaves.
+	TickErrors map[string]int64 `json:"tickErrors,omitempty"`
 }
 
 func (h *streamHub) stats() streamStats {
 	h.mu.Lock()
 	n := len(h.subs)
+	var tickErrs map[string]int64
+	if len(h.tickErrs) > 0 {
+		tickErrs = make(map[string]int64, len(h.tickErrs))
+		for name, c := range h.tickErrs {
+			tickErrs[name] = c
+		}
+	}
 	h.mu.Unlock()
-	return streamStats{Engine: h.engine.Stats(), Subscriptions: n}
+	return streamStats{Engine: h.engine.Stats(), Subscriptions: n, TickErrors: tickErrs}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -290,5 +291,162 @@ func TestQueryMalformedBodiesAre400(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("body %q: status %d (%s), want 400", body, resp.StatusCode, raw)
 		}
+	}
+}
+
+// A stream that fails to tick must not starve the rest of the auto-tick
+// sweep (the old sweep returned on the first error), and its failures
+// must be visible as per-stream counters in GET /streams.
+func TestAutoTickContinuesPastFailingStream(t *testing.T) {
+	ts, hub := testServerHub(t)
+	subscribe(t, ts, `{"model":"walk","beta":15,"horizon":100,"re":0.2}`)
+
+	// Inject broken feeds: they exist in the hub's sweep but were never
+	// registered with the engine, so every tick of them fails. Three of
+	// them make "the healthy stream happened to sort first every sweep"
+	// vanishingly unlikely under the old early-return behavior.
+	hub.mu.Lock()
+	proc := hub.feeds["walk"].proc
+	for _, name := range []string{"broken-a", "broken-b", "broken-c"} {
+		hub.feeds[name] = &feed{
+			model: "walk", proc: proc,
+			state: proc.Initial(), src: feedSource(1, name),
+		}
+	}
+	hub.mu.Unlock()
+
+	const sweeps = 4
+	for i := 0; i < sweeps; i++ {
+		hub.autoTick(context.Background())
+	}
+
+	tick, ok := hub.engine.Tick("walk")
+	if !ok || tick != sweeps {
+		t.Fatalf("healthy stream at tick %d after %d sweeps, want %d (starved by a failing sibling?)", tick, sweeps, sweeps)
+	}
+	st := hub.stats()
+	for _, name := range []string{"broken-a", "broken-b", "broken-c"} {
+		if st.TickErrors[name] != sweeps {
+			t.Errorf("stream %q: %d tick errors recorded, want %d", name, st.TickErrors[name], sweeps)
+		}
+	}
+	if st.TickErrors["walk"] != 0 {
+		t.Errorf("healthy stream booked %d tick errors", st.TickErrors["walk"])
+	}
+}
+
+// A client abandoning its own long poll is the protocol working: the
+// aborted request must drain as 204 like an expired wait, not as a 504
+// server error.
+func TestUpdatesAbortedLongPollIs204(t *testing.T) {
+	ts, hub := testServerHub(t)
+	sub := subscribe(t, ts, `{"model":"walk","beta":15,"horizon":100,"re":0.2}`)
+
+	req := httptest.NewRequest(http.MethodGet,
+		fmt.Sprintf("/updates?id=%s&since=0&timeoutSec=30", sub.ID), nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel() // the client has already gone away
+	rec := httptest.NewRecorder()
+	hub.handleUpdates(rec, req.WithContext(ctx))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("aborted long poll: status %d, want 204", rec.Code)
+	}
+}
+
+// POST /tick with steps > 1 refreshes every subscription once per step
+// but reports only the final step's refresh outcomes — one entry per
+// subscription at the final tick, not steps x subscriptions. This pins
+// the wire contract clients re-arm against.
+func TestTickMultiStepReturnsOnlyLastStepRefreshes(t *testing.T) {
+	ts := testServer(t)
+	s1 := subscribe(t, ts, `{"model":"walk","beta":15,"horizon":100,"re":0.2}`)
+	s2 := subscribe(t, ts, `{"model":"walk","beta":18,"horizon":100,"re":0.2}`)
+
+	resp, raw := postJSON(t, ts, "/tick", `{"stream":"walk","steps":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick status %d: %s", resp.StatusCode, raw)
+	}
+	var tk tickResponse
+	if err := json.Unmarshal(raw, &tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Tick != 3 {
+		t.Fatalf("tick %d after steps=3, want 3", tk.Tick)
+	}
+	if len(tk.Refreshes) != 2 {
+		t.Fatalf("%d refresh outcomes for 2 subscriptions over 3 steps, want exactly 2 (last step only)", len(tk.Refreshes))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range tk.Refreshes {
+		if r.Answer.Tick != 3 {
+			t.Errorf("refresh for sub %d reports tick %d, want the final tick 3", r.SubID, r.Answer.Tick)
+		}
+		seen[r.SubID] = true
+	}
+	if !seen[s1.SubID] || !seen[s2.SubID] {
+		t.Fatalf("refresh outcomes cover subs %v, want both %d and %d", seen, s1.SubID, s2.SubID)
+	}
+}
+
+// Concurrent /tick, /subscribe, /updates and /streams traffic against one
+// hub must be data-race free (the CI race job runs this package with
+// -race) and leave the stream at the exact tick count the ticks summed to.
+func TestConcurrentStreamEndpoints(t *testing.T) {
+	ts, hub := testServerHub(t)
+	subscribe(t, ts, `{"model":"walk","beta":15,"horizon":100,"re":0.3}`)
+
+	const (
+		tickers     = 3
+		ticksEach   = 5
+		subscribers = 3
+		pollers     = 3
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < tickers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < ticksEach; j++ {
+				resp, raw := postJSON(t, ts, "/tick", `{"stream":"walk","steps":1}`)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("tick status %d: %s", resp.StatusCode, raw)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			beta := 14 + i
+			sub := subscribe(t, ts, fmt.Sprintf(`{"model":"walk","beta":%d,"horizon":100,"re":0.3}`, beta))
+			resp, err := http.Get(fmt.Sprintf("%s/updates?id=%s&since=0&timeoutSec=5", ts.URL, sub.ID))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+				t.Errorf("poll status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	for i := 0; i < pollers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/streams")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+
+	if tick, _ := hub.engine.Tick("walk"); tick != tickers*ticksEach {
+		t.Fatalf("stream at tick %d after %d concurrent ticks", tick, tickers*ticksEach)
 	}
 }

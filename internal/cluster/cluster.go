@@ -1,47 +1,53 @@
-// Package cluster implements the distributed MLSS execution sketched in
-// §3.1 of the paper: "Since the simulations of root paths are independent,
-// it is straightforward to parallelize MLSS on a group of machines ... We
-// monitor the progress of simulations and synchronize counters on the
-// machines periodically to produce a running estimate; the procedure
-// stops until the estimate reaches the desired accuracy level."
+// Package cluster implements the worker side of the distributed MLSS
+// execution sketched in §3.1 of the paper: "Since the simulations of root
+// paths are independent, it is straightforward to parallelize MLSS on a
+// group of machines ... We monitor the progress of simulations and
+// synchronize counters on the machines periodically to produce a running
+// estimate; the procedure stops until the estimate reaches the desired
+// accuracy level."
 //
 // A Worker serves shard requests over net/rpc (stdlib, gob-encoded): it
-// rebuilds the model locally from a registered factory, simulates a range
-// of root paths with g-MLSS bookkeeping, and returns the counters. The
-// Coordinator fans root-index ranges out to workers, merges counters,
-// computes the running estimate and its bootstrap variance, and stops when
-// the quality target is met. Determinism carries over: root path i draws
-// from substream i regardless of which worker simulates it, so a cluster
-// run returns bit-for-bit the same estimate as a single-machine run with
-// the same seed.
+// rebuilds the model locally from a registered factory, optionally pins it
+// to a shipped live-state snapshot, simulates a range of root paths with
+// g-MLSS bookkeeping, and returns the counters. The coordination side —
+// fanning root ranges out, retrying dead workers, merging counters and
+// stopping at the quality target — lives in internal/exec as the cluster
+// execution backend, behind the same Executor seam the in-process backend
+// implements. Determinism carries over: root path i draws from substream i
+// regardless of which worker simulates it, so a cluster run returns
+// bit-for-bit the same estimate as a single-machine run with the same
+// seed.
 package cluster
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
-	"sync"
-	"time"
 
 	"durability/internal/core"
 	"durability/internal/mc"
-	"durability/internal/rng"
 	"durability/internal/stochastic"
 )
 
-// ModelFactory rebuilds a model and its observable on a worker.
-type ModelFactory func() (stochastic.Process, stochastic.Observer, error)
+// ModelFactory rebuilds a model and its named observers on a worker. The
+// shape matches internal/serve's registry: processes are not serialisable
+// (they may hold neural networks), so only names travel over the wire.
+type ModelFactory func() (stochastic.Process, map[string]stochastic.Observer, error)
 
 // Registry maps model names to factories. Workers must register every
-// model the coordinator will reference; processes themselves are not
-// serialisable (they may hold neural networks), so only names travel.
+// model a coordinator will reference.
 type Registry map[string]ModelFactory
 
 // ShardRequest asks a worker to simulate root paths [RootLo, RootHi).
 type ShardRequest struct {
-	Model      string
+	Model    string
+	Observer string // observer name; empty selects "value"
+	// Start optionally pins the simulation to a live-state snapshot
+	// instead of the model's canonical initial state — the standing-query
+	// refresh path. The concrete State type must be gob-registered (see
+	// internal/stochastic's registrations).
+	Start      stochastic.State
 	Beta       float64
 	Horizon    int
 	Boundaries []float64
@@ -49,7 +55,13 @@ type ShardRequest struct {
 	Seed       uint64
 	RootLo     int64
 	RootHi     int64
-	Groups     int // bootstrap groups to return (default 16)
+	// GroupRoots fixes the bootstrap grouping by size: every group covers
+	// exactly GroupRoots consecutive root indices, so group boundaries are
+	// identical no matter how a logical root range was sharded across
+	// workers. When 0, Groups is interpreted as a group count (the legacy
+	// form, default 16).
+	GroupRoots int
+	Groups     int
 }
 
 // ShardReply carries the shard's counters back to the coordinator.
@@ -78,9 +90,20 @@ func (w *Worker) Run(req ShardRequest, reply *ShardReply) error {
 	if !ok {
 		return fmt.Errorf("cluster: worker has no model %q", req.Model)
 	}
-	proc, obs, err := factory()
+	proc, observers, err := factory()
 	if err != nil {
 		return err
+	}
+	obsName := req.Observer
+	if obsName == "" {
+		obsName = "value"
+	}
+	obs, ok := observers[obsName]
+	if !ok {
+		return fmt.Errorf("cluster: model %q has no observer %q", req.Model, obsName)
+	}
+	if req.Start != nil {
+		proc = stochastic.Pin(proc, req.Start)
 	}
 	plan, err := core.NewPlan(req.Boundaries...)
 	if err != nil {
@@ -95,16 +118,45 @@ func (w *Worker) Run(req ShardRequest, reply *ShardReply) error {
 		Seed:    req.Seed,
 		Workers: w.workers,
 	}
-	groups := req.Groups
-	if groups <= 0 {
-		groups = 16
+	var res core.ShardResult
+	if req.GroupRoots > 0 {
+		res, err = g.RunRootsBy(context.Background(), req.RootLo, req.RootHi, req.GroupRoots)
+	} else {
+		groups := req.Groups
+		if groups <= 0 {
+			groups = 16
+		}
+		res, err = g.RunRoots(context.Background(), req.RootLo, req.RootHi, groups)
 	}
-	res, err := g.RunRoots(context.Background(), req.RootLo, req.RootHi, groups)
 	if err != nil {
 		return err
 	}
 	reply.Result = res
 	return nil
+}
+
+// ServeLocal starts n workers on loopback listeners — the
+// fleet-in-a-process that tests, benchmarks and examples shard against;
+// real deployments run Serve on one listener per machine instead. It
+// returns the worker addresses and a stop function closing every
+// listener.
+func ServeLocal(reg Registry, n, localWorkers int) (addrs []string, stop func(), err error) {
+	var lns []net.Listener
+	stop = func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, Serve(NewWorker(reg, localWorkers), ln))
+	}
+	return addrs, stop, nil
 }
 
 // Serve registers the worker on an rpc server and serves connections on
@@ -125,184 +177,4 @@ func Serve(w *Worker, ln net.Listener) string {
 		}
 	}()
 	return ln.Addr().String()
-}
-
-// Coordinator drives a durability query across a set of worker addresses.
-type Coordinator struct {
-	Model      string
-	Beta       float64
-	Horizon    int
-	Boundaries []float64
-	Ratio      int
-	Stop       mc.StopRule
-	Seed       uint64
-
-	ShardRoots    int64 // roots per shard request (default 256)
-	BootstrapReps int   // replicates per variance evaluation (default 200)
-
-	// M and InitLevel describe the plan; they are computed from a local
-	// factory so the coordinator can run the estimator without a model.
-	// Registry must contain Model on the coordinator as well.
-	Registry Registry
-}
-
-// Run executes the distributed query against the given worker addresses.
-func (c *Coordinator) Run(ctx context.Context, addrs []string) (mc.Result, error) {
-	if len(addrs) == 0 {
-		return mc.Result{}, errors.New("cluster: no workers")
-	}
-	if c.Stop == nil {
-		return mc.Result{}, errors.New("cluster: coordinator requires a stop rule")
-	}
-	factory, ok := c.Registry[c.Model]
-	if !ok {
-		return mc.Result{}, fmt.Errorf("cluster: coordinator has no model %q", c.Model)
-	}
-	proc, obs, err := factory()
-	if err != nil {
-		return mc.Result{}, err
-	}
-	plan, err := core.NewPlan(c.Boundaries...)
-	if err != nil {
-		return mc.Result{}, err
-	}
-	m := plan.M()
-	initLevel := plan.LevelOf(core.ThresholdValue(obs, c.Beta)(proc.Initial(), 0))
-
-	clients := make([]*rpc.Client, len(addrs))
-	dead := make([]bool, len(addrs))
-	for i, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return mc.Result{}, fmt.Errorf("cluster: dialing %s: %w", addr, err)
-		}
-		clients[i] = rpc.NewClient(conn)
-		defer clients[i].Close()
-	}
-	alive := func() []int {
-		var out []int
-		for i := range clients {
-			if !dead[i] {
-				out = append(out, i)
-			}
-		}
-		return out
-	}
-
-	shardRoots := c.ShardRoots
-	if shardRoots <= 0 {
-		shardRoots = 256
-	}
-	reps := c.BootstrapReps
-	if reps <= 0 {
-		reps = 200
-	}
-	ratio := c.Ratio
-	if ratio <= 0 {
-		ratio = 3
-	}
-
-	start := time.Now()
-	agg := core.NewCounters(m)
-	var groups []core.Counters
-	var rootsPerGroup int64
-	var res mc.Result
-	bootSrc := rng.NewStream(c.Seed, 1<<61)
-	next := int64(0)
-
-	merge := func(r core.ShardResult) {
-		agg.Add(r.Agg)
-		groups = append(groups, r.Groups...)
-		rootsPerGroup = r.Roots / int64(len(r.Groups))
-		res.Steps += r.Steps
-		res.Paths += r.Roots
-		res.Hits += int64(r.Agg.Hits)
-	}
-	call := func(idx int, req ShardRequest) (core.ShardResult, error) {
-		var reply ShardReply
-		if err := clients[idx].Call("Worker.Run", req, &reply); err != nil {
-			return core.ShardResult{}, err
-		}
-		return reply.Result, nil
-	}
-	// retry reassigns a failed shard to the remaining live workers, one
-	// by one. Root ranges travel with the request, so a retried shard
-	// simulates exactly the substreams the dead worker was assigned and
-	// determinism is preserved.
-	retry := func(req ShardRequest, lastErr error) (core.ShardResult, error) {
-		for _, idx := range alive() {
-			r, err := call(idx, req)
-			if err == nil {
-				return r, nil
-			}
-			dead[idx] = true
-			lastErr = err
-		}
-		return core.ShardResult{}, fmt.Errorf("cluster: shard [%d,%d) failed on every live worker: %w",
-			req.RootLo, req.RootHi, lastErr)
-	}
-
-	for {
-		if err := ctx.Err(); err != nil {
-			res.Elapsed = time.Since(start)
-			return res, err
-		}
-		workers := alive()
-		if len(workers) == 0 {
-			res.Elapsed = time.Since(start)
-			return res, errors.New("cluster: no live workers remain")
-		}
-		// One synchronisation round: every live worker simulates one
-		// shard. A worker that fails its shard is marked dead and the
-		// shard is retried on the survivors, so losing a machine mid-run
-		// costs its in-flight shard's work, not the query.
-		type outcome struct {
-			req    ShardRequest
-			result core.ShardResult
-			err    error
-		}
-		results := make([]outcome, len(workers))
-		var wg sync.WaitGroup
-		for i, idx := range workers {
-			req := ShardRequest{
-				Model:      c.Model,
-				Beta:       c.Beta,
-				Horizon:    c.Horizon,
-				Boundaries: c.Boundaries,
-				Ratio:      ratio,
-				Seed:       c.Seed,
-				RootLo:     next,
-				RootHi:     next + shardRoots,
-				Groups:     16,
-			}
-			next += shardRoots
-			results[i].req = req
-			wg.Add(1)
-			go func(i, idx int, req ShardRequest) {
-				defer wg.Done()
-				results[i].result, results[i].err = call(idx, req)
-			}(i, idx, req)
-		}
-		wg.Wait()
-		for i, idx := range workers {
-			if results[i].err == nil {
-				merge(results[i].result)
-				continue
-			}
-			dead[idx] = true
-			r, err := retry(results[i].req, results[i].err)
-			if err != nil {
-				res.Elapsed = time.Since(start)
-				return res, err
-			}
-			merge(r)
-		}
-
-		res.P = core.EstimateFromCounters(agg, res.Paths, m, initLevel)
-		res.Variance = core.BootstrapVarianceFromGroups(groups, rootsPerGroup, m, initLevel, reps, bootSrc)
-		res.Elapsed = time.Since(start)
-		if c.Stop.Done(res) {
-			return res, nil
-		}
-	}
 }

@@ -2,12 +2,10 @@ package cluster
 
 import (
 	"context"
-	"errors"
 	"math"
 	"net"
-	"sync"
+	"net/rpc"
 	"testing"
-	"time"
 
 	"durability/internal/core"
 	"durability/internal/mc"
@@ -15,311 +13,129 @@ import (
 )
 
 // chainRegistry registers a birth-death chain whose exact hitting
-// probability is computable, so the cluster's answer can be validated
-// against ground truth.
-func chainRegistry() (Registry, float64, float64, int) {
+// probability is computable, so worker results can be validated against
+// local simulation.
+func chainRegistry() (Registry, float64, int) {
 	const beta = 7.0
 	const horizon = 50
-	chain := stochastic.BirthDeathChain(10, 0.45, 0)
-	target := map[int]bool{}
-	for i := int(beta); i < 10; i++ {
-		target[i] = true
-	}
-	exact := chain.HitProbability(target, horizon)
 	reg := Registry{
-		"chain": func() (stochastic.Process, stochastic.Observer, error) {
-			return stochastic.BirthDeathChain(10, 0.45, 0), stochastic.ChainIndex, nil
+		"chain": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return stochastic.BirthDeathChain(10, 0.45, 0), map[string]stochastic.Observer{"value": stochastic.ChainIndex}, nil
 		},
 	}
-	return reg, beta, exact, horizon
+	return reg, beta, horizon
 }
 
-// startWorkers spins n in-process rpc workers on loopback listeners.
-func startWorkers(t *testing.T, reg Registry, n int) []string {
+// startWorker spins one in-process rpc worker on a loopback listener.
+func startWorker(t *testing.T, reg Registry) string {
 	t.Helper()
-	addrs := make([]string, n)
-	for i := range addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { ln.Close() })
-		addrs[i] = Serve(NewWorker(reg, 2), ln)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
 	}
-	return addrs
+	t.Cleanup(func() { ln.Close() })
+	return Serve(NewWorker(reg, 2), ln)
 }
 
-func TestClusterMatchesExactAnswer(t *testing.T) {
-	reg, beta, exact, horizon := chainRegistry()
-	addrs := startWorkers(t, reg, 3)
-	coord := &Coordinator{
-		Model:      "chain",
-		Beta:       beta,
-		Horizon:    horizon,
-		Boundaries: []float64{3.0 / 7, 5.0 / 7},
-		Ratio:      3,
-		Stop:       mc.Any{mc.RETarget{Target: 0.1}, mc.Budget{Steps: 20_000_000}},
-		Seed:       1,
-		Registry:   reg,
-	}
-	res, err := coord.Run(context.Background(), addrs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if math.Abs(res.P-exact) > 0.25*exact {
-		t.Fatalf("cluster estimate %v, exact %v", res.P, exact)
-	}
-	if res.Steps == 0 || res.Paths == 0 || res.Hits == 0 {
-		t.Fatalf("accounting missing: %+v", res)
-	}
-}
-
-func TestClusterMatchesSingleMachine(t *testing.T) {
-	reg, beta, _, horizon := chainRegistry()
-	addrs := startWorkers(t, reg, 2)
-	boundaries := []float64{3.0 / 7, 5.0 / 7}
-	coord := &Coordinator{
-		Model:      "chain",
-		Beta:       beta,
-		Horizon:    horizon,
-		Boundaries: boundaries,
-		Ratio:      3,
-		Stop:       mc.Budget{Steps: 400_000},
-		Seed:       7,
-		ShardRoots: 128,
-		Registry:   reg,
-	}
-	cres, err := coord.Run(context.Background(), addrs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The same roots simulated on one machine: identical substreams, so
-	// the estimates agree to float re-association error.
-	proc, obs, err := reg["chain"]()
-	if err != nil {
-		t.Fatal(err)
-	}
+// localShard simulates the same root range in-process, for comparison.
+func localShard(t *testing.T, proc stochastic.Process, obs stochastic.Observer, beta float64, horizon int, boundaries []float64, seed uint64, lo, hi int64, groupRoots int) core.ShardResult {
+	t.Helper()
 	g := &core.GMLSS{
 		Proc:    proc,
 		Query:   core.Query{Value: core.ThresholdValue(obs, beta), Horizon: horizon},
 		Plan:    core.MustPlan(boundaries...),
 		Ratio:   3,
 		Stop:    mc.Budget{Steps: 1},
-		Seed:    7,
+		Seed:    seed,
 		Workers: 4,
 	}
-	shard, err := g.RunRoots(context.Background(), 0, cres.Paths, 16)
+	res, err := g.RunRootsBy(context.Background(), lo, hi, groupRoots)
 	if err != nil {
 		t.Fatal(err)
 	}
-	local := core.EstimateFromCounters(shard.Agg, shard.Roots, core.MustPlan(boundaries...).M(), 0)
-	if math.Abs(local-cres.P) > 1e-9 {
-		t.Fatalf("cluster %v vs single-machine %v over the same roots", cres.P, local)
-	}
-	if shard.Steps != cres.Steps {
-		t.Fatalf("cluster steps %d vs single-machine %d", cres.Steps, shard.Steps)
-	}
+	return res
 }
 
-func TestClusterErrors(t *testing.T) {
-	reg, beta, _, horizon := chainRegistry()
-	ctx := context.Background()
-	coord := &Coordinator{Model: "chain", Beta: beta, Horizon: horizon,
-		Boundaries: []float64{0.5}, Stop: mc.Budget{Steps: 10}, Registry: reg}
-	if _, err := coord.Run(ctx, nil); err == nil {
-		t.Error("no workers accepted")
-	}
-	noStop := *coord
-	noStop.Stop = nil
-	if _, err := noStop.Run(ctx, []string{"127.0.0.1:1"}); err == nil {
-		t.Error("missing stop rule accepted")
-	}
-	badModel := *coord
-	badModel.Model = "nope"
-	if _, err := badModel.Run(ctx, []string{"127.0.0.1:1"}); err == nil {
-		t.Error("unknown model accepted")
-	}
-	if _, err := coord.Run(ctx, []string{"127.0.0.1:1"}); err == nil {
-		t.Error("dead worker address accepted")
-	}
-}
-
-// Failure injection: a worker that starts failing mid-query must surface
-// as an error from the coordinator, not a hang or a silent partial answer.
-func TestClusterWorkerFailsMidRun(t *testing.T) {
-	reg, beta, _, horizon := chainRegistry()
-	// The flaky worker's model factory succeeds once (first shard) and
-	// then breaks, emulating a machine losing its model mid-query.
-	var mu sync.Mutex
-	calls := 0
-	flaky := Registry{
-		"chain": func() (stochastic.Process, stochastic.Observer, error) {
-			mu.Lock()
-			calls++
-			n := calls
-			mu.Unlock()
-			if n > 1 {
-				return nil, nil, errors.New("injected: model store unavailable")
-			}
-			return stochastic.BirthDeathChain(10, 0.45, 0), stochastic.ChainIndex, nil
-		},
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { ln.Close() })
-	addr := Serve(NewWorker(flaky, 1), ln)
-	coord := &Coordinator{
-		Model:      "chain",
-		Beta:       beta,
-		Horizon:    horizon,
-		Boundaries: []float64{3.0 / 7, 5.0 / 7},
-		Ratio:      3,
-		// An unreachable quality target forces a second round, which hits
-		// the injected failure.
-		Stop:       mc.Any{mc.RETarget{Target: 1e-9}, mc.Budget{Steps: 1 << 50}},
-		Seed:       9,
-		ShardRoots: 64,
-		Registry:   reg, // the coordinator's own registry stays healthy
-	}
-	done := make(chan error, 1)
-	go func() {
-		_, err := coord.Run(context.Background(), []string{addr})
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("coordinator returned nil error after worker failure")
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("coordinator hung after worker failure")
-	}
-}
-
-// A worker dropping mid-run must not fail (or hang) the query: the
-// coordinator marks it dead and retries its shard on a live worker. The
-// answer stays bit-for-bit deterministic because root ranges travel with
-// the retried shard.
-func TestClusterWorkerDropRetriesOnLiveWorker(t *testing.T) {
-	reg, beta, _, horizon := chainRegistry()
-	healthy := startWorkers(t, reg, 1)
-
-	// A "worker" that accepts connections and slams them shut: the dial
-	// succeeds, so the coordinator counts it as a member, but its first
-	// shard call fails — the machine dropping right after the query
-	// starts.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { ln.Close() })
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			conn.Close()
-		}
-	}()
-
+// The rpc round trip must be a pure transport: a worker's shard result is
+// bit-for-bit the local simulation of the same root range.
+func TestWorkerShardMatchesLocal(t *testing.T) {
+	reg, beta, horizon := chainRegistry()
+	addr := startWorker(t, reg)
 	boundaries := []float64{3.0 / 7, 5.0 / 7}
-	coord := &Coordinator{
-		Model:      "chain",
-		Beta:       beta,
-		Horizon:    horizon,
-		Boundaries: boundaries,
-		Ratio:      3,
-		Stop:       mc.Budget{Steps: 400_000},
-		Seed:       7,
-		ShardRoots: 128,
-		Registry:   reg,
-	}
-	done := make(chan error, 1)
-	var cres mc.Result
-	go func() {
-		var err error
-		cres, err = coord.Run(context.Background(), []string{healthy[0], ln.Addr().String()})
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("coordinator failed instead of retrying on the live worker: %v", err)
-		}
-	case <-time.After(60 * time.Second):
-		t.Fatal("coordinator hung after worker drop")
-	}
-	if cres.Paths == 0 || cres.Steps == 0 {
-		t.Fatalf("no work accounted: %+v", cres)
-	}
 
-	// Exactly the same roots on one machine: the retried shards must not
-	// have disturbed determinism.
-	proc, obs, err := reg["chain"]()
+	client, err := rpc.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := &core.GMLSS{
-		Proc:    proc,
-		Query:   core.Query{Value: core.ThresholdValue(obs, beta), Horizon: horizon},
-		Plan:    core.MustPlan(boundaries...),
-		Ratio:   3,
-		Stop:    mc.Budget{Steps: 1},
-		Seed:    7,
-		Workers: 4,
-	}
-	shard, err := g.RunRoots(context.Background(), 0, cres.Paths, 16)
-	if err != nil {
-		t.Fatal(err)
-	}
-	local := core.EstimateFromCounters(shard.Agg, shard.Roots, core.MustPlan(boundaries...).M(), 0)
-	if math.Abs(local-cres.P) > 1e-9 {
-		t.Fatalf("estimate after retry %v differs from single-machine %v over the same roots", cres.P, local)
-	}
-}
-
-// Losing every worker is still an error, not a hang.
-func TestClusterAllWorkersDead(t *testing.T) {
-	reg, beta, _, horizon := chainRegistry()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { ln.Close() })
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			conn.Close()
-		}
-	}()
-	coord := &Coordinator{
+	defer client.Close()
+	var reply ShardReply
+	err = client.Call("Worker.Run", ShardRequest{
 		Model: "chain", Beta: beta, Horizon: horizon,
-		Boundaries: []float64{3.0 / 7, 5.0 / 7}, Ratio: 3,
-		Stop: mc.Budget{Steps: 1000}, Seed: 7, Registry: reg,
+		Boundaries: boundaries, Ratio: 3, Seed: 7,
+		RootLo: 128, RootHi: 384, GroupRoots: 16,
+	}, &reply)
+	if err != nil {
+		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() {
-		_, err := coord.Run(context.Background(), []string{ln.Addr().String()})
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("coordinator succeeded with no live workers")
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("coordinator hung with no live workers")
+
+	proc, observers, _ := reg["chain"]()
+	want := localShard(t, proc, observers["value"], beta, horizon, boundaries, 7, 128, 384, 16)
+	if reply.Result.Roots != want.Roots || reply.Result.Steps != want.Steps {
+		t.Fatalf("worker shard %+v, local %+v", reply.Result, want)
+	}
+	if len(reply.Result.Groups) != len(want.Groups) {
+		t.Fatalf("worker returned %d groups, local %d", len(reply.Result.Groups), len(want.Groups))
+	}
+	m := core.MustPlan(boundaries...).M()
+	got := core.EstimateFromCounters(reply.Result.Agg, reply.Result.Roots, m, 0)
+	local := core.EstimateFromCounters(want.Agg, want.Roots, m, 0)
+	if got != local {
+		t.Fatalf("worker estimate %v, local %v", got, local)
+	}
+}
+
+// A pinned start state must shift the simulation's starting point: the
+// worker result equals local simulation pinned to the same snapshot, not
+// the model's canonical initial state.
+func TestWorkerPinsStartState(t *testing.T) {
+	reg, beta, horizon := chainRegistry()
+	addr := startWorker(t, reg)
+	boundaries := []float64{3.0 / 7, 5.0 / 7}
+	start := &stochastic.ChainState{I: 2}
+
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var reply ShardReply
+	err = client.Call("Worker.Run", ShardRequest{
+		Model: "chain", Start: start, Beta: beta, Horizon: horizon,
+		Boundaries: boundaries, Ratio: 3, Seed: 7,
+		RootLo: 0, RootHi: 128, GroupRoots: 16,
+	}, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proc, observers, _ := reg["chain"]()
+	obs := observers["value"]
+	pinnedLocal := localShard(t, stochastic.Pin(proc, start), obs, beta, horizon, boundaries, 7, 0, 128, 16)
+	unpinned := localShard(t, proc, obs, beta, horizon, boundaries, 7, 0, 128, 16)
+	m := core.MustPlan(boundaries...).M()
+	initLevel := core.MustPlan(boundaries...).LevelOf(core.ThresholdValue(obs, beta)(start, 0))
+	got := core.EstimateFromCounters(reply.Result.Agg, reply.Result.Roots, m, initLevel)
+	want := core.EstimateFromCounters(pinnedLocal.Agg, pinnedLocal.Roots, m, initLevel)
+	if got != want {
+		t.Fatalf("pinned worker estimate %v, pinned local %v", got, want)
+	}
+	if reply.Result.Steps == unpinned.Steps && math.Abs(got-core.EstimateFromCounters(unpinned.Agg, unpinned.Roots, m, 0)) < 1e-12 {
+		t.Fatal("pinned shard is indistinguishable from the unpinned one; Start was ignored")
 	}
 }
 
 func TestWorkerRejectsUnknownModel(t *testing.T) {
-	reg, _, _, _ := chainRegistry()
+	reg, _, _ := chainRegistry()
 	w := NewWorker(reg, 1)
 	var reply ShardReply
 	err := w.Run(ShardRequest{Model: "missing", Beta: 1, Horizon: 10,
@@ -329,8 +145,20 @@ func TestWorkerRejectsUnknownModel(t *testing.T) {
 	}
 }
 
+func TestWorkerRejectsUnknownObserver(t *testing.T) {
+	reg, beta, horizon := chainRegistry()
+	w := NewWorker(reg, 1)
+	var reply ShardReply
+	err := w.Run(ShardRequest{Model: "chain", Observer: "nope", Beta: beta,
+		Horizon: horizon, Boundaries: []float64{0.5}, Ratio: 2,
+		RootLo: 0, RootHi: 10}, &reply)
+	if err == nil {
+		t.Fatal("unknown observer accepted by worker")
+	}
+}
+
 func TestWorkerRejectsBadPlan(t *testing.T) {
-	reg, beta, _, horizon := chainRegistry()
+	reg, beta, horizon := chainRegistry()
 	w := NewWorker(reg, 1)
 	var reply ShardReply
 	err := w.Run(ShardRequest{Model: "chain", Beta: beta, Horizon: horizon,
@@ -340,12 +168,29 @@ func TestWorkerRejectsBadPlan(t *testing.T) {
 	}
 }
 
+// The legacy group-count form (GroupRoots == 0) must keep working: older
+// coordinators size groups by count.
+func TestWorkerLegacyGroupCount(t *testing.T) {
+	reg, beta, horizon := chainRegistry()
+	w := NewWorker(reg, 1)
+	var reply ShardReply
+	err := w.Run(ShardRequest{Model: "chain", Beta: beta, Horizon: horizon,
+		Boundaries: []float64{3.0 / 7, 5.0 / 7}, Ratio: 3, Seed: 1,
+		RootLo: 0, RootHi: 64, Groups: 4}, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Result.Groups) != 4 || reply.Result.Roots != 64 {
+		t.Fatalf("legacy grouping produced %d groups over %d roots", len(reply.Result.Groups), reply.Result.Roots)
+	}
+}
+
 func TestRunRootsEmptyRange(t *testing.T) {
-	reg, beta, _, horizon := chainRegistry()
-	proc, obs, _ := reg["chain"]()
+	reg, beta, horizon := chainRegistry()
+	proc, observers, _ := reg["chain"]()
 	g := &core.GMLSS{
 		Proc:  proc,
-		Query: core.Query{Value: core.ThresholdValue(obs, beta), Horizon: horizon},
+		Query: core.Query{Value: core.ThresholdValue(observers["value"], beta), Horizon: horizon},
 		Plan:  core.MustPlan(0.5),
 		Ratio: 2,
 		Stop:  mc.Budget{Steps: 1},

@@ -63,9 +63,6 @@ type ShardResult struct {
 // the distributed setting of §3.1 ("synchronize counters on the machines
 // periodically to produce a running estimate").
 func (g *GMLSS) RunRoots(ctx context.Context, lo, hi int64, groups int) (ShardResult, error) {
-	if err := g.validate(); err != nil {
-		return ShardResult{}, err
-	}
 	if hi <= lo {
 		return ShardResult{}, errors.New("core: empty root range")
 	}
@@ -74,6 +71,28 @@ func (g *GMLSS) RunRoots(ctx context.Context, lo, hi int64, groups int) (ShardRe
 	}
 	if int64(groups) > hi-lo {
 		groups = int(hi - lo)
+	}
+	per := int((hi - lo + int64(groups) - 1) / int64(groups))
+	return g.RunRootsBy(ctx, lo, hi, per)
+}
+
+// RunRootsBy is RunRoots with the bootstrap grouping fixed by size rather
+// than count: every group covers exactly rootsPerGroup consecutive root
+// indices (the last group of a range may be smaller). Distributed
+// executors shard one logical root range across machines; size-based
+// grouping makes the group boundaries — and therefore the order of every
+// floating-point merge downstream — identical no matter how the range was
+// cut, which is what keeps a sharded run bit-for-bit equal to a
+// single-machine run.
+func (g *GMLSS) RunRootsBy(ctx context.Context, lo, hi int64, rootsPerGroup int) (ShardResult, error) {
+	if err := g.validate(); err != nil {
+		return ShardResult{}, err
+	}
+	if hi <= lo {
+		return ShardResult{}, errors.New("core: empty root range")
+	}
+	if rootsPerGroup < 1 {
+		rootsPerGroup = 1
 	}
 	m := g.Plan.M()
 	initLevel := g.Plan.LevelOf(g.Query.Value(g.Proc.Initial(), 0))
@@ -91,7 +110,7 @@ func (g *GMLSS) RunRoots(ctx context.Context, lo, hi int64, groups int) (ShardRe
 		return ShardResult{}, err
 	}
 	out := ShardResult{Agg: NewCounters(m), Roots: int64(len(roots))}
-	per := (len(roots) + groups - 1) / groups
+	per := rootsPerGroup
 	for gi := 0; gi < len(roots); gi += per {
 		group := NewCounters(m)
 		end := gi + per

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"durability/internal/core"
+	"durability/internal/mc"
+	"durability/internal/rng"
+)
+
+// SampleOptions tunes the estimator loop of Sample.
+type SampleOptions struct {
+	// Stop is the quality target; required.
+	Stop mc.StopRule
+	// BatchRoots is the number of root paths simulated per
+	// synchronization round (default 256). It is rounded up to a multiple
+	// of GroupRoots so every bootstrap group is full.
+	BatchRoots int
+	// GroupRoots is the number of consecutive root paths per bootstrap
+	// group (default 16).
+	GroupRoots int
+	// BootstrapReps is the number of replicates per variance evaluation
+	// (default 200).
+	BootstrapReps int
+	// Trace, when set, observes the running estimate after every round.
+	Trace func(mc.Result)
+}
+
+func (o SampleOptions) withDefaults() SampleOptions {
+	if o.GroupRoots <= 0 {
+		o.GroupRoots = 16
+	}
+	if o.BatchRoots <= 0 {
+		o.BatchRoots = 256
+	}
+	if rem := o.BatchRoots % o.GroupRoots; rem != 0 {
+		o.BatchRoots += o.GroupRoots - rem
+	}
+	if o.BootstrapReps <= 0 {
+		o.BootstrapReps = 200
+	}
+	return o
+}
+
+// Sample runs the §3.1 coordination loop over any execution backend:
+// simulate a batch of root paths through the executor, merge the
+// counters, refresh the running estimate and its bootstrap variance, and
+// stop when the quality target holds. Because the per-round batch size is
+// fixed (rather than scaled by worker count), the sequence of estimates —
+// and therefore the stopping point and the returned result — is bit-for-
+// bit identical across backends and cluster sizes at the same seed.
+//
+// The task's Proc and Obs are required even over a remote backend: the
+// estimator runs coordinator-side and needs the start level of the plan,
+// which it reads from the start state (Start when pinned, the process's
+// Initial otherwise).
+func Sample(ctx context.Context, ex Executor, t Task, opt SampleOptions) (mc.Result, error) {
+	opt = opt.withDefaults()
+	if ex == nil {
+		ex = Local{}
+	}
+	if opt.Stop == nil {
+		return mc.Result{}, errors.New("exec: Sample requires a stop rule")
+	}
+	if err := t.validate(); err != nil {
+		return mc.Result{}, err
+	}
+	if t.Proc == nil || t.Obs == nil {
+		return mc.Result{}, errors.New("exec: Sample needs the task's process and observer for coordinator-side estimation")
+	}
+	plan, err := core.NewPlan(t.Boundaries...)
+	if err != nil {
+		return mc.Result{}, err
+	}
+	m := plan.M()
+	value := core.ThresholdValue(t.Obs, t.Beta)
+	start := t.Start
+	if start == nil {
+		start = t.Proc.Initial()
+	}
+	initLevel := plan.LevelOf(value(start, 0))
+	if initLevel >= m {
+		return mc.Result{}, errors.New("exec: initial state already satisfies the query")
+	}
+
+	began := time.Now()
+	agg := core.NewCounters(m)
+	var groups []core.Counters
+	var res mc.Result
+	// Dedicated resampling stream, disjoint from the root substreams
+	// (which count up from zero) and from the samplers' own reserved
+	// indices.
+	bootSrc := rng.NewStream(t.Seed, 1<<61)
+	next := int64(0)
+	for {
+		if err := ctx.Err(); err != nil {
+			res.Elapsed = time.Since(began)
+			return res, err
+		}
+		shard, err := ex.RunRoots(ctx, t, next, next+int64(opt.BatchRoots), opt.GroupRoots)
+		if err != nil {
+			res.Elapsed = time.Since(began)
+			return res, err
+		}
+		next += int64(opt.BatchRoots)
+		for _, g := range shard.Groups {
+			agg.Add(g)
+			groups = append(groups, g)
+		}
+		res.Steps += shard.Steps
+		res.Paths += shard.Roots
+		res.Hits = int64(agg.Hits)
+		res.P = core.EstimateFromCounters(agg, res.Paths, m, initLevel)
+		res.Variance = core.BootstrapVarianceFromGroups(groups, int64(opt.GroupRoots), m, initLevel, opt.BootstrapReps, bootSrc)
+		res.Elapsed = time.Since(began)
+		if opt.Trace != nil {
+			opt.Trace(res)
+		}
+		if opt.Stop.Done(res) {
+			return res, nil
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 
 	"durability/internal/core"
+	"durability/internal/exec"
 	"durability/internal/mc"
 	"durability/internal/opt"
 	"durability/internal/stochastic"
@@ -116,6 +117,26 @@ type Meta struct {
 // own search, which is exactly the per-query behavior of durability.Run.
 type Runner struct {
 	Cache *PlanCache
+
+	// Exec, when set, is the execution backend g-MLSS sampling runs on:
+	// queries are driven through the §3.1 coordination loop of
+	// internal/exec, so root-path simulation lands wherever the backend
+	// places it (in-process for exec.Local, a worker fleet for
+	// exec.Cluster) with bit-for-bit identical results. Plan searches
+	// always run locally, and s-MLSS and SRS queries — whose estimators
+	// are not expressed as mergeable root counters — stay on the
+	// in-process samplers regardless. A nil Exec keeps every query on the
+	// in-process samplers, the exact durability.Run path.
+	Exec exec.Executor
+
+	// ExecBatchRoots is the per-round root batch handed to the backend
+	// (0 = exec's default, 256). A cluster backend cuts each round into
+	// at most BatchRoots/16 group-aligned chunks, so this is also the
+	// fleet-size ceiling one query can exploit — raise it when queries
+	// should spread over more workers. Changing it changes the stopping
+	// schedule (the batch size is part of the deterministic numerics),
+	// so compare runs only at equal settings.
+	ExecBatchRoots int
 }
 
 // searchTag names the plan-search strategy for cache keying, so greedy and
@@ -235,6 +256,19 @@ func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
 			Stop: s.Stop, Seed: s.Seed, Workers: s.SimWorkers, Trace: s.Trace,
 		}
 		res, err = sampler.Run(ctx)
+	} else if r.Exec != nil {
+		res, err = exec.Sample(ctx, r.Exec, exec.Task{
+			Proc:       s.Proc,
+			Obs:        s.Obs,
+			Model:      s.ModelID,
+			Observer:   s.ObserverID,
+			Beta:       s.Beta,
+			Horizon:    s.Horizon,
+			Boundaries: plan.Boundaries,
+			Ratio:      s.Ratio,
+			Seed:       s.Seed,
+			SimWorkers: s.SimWorkers,
+		}, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots})
 	} else {
 		sampler := &core.GMLSS{
 			Proc: s.Proc, Query: cq, Plan: plan, Ratio: s.Ratio,

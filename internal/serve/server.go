@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"durability/internal/exec"
 	"durability/internal/mc"
 	"durability/internal/stochastic"
 )
@@ -83,6 +84,12 @@ type Config struct {
 	// PlanCacheCap caps the number of completed plans kept resident
 	// (default DefaultPlanCacheCap; negative removes the cap).
 	PlanCacheCap int
+	// Executor, when set, is the execution backend g-MLSS queries run on
+	// (see Runner.Exec); nil keeps every query on the in-process
+	// samplers. ExecBatchRoots tunes the backend's per-round root batch
+	// (see Runner.ExecBatchRoots).
+	Executor       exec.Executor
+	ExecBatchRoots int
 }
 
 func (c Config) withDefaults() Config {
@@ -175,7 +182,7 @@ func NewServer(registry Registry, cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		registry: registry,
-		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth, WithCacheCapacity(cap))},
+		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth, WithCacheCapacity(cap)), Exec: cfg.Executor, ExecBatchRoots: cfg.ExecBatchRoots},
 		models:   make(map[string]*builtModel),
 		queue:    make(chan *job, cfg.QueueDepth),
 	}

@@ -1,0 +1,20 @@
+package stochastic
+
+import "encoding/gob"
+
+// The distributed execution backend (internal/exec, internal/cluster)
+// ships live-state snapshots to remote workers inside gob-encoded RPC
+// requests, as a State interface field. gob resolves interface values
+// through a registry of concrete types, so every plain-data State defined
+// here is registered once. States with unexported fields (ARState) or
+// heavyweight payloads (neural hidden states) are deliberately absent:
+// encoding one surfaces a clear gob error at the caller, and those models
+// stay on the local backend.
+func init() {
+	gob.Register(&Scalar{})
+	gob.Register(&QueueState{})
+	gob.Register(&ChainState{})
+	gob.Register(&RegimeState{})
+	gob.Register(&NetworkState{})
+	gob.Register(&MarketState{})
+}

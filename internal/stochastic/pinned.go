@@ -1,0 +1,24 @@
+package stochastic
+
+import "durability/internal/rng"
+
+// pinned adapts a snapshot into a Process whose Initial is that snapshot,
+// so samplers (which always start from Initial) simulate futures of a
+// live state. Time restarts at 1 for each run: a standing query's horizon
+// is a sliding window measured from "now".
+type pinned struct {
+	proc Process
+	st   State
+}
+
+func (p pinned) Name() string                         { return p.proc.Name() }
+func (p pinned) Initial() State                       { return p.st.Clone() }
+func (p pinned) Step(s State, t int, src *rng.Source) { p.proc.Step(s, t, src) }
+
+// Pin returns a Process with proc's dynamics whose Initial state is the
+// given snapshot (cloned on every Initial call). It is how the standing-
+// query engine and the execution backends start simulations from a live
+// state instead of the model's canonical initial state.
+func Pin(proc Process, st State) Process {
+	return pinned{proc: proc, st: st}
+}

@@ -54,7 +54,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"durability/internal/rng"
+	"durability/internal/exec"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
 )
@@ -104,6 +104,17 @@ type Config struct {
 	// A nil Runner gets a private runner with a private cache.
 	Runner *serve.Runner
 
+	// Exec is the execution backend refresh top-ups run on: the fresh
+	// root trees a refresh simulates are placed by it, in-process for
+	// exec.Local (the default) or across a worker fleet for
+	// exec.Cluster. Because every backend upholds the determinism
+	// invariant — root i draws from substream i regardless of placement —
+	// a sharded engine maintains bit-for-bit the answers a single-machine
+	// engine would. Remote backends rebuild models by registry name, so
+	// streams must be registered through RegisterModel with the name the
+	// workers know.
+	Exec exec.Executor
+
 	DriftTol         float64 // batch survival tolerance on |Δf0| (default DefaultDriftTol)
 	StartBucketWidth float64 // plan-key bucket width on f0 (default DefaultStartBucketWidth)
 	TopUpRoots       int     // fresh roots per top-up round (default DefaultTopUpRoots)
@@ -120,6 +131,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Runner == nil {
 		c.Runner = &serve.Runner{Cache: serve.NewPlanCache(0)}
+	}
+	if c.Exec == nil {
+		c.Exec = exec.Local{}
 	}
 	if c.DriftTol <= 0 {
 		c.DriftTol = DefaultDriftTol
@@ -159,6 +173,9 @@ func (c Config) withDefaults() Config {
 // streams update independently.
 type liveState struct {
 	name string
+	// modelID names the model in a remote worker's registry, for
+	// distributed execution backends; it defaults to the stream name.
+	modelID string
 
 	mu    sync.Mutex
 	proc  stochastic.Process
@@ -209,7 +226,15 @@ func NewEngine(cfg Config) *Engine {
 // the old dynamics may be badly shaped for the new ones; existing
 // subscriptions survive and replan lazily on the next update.
 func (e *Engine) Register(name string, proc stochastic.Process, initial stochastic.State) error {
-	ls, created, err := e.ensure(name, proc, initial)
+	return e.RegisterModel(name, name, proc, initial)
+}
+
+// RegisterModel is Register with an explicit model identifier: the name
+// remote workers of a distributed execution backend rebuild the model
+// under. Engines on the local backend never consult it; Register
+// defaults it to the stream name.
+func (e *Engine) RegisterModel(name, modelID string, proc stochastic.Process, initial stochastic.State) error {
+	ls, created, err := e.ensure(name, modelID, proc, initial)
 	if err != nil || created {
 		return err
 	}
@@ -217,6 +242,7 @@ func (e *Engine) Register(name string, proc stochastic.Process, initial stochast
 	ls.mu.Lock()
 	replaced := ls.proc != proc
 	ls.proc = proc
+	ls.modelID = modelID
 	ls.state = initial.Clone()
 	for _, sub := range ls.subs {
 		sub.forceReplan()
@@ -234,12 +260,12 @@ func (e *Engine) Register(name string, proc stochastic.Process, initial stochast
 // Register's replace path and needlessly reset the stream. An existing
 // stream is left untouched.
 func (e *Engine) Ensure(name string, proc stochastic.Process, initial stochastic.State) error {
-	_, _, err := e.ensure(name, proc, initial)
+	_, _, err := e.ensure(name, name, proc, initial)
 	return err
 }
 
 // ensure validates and atomically creates-or-finds the named stream.
-func (e *Engine) ensure(name string, proc stochastic.Process, initial stochastic.State) (ls *liveState, created bool, err error) {
+func (e *Engine) ensure(name, modelID string, proc stochastic.Process, initial stochastic.State) (ls *liveState, created bool, err error) {
 	if name == "" {
 		return nil, false, errors.New("stream: empty stream name")
 	}
@@ -255,10 +281,11 @@ func (e *Engine) ensure(name string, proc stochastic.Process, initial stochastic
 		return ls, false, nil
 	}
 	ls = &liveState{
-		name:  name,
-		proc:  proc,
-		state: initial.Clone(),
-		subs:  make(map[uint64]*Subscription),
+		name:    name,
+		modelID: modelID,
+		proc:    proc,
+		state:   initial.Clone(),
+		subs:    make(map[uint64]*Subscription),
 	}
 	e.streams[name] = ls
 	return ls, true, nil
@@ -427,16 +454,3 @@ func (e *Engine) Stats() EngineStats {
 	}
 	return st
 }
-
-// pinned adapts a live snapshot into a Process whose Initial is that
-// snapshot, so the samplers (which always start from Initial) simulate
-// futures of the live state. Time restarts at 1 for each refresh: the
-// standing query's horizon is a sliding window measured from "now".
-type pinned struct {
-	proc stochastic.Process
-	st   stochastic.State
-}
-
-func (p pinned) Name() string                                    { return p.proc.Name() }
-func (p pinned) Initial() stochastic.State                       { return p.st.Clone() }
-func (p pinned) Step(s stochastic.State, t int, src *rng.Source) { p.proc.Step(s, t, src) }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"durability/internal/core"
+	"durability/internal/exec"
 	"durability/internal/mc"
 	"durability/internal/rng"
 	"durability/internal/serve"
@@ -137,6 +138,19 @@ type Refresh struct {
 	SubID  uint64
 	Answer Answer
 	Err    error
+}
+
+// bootstrapSource derives a subscription's dedicated resampling stream:
+// the base seed stays fixed and the subscription id selects a substream
+// in the reserved range [1<<62, 1<<62 + 2^61), disjoint from the root
+// substreams (which count up from zero), the live-feed sources parked in
+// [1<<60, 1<<61), the coordination-loop resampler at 1<<61 and the
+// single-machine sampler's resampler at 1<<63. Folding the id into the
+// seed instead (the old scheme, seed^id) let distinct subscriptions
+// collide — seedA^idA == seedB^idB shares one bootstrap sequence and
+// correlates their CI estimates.
+func bootstrapSource(seed, id uint64) *rng.Source {
+	return rng.NewStream(seed, 1<<62|id)
 }
 
 // batch is the unit of root survival: the g-MLSS sufficient statistics
@@ -326,8 +340,7 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 	defer e.refreshes.Add(1)
 
 	if s.bootSrc == nil {
-		// Dedicated resampling stream, disjoint from the root substreams.
-		s.bootSrc = rng.NewStream(s.spec.Seed^s.id, 1<<62)
+		s.bootSrc = bootstrapSource(s.spec.Seed, s.id)
 	}
 
 	value := core.ThresholdValue(s.spec.Obs, s.spec.Beta)
@@ -345,7 +358,7 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 
 	bucket := int(math.Floor(math.Max(f0, 0) / cfg.StartBucketWidth))
 	sspec := serve.Spec{
-		Proc:       pinned{proc: proc, st: state},
+		Proc:       stochastic.Pin(proc, state),
 		Obs:        s.spec.Obs,
 		ModelID:    s.ls.name,
 		ObserverID: s.spec.ObserverID,
@@ -399,15 +412,23 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 	}
 
 	// Top up with fresh root trees from the new state until the quality
-	// target is restored.
-	g := &core.GMLSS{
-		Proc:    sspec.Proc,
-		Query:   core.Query{Value: value, Horizon: s.spec.Horizon},
-		Plan:    s.plan,
-		Ratio:   s.spec.Ratio,
-		Stop:    mc.Budget{Steps: 1}, // unused by RunRoots; validation wants a rule
-		Seed:    s.spec.Seed,
-		Workers: s.spec.SimWorkers,
+	// target is restored. The fresh simulation runs through the engine's
+	// execution backend: in-process by default, or sharded across a
+	// worker fleet — the backend's determinism invariant (root i draws
+	// from substream i regardless of placement) keeps the maintained
+	// answer identical either way.
+	task := exec.Task{
+		Proc:       proc,
+		Obs:        s.spec.Obs,
+		Model:      s.ls.modelID,
+		Observer:   s.spec.ObserverID,
+		Start:      state,
+		Beta:       s.spec.Beta,
+		Horizon:    s.spec.Horizon,
+		Boundaries: s.plan.Boundaries,
+		Ratio:      s.spec.Ratio,
+		Seed:       s.spec.Seed,
+		SimWorkers: s.spec.SimWorkers,
 	}
 	res := s.evaluate(active, m, initLevel)
 	var err error
@@ -422,7 +443,7 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 			break
 		}
 		lo, hi := s.nextRoot, s.nextRoot+int64(cfg.TopUpRoots)
-		shard, serr := g.RunRoots(ctx, lo, hi, cfg.TopUpRoots/cfg.GroupRoots)
+		shard, serr := cfg.Exec.RunRoots(ctx, task, lo, hi, cfg.GroupRoots)
 		if serr != nil {
 			err = serr
 			ans.Capped = true
