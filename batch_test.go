@@ -1,0 +1,259 @@
+package durability
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"durability/internal/exact"
+	"durability/internal/stochastic"
+)
+
+// jumpChain builds a Markov chain that frequently skips levels (+4 jumps),
+// the regime where only g-MLSS is unbiased; the exact answer is still
+// computable by dynamic programming.
+func jumpChain() *MarkovChain {
+	const n = 15
+	mat := make([][]float64, n)
+	for i := range mat {
+		mat[i] = make([]float64, n)
+		up, down, jump := 0.30, 0.55, 0.15
+		hi := min(i+1, n-1)
+		lo := max(i-1, 0)
+		far := min(i+4, n-1)
+		mat[i][hi] += up
+		mat[i][lo] += down
+		mat[i][far] += jump
+	}
+	chain, err := NewMarkovChain(mat, 0)
+	if err != nil {
+		panic(err)
+	}
+	return chain
+}
+
+func chainExact(chain *MarkovChain, beta float64, horizon, states int) float64 {
+	target := map[int]bool{}
+	for i := int(beta); i < states; i++ {
+		target[i] = true
+	}
+	return chain.HitProbability(target, horizon)
+}
+
+// The statistical contract of the batch path: every threshold of a lattice
+// answered by one shared splitting run is an unbiased estimate whose
+// confidence interval covers the exact (dynamic-programming) answer — on
+// a no-skip chain, on a chain that jumps across levels, and on a lattice
+// walk whose exact answer is cross-validated through internal/exact.
+// Per-query Run at the matched seed and quality target must agree too.
+func TestRunBatchCoversExact(t *testing.T) {
+	walk := stochastic.BirthDeathChain(20, 0.45, 2)
+	cases := []struct {
+		name    string
+		proc    Process
+		states  int
+		betas   []float64
+		horizon int
+		seed    uint64
+	}{
+		// Thresholds are kept away from p ~ 1: a near-certain threshold is
+		// answered by the first sampling round with a degenerate bootstrap
+		// CI (per-query Run behaves identically), so coverage is only a
+		// meaningful contract at moderate-to-rare probabilities — the
+		// paper's regime.
+		{name: "birth-death", proc: stochastic.BirthDeathChain(10, 0.45, 0), states: 10,
+			betas: []float64{4, 5, 6, 7}, horizon: 50, seed: 11},
+		{name: "jump-chain", proc: jumpChain(), states: 15,
+			betas: []float64{10, 12}, horizon: 40, seed: 12},
+		{name: "lattice-walk", proc: walk, states: 20,
+			betas: []float64{6, 9, 12}, horizon: 80, seed: 13},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			qs := make([]Query, len(tc.betas))
+			for i, b := range tc.betas {
+				qs[i] = Query{Z: ChainIndex, Beta: b, Horizon: tc.horizon, ZName: "chain"}
+			}
+			opts := []Option{WithRelativeErrorTarget(0.1), WithSeed(tc.seed)}
+			batch, err := RunBatch(ctx, tc.proc, qs, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, b := range tc.betas {
+				want := chainExact(tc.proc.(*MarkovChain), b, tc.horizon, tc.states)
+				res := batch[i]
+				if res.P <= 0 || res.Hits < 10 {
+					t.Fatalf("beta %v: degenerate batch answer %+v", b, res)
+				}
+				ci := res.CI(0.999)
+				if want < ci.Lo || want > ci.Hi {
+					t.Errorf("beta %v: batch CI %v does not cover exact %v (p=%v)", b, ci, want, res.P)
+				}
+
+				// Independent per-query Run at the matched seed and target
+				// must land on the same truth.
+				solo, err := Run(ctx, tc.proc, qs[i], opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sci := solo.CI(0.999)
+				if want < sci.Lo || want > sci.Hi {
+					t.Errorf("beta %v: per-query CI %v does not cover exact %v", b, sci, want)
+				}
+				if diff := math.Abs(res.P - solo.P); diff > 5*(res.StdErr()+solo.StdErr()) {
+					t.Errorf("beta %v: batch %v and per-query %v disagree beyond their joint error", b, res.P, solo.P)
+				}
+			}
+			// One shared run answers the lattice: every result reports the
+			// same joint cost, and estimates are monotone in the threshold
+			// (a prefix product can only shrink as factors accumulate).
+			for i := 1; i < len(batch); i++ {
+				if batch[i].Steps != batch[0].Steps || batch[i].Paths != batch[0].Paths {
+					t.Fatalf("results report different shared runs: %+v vs %+v", batch[i], batch[0])
+				}
+				if batch[i].P > batch[i-1].P {
+					t.Fatalf("estimates not monotone in beta: P(%v)=%v > P(%v)=%v",
+						tc.betas[i], batch[i].P, tc.betas[i-1], batch[i-1].P)
+				}
+			}
+		})
+	}
+
+	// Cross-validate the lattice walk's ground truth through internal/exact:
+	// the birth-death chain is exactly the clamped ±1 lattice walk.
+	for _, beta := range []float64{6, 9, 12} {
+		dp := chainExact(walk, beta, 80, 20)
+		lat, err := exact.LatticeWalkHit(map[int]float64{+1: 0.45, -1: 0.55}, 2, int(beta), 80, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dp-lat) > 1e-9 {
+			t.Fatalf("beta %v: MarkovChain DP %v and exact.LatticeWalkHit %v disagree", beta, dp, lat)
+		}
+	}
+}
+
+// Duplicate thresholds and unordered ladders must answer positionally,
+// with duplicates sharing one answer.
+func TestRunBatchAlignsAndDedups(t *testing.T) {
+	chain := stochastic.BirthDeathChain(10, 0.45, 0)
+	qs := []Query{
+		{Z: ChainIndex, Beta: 6, Horizon: 50, ZName: "chain"},
+		{Z: ChainIndex, Beta: 3, Horizon: 50, ZName: "chain"},
+		{Z: ChainIndex, Beta: 6, Horizon: 50, ZName: "chain"},
+	}
+	res, err := RunBatch(context.Background(), chain, qs, WithRelativeErrorTarget(0.15), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].P != res[2].P || res[0].Variance != res[2].Variance {
+		t.Fatalf("duplicate thresholds diverged: %v vs %v", res[0].P, res[2].P)
+	}
+	if res[1].P <= res[0].P {
+		t.Fatalf("lower threshold should have the larger estimate: P(3)=%v vs P(6)=%v", res[1].P, res[0].P)
+	}
+}
+
+// Two queries whose ZNames alias but whose observer *functions* differ
+// must not share a run: plan-cache aliasing only ever mis-tunes a plan,
+// but a shared run simulates one observer for the whole group, so the
+// grouping must split on the function value. Each answer has to track its
+// own observer's exact value.
+func TestRunManyAliasedObserversDoNotBatch(t *testing.T) {
+	chain := stochastic.BirthDeathChain(10, 0.45, 0)
+	doubled := func(s State) float64 { return 2 * ChainIndex(s) }
+	qs := []Query{
+		{Z: ChainIndex, Beta: 5, Horizon: 50, ZName: "obs"},
+		{Z: doubled, Beta: 7, Horizon: 50, ZName: "obs"}, // effectively "state >= 3.5"
+	}
+	res, err := RunMany(context.Background(), chain, qs, WithRelativeErrorTarget(0.1), WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := chainExact(chain, 5, 50, 10) // P(state >= 5)
+	wantB := chainExact(chain, 4, 50, 10) // P(2*state >= 7) = P(state >= 4)
+	if ci := res[0].CI(0.999); wantA < ci.Lo || wantA > ci.Hi {
+		t.Errorf("observer A answered %v (CI %v), exact %v", res[0].P, ci, wantA)
+	}
+	if ci := res[1].CI(0.999); wantB < ci.Lo || wantB > ci.Hi {
+		t.Errorf("observer B answered %v (CI %v), exact %v — aliased into A's run?", res[1].P, ci, wantB)
+	}
+}
+
+// RunBatch is restricted to the configurations with a covering form.
+func TestRunBatchRejectsIncompatibleOptions(t *testing.T) {
+	chain := stochastic.BirthDeathChain(10, 0.45, 0)
+	qs := []Query{
+		{Z: ChainIndex, Beta: 3, Horizon: 50},
+		{Z: ChainIndex, Beta: 5, Horizon: 50},
+	}
+	ctx := context.Background()
+	for name, opts := range map[string][]Option{
+		"srs":      {WithMethod(SRS)},
+		"smlss":    {WithMethod(SMLSS)},
+		"fixed":    {WithPlan(0.5)},
+		"balanced": {WithBalancedLevels(0.01, 4)},
+	} {
+		if _, err := RunBatch(ctx, chain, qs, append(opts, WithBudget(1000))...); err == nil {
+			t.Errorf("%s: RunBatch accepted an incompatible configuration", name)
+		}
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := RunBatch(cancelled, chain, qs, WithBudget(1_000_000)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// The headline sharing claim of the batch path, on the threshold-ladder
+// example's own scenario: answering a 10-threshold ladder with one shared
+// splitting run must cost at least 5x fewer simulator invocations than
+// answering each threshold with its own durability.Run at the same
+// relative-error target (examples/threshold-ladder demonstrates the same
+// numbers interactively; cmd/durbench records them in BENCH_serve.json).
+func TestThresholdLadderBatchBeatsPerQuery(t *testing.T) {
+	market := &GBM{S0: 100, Mu: 0.0003, Sigma: 0.01}
+	const horizon = 250
+	betas := make([]float64, 10)
+	for i := range betas {
+		betas[i] = 112 + 2*float64(i) // 112 .. 130
+	}
+	qs := make([]Query, len(betas))
+	for i, b := range betas {
+		qs[i] = Query{Z: ScalarValue, Beta: b, Horizon: horizon, ZName: "price"}
+	}
+	opts := []Option{WithRelativeErrorTarget(0.1), WithSeed(42)}
+	ctx := context.Background()
+
+	session, err := NewSession(market, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := session.RunBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchSteps := session.Stats().TotalSteps()
+
+	var perQuery int64
+	for i, q := range qs {
+		res, err := Run(ctx, market, q, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perQuery += res.Steps
+		// Equal quality: both paths hit the same relative-error target.
+		if batch[i].P <= 0 || batch[i].RelErr() > 0.1+1e-9 {
+			t.Fatalf("beta %v: batch answer misses the quality target: %+v (relErr %v)", betas[i], batch[i], batch[i].RelErr())
+		}
+		if diff := math.Abs(batch[i].P - res.P); diff > 5*(batch[i].StdErr()+res.StdErr()) {
+			t.Fatalf("beta %v: batch %v and per-query %v disagree beyond their joint error", betas[i], batch[i].P, res.P)
+		}
+	}
+	if batchSteps*5 > perQuery {
+		t.Fatalf("batch spent %d steps, per-query %d — want >= 5x sharing", batchSteps, perQuery)
+	}
+	t.Logf("ladder: batch %d steps vs per-query %d (%.1fx)", batchSteps, perQuery, float64(perQuery)/float64(batchSteps))
+}

@@ -4,11 +4,16 @@
 // query over a live stream (durability.Watch), at the same quality
 // target — and, when -workers > 0, the same maintenance sharded across
 // an in-process worker fleet through the execution seam of
-// internal/exec. It writes the numbers as a JSON array — scripts/bench
-// emits BENCH_serve.json at the repository root — so successive PRs can
-// track the serve/stream performance trajectory.
+// internal/exec. A third scenario measures the batch answering path: a
+// 10-threshold ladder answered by one shared splitting run
+// (durability.RunBatch) against ten independent Run calls. It writes the
+// numbers as a JSON array — scripts/bench emits BENCH_serve.json at the
+// repository root — so successive PRs can track the serve/stream/batch
+// performance trajectory; with -baseline it doubles as a regression
+// guard, failing when the batch scenario's deterministic step count
+// regresses more than 10% against the committed numbers.
 //
-//	go run ./cmd/durbench -out BENCH_serve.json
+//	go run ./cmd/durbench -out BENCH_serve.json -baseline BENCH_serve.json
 package main
 
 import (
@@ -32,7 +37,7 @@ import (
 type benchReport struct {
 	Scenario string  `json:"scenario"`
 	Backend  string  `json:"backend"`
-	Ticks    int     `json:"ticks"`
+	Ticks    int     `json:"ticks,omitempty"`
 	RelErr   float64 `json:"relErrTarget"`
 
 	// Cold path: durability.Run at sampled ticks (local scenario only).
@@ -40,13 +45,21 @@ type benchReport struct {
 	ColdStepsPerQuery float64 `json:"coldStepsPerQuery,omitempty"`
 
 	// Incremental path: standing-query maintenance.
-	IncrementalStepsPerTick float64 `json:"incrementalStepsPerTick"`
-	FreshRootsPerTick       float64 `json:"freshRootsPerTick"`
-	Replans                 int64   `json:"replans"`
+	IncrementalStepsPerTick float64 `json:"incrementalStepsPerTick,omitempty"`
+	FreshRootsPerTick       float64 `json:"freshRootsPerTick,omitempty"`
+	Replans                 int64   `json:"replans,omitempty"`
 
-	// The headline: cold steps per query divided by incremental steps
-	// per tick. The sharded scenario reuses the local cold baseline —
-	// the cold path is the same either way.
+	// Batch path: one shared splitting run answering a threshold ladder
+	// (the batch scenario only). BatchSteps is deterministic at a fixed
+	// seed, which is what lets scripts/bench guard it against regression.
+	Thresholds    int   `json:"thresholds,omitempty"`
+	BatchSteps    int64 `json:"batchSteps,omitempty"`
+	PerQuerySteps int64 `json:"perQuerySteps,omitempty"`
+
+	// The headline: cold steps per query divided by incremental steps per
+	// tick (stream scenarios; the sharded scenario reuses the local cold
+	// baseline — the cold path is the same either way), or per-query steps
+	// divided by batch steps (batch scenario).
 	Speedup float64 `json:"speedup"`
 }
 
@@ -66,8 +79,20 @@ func main() {
 		re        = flag.Float64("re", 0.10, "relative-error target for both paths")
 		seed      = flag.Uint64("seed", 42, "base random seed")
 		workers   = flag.Int("workers", 2, "in-process shard workers for the sharded scenario (0 = skip)")
+		baseline  = flag.String("baseline", "", "committed BENCH_serve.json to guard against: fail if the batch scenario's steps regress >10%")
 	)
 	flag.Parse()
+
+	// Read the committed baseline before anything overwrites it — the
+	// guard compares against what was checked in, not what this run wrote.
+	var base []benchReport
+	if *baseline != "" {
+		if blob, err := os.ReadFile(*baseline); err == nil {
+			if err := json.Unmarshal(blob, &base); err != nil {
+				log.Fatalf("durbench: parsing baseline %s: %v", *baseline, err)
+			}
+		}
+	}
 
 	ctx := context.Background()
 	market := &durability.GBM{S0: s0, Mu: mu, Sigma: sigma}
@@ -154,6 +179,13 @@ func main() {
 		reports = append(reports, sharded)
 	}
 
+	batch, err := runBatchLadder(ctx, *re, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports = append(reports, batch)
+	guardBatch(base, batch)
+
 	blob, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -163,10 +195,79 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, r := range reports {
+		if r.BatchSteps > 0 {
+			fmt.Printf("durbench[%s]: batch %d steps for %d thresholds (%.1fx vs per-query %d steps)\n",
+				r.Backend, r.BatchSteps, r.Thresholds, r.Speedup, r.PerQuerySteps)
+			continue
+		}
 		fmt.Printf("durbench[%s]: incremental %.0f steps/tick (%.1fx vs cold %.0f steps/query)\n",
 			r.Backend, r.IncrementalStepsPerTick, r.Speedup, local.ColdStepsPerQuery)
 	}
 	fmt.Printf("durbench: wrote %d scenarios -> %s\n", len(reports), *out)
+}
+
+// runBatchLadder measures the batch answering path: a 10-threshold profit
+// ladder over the GBM market answered by one shared splitting run
+// (durability.RunBatch, the examples/threshold-ladder scenario), against
+// ten independent durability.Run calls at the same relative-error target.
+// Both sides are deterministic at the fixed seed, so the numbers are
+// comparable across machines and guardable across commits.
+func runBatchLadder(ctx context.Context, re float64, seed uint64) (benchReport, error) {
+	market := &durability.GBM{S0: s0, Mu: mu, Sigma: sigma}
+	const thresholds = 10
+	queries := make([]durability.Query, thresholds)
+	for i := range queries {
+		queries[i] = durability.Query{
+			Z: durability.ScalarValue, Beta: 112 + 2*float64(i), Horizon: horizon, ZName: "price",
+		}
+	}
+	opts := []durability.Option{
+		durability.WithRelativeErrorTarget(re),
+		durability.WithSeed(seed),
+	}
+	session, err := durability.NewSession(market, opts...)
+	if err != nil {
+		return benchReport{}, err
+	}
+	if _, err := session.RunBatch(ctx, queries); err != nil {
+		return benchReport{}, err
+	}
+	batchSteps := session.Stats().TotalSteps()
+
+	var perQuery int64
+	for _, q := range queries {
+		res, err := durability.Run(ctx, market, q, opts...)
+		if err != nil {
+			return benchReport{}, err
+		}
+		perQuery += res.Steps
+	}
+	return benchReport{
+		Scenario:      fmt.Sprintf("batch-ladder gbm(s0=%.0f) betas=112..130 horizon=%d", s0, horizon),
+		Backend:       "local",
+		RelErr:        re,
+		Thresholds:    thresholds,
+		BatchSteps:    batchSteps,
+		PerQuerySteps: perQuery,
+		Speedup:       float64(perQuery) / float64(batchSteps),
+	}, nil
+}
+
+// guardBatch fails the run when the fresh batch scenario's total steps
+// regressed more than 10% against the committed baseline — the CI tripwire
+// for the batch path's cost. A baseline without a batch scenario (or none
+// at all) guards nothing: the first run records, later runs enforce.
+func guardBatch(base []benchReport, fresh benchReport) {
+	for _, old := range base {
+		if old.BatchSteps <= 0 || old.Scenario != fresh.Scenario || old.RelErr != fresh.RelErr {
+			continue
+		}
+		if float64(fresh.BatchSteps) > 1.10*float64(old.BatchSteps) {
+			log.Fatalf("durbench: batch scenario regressed: %d steps vs committed %d (+%.1f%%, >10%% budget)",
+				fresh.BatchSteps, old.BatchSteps, 100*(float64(fresh.BatchSteps)/float64(old.BatchSteps)-1))
+		}
+		fmt.Printf("durbench: batch guard ok: %d steps vs committed %d\n", fresh.BatchSteps, old.BatchSteps)
+	}
 }
 
 // runSharded maintains the same standing query over the cluster

@@ -20,6 +20,17 @@
 // snapshot. Model parameters are fixed at startup by flags (the same
 // defaults as cmd/durquery); queries select a model and observer by name.
 //
+// A whole threshold ladder goes through POST /batch as one shared
+// splitting run — every threshold is a boundary of one covering level
+// plan, and each answer is read off the shared counters:
+//
+//	curl -s localhost:8077/batch -d '{"model":"gbm","betas":[1100,1150,1200,1250],"horizon":250,"re":0.1}'
+//
+// Concurrent /batch requests of the same shape (model, observer, horizon,
+// ratio, seed, quality target) coalesce into a single run over the union
+// of their thresholds when -coalesce is set; each caller receives exactly
+// its own thresholds' answers.
+//
 // Standing queries ride the incremental maintenance engine of
 // internal/stream:
 //
@@ -81,11 +92,13 @@ func main() {
 		simWorkers = flag.Int("sim-workers", 1, "simulation workers per query")
 		timeout    = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		maxBudget  = flag.Int64("max-budget", 0, "per-query simulator-invocation cap (0 = default)")
+		maxHorizon = flag.Int("max-horizon", 1_000_000, "reject queries with a longer horizon — budgets only bind between sampling rounds, so an absurd horizon could overshoot the budget by a whole round (0 = unlimited)")
 		defaultRE  = flag.Float64("re", 0.10, "default relative-error target")
 		seed       = flag.Uint64("seed", 1, "base random seed")
 		bucket     = flag.Float64("bucket", serve.DefaultBetaBucketWidth, "plan-cache threshold bucket width (relative)")
 		planCache  = flag.Int("plan-cache", serve.DefaultPlanCacheCap, "plan-cache capacity (completed plans; < 0 = unlimited)")
 		tick       = flag.Duration("tick", 0, "auto-advance every live stream on this interval (0 = ticks only via POST /tick)")
+		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "how long a /batch request waits for compatible batches to share its run (0 = never coalesce)")
 		workers    = flag.String("workers", "", "comma-separated shard-worker addresses; g-MLSS simulation is distributed across them")
 		worker     = flag.String("worker", "", "run as a shard worker on this address instead of serving HTTP")
 		localSim   = flag.Int("worker-sim", 4, "worker mode: local simulation parallelism per shard")
@@ -147,12 +160,14 @@ func main() {
 		SimWorkers:      *simWorkers,
 		QueryTimeout:    *timeout,
 		MaxBudget:       *maxBudget,
+		MaxHorizon:      *maxHorizon,
 		DefaultRelErr:   *defaultRE,
 		Seed:            *seed,
 		BetaBucketWidth: *bucket,
 		PlanCacheCap:    *planCache,
 		Executor:        backend,
 		ExecBatchRoots:  *batchRoots,
+		CoalesceWindow:  *coalesce,
 	})
 	defer srv.Close()
 	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed, backend, *topUpRoots)
@@ -225,6 +240,19 @@ func newMux(srv *serve.Server, hub *streamHub) *http.ServeMux {
 			return
 		}
 		resp, err := srv.Do(r.Context(), req)
+		if err != nil {
+			httpError(w, queryStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.BatchRequest
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := srv.DoBatch(r.Context(), req)
 		if err != nil {
 			httpError(w, queryStatus(err), err)
 			return

@@ -506,33 +506,165 @@ func (s *Session) Run(ctx context.Context, q Query, opts ...Option) (Result, err
 	return res, nil
 }
 
-// RunMany answers a batch of queries concurrently (WithQueryConcurrency
-// controls the parallelism; the default is GOMAXPROCS). Queries sharing a
-// shape deduplicate their level search even when they start
-// simultaneously. Results are positionally aligned with qs. The first
-// error cancels the remaining queries and is returned alongside whatever
-// results completed.
+// RunBatch answers a set of queries that share a (observer, horizon)
+// shape with one splitting run per shape: a covering level plan is built
+// whose boundaries include every requested threshold (with per-level
+// splitting ratios balanced against measured advancement), a single
+// shared g-MLSS run is executed through the session's execution path, and
+// each query's estimate and confidence interval are derived from the
+// shared per-level counters as a cumulative level-crossing prefix. The
+// shared run continues until every threshold's quality target holds, so
+// its cost is set by the hardest threshold and every easier one rides
+// along nearly free — the cross-query sharing the per-query path cannot
+// express even with a warm plan cache.
+//
+// Queries of different shapes batch separately; a shape with a single
+// query falls back to the per-query path. Results align with qs; each
+// batched Result reports the shared run's Steps and Paths (the cost is
+// joint, not divisible). RunBatch requires the default GMLSS method with
+// automatic levels — fixed/balanced plans and SRS have no covering form.
+func (s *Session) RunBatch(ctx context.Context, qs []Query, opts ...Option) ([]Result, error) {
+	all := append(append([]Option(nil), s.defaults...), opts...)
+	cfg, err := buildConfig(all)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.method != GMLSS || cfg.planMode != planAuto {
+		return nil, errors.New("durability: RunBatch requires GMLSS with automatic levels (no WithMethod(SRS/SMLSS), WithPlan or WithBalancedLevels)")
+	}
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]Result, len(qs))
+	for _, group := range groupByShape(qs) {
+		if err := s.runBatchGroup(ctx, cfg, opts, qs, group, results); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// groupByShape partitions query indices by batchable shape: the observer
+// identity, the horizon — and the observer *function value* itself. The
+// last is load-bearing: a shared run simulates one observer for the whole
+// group, so unlike plan caching (where ZName aliasing across distinct
+// funcs only reuses a mis-tuned-at-worst plan), batching queries whose Z
+// funcs differ would compute some answers over the wrong observer.
+// Same-ID-different-func queries therefore land in separate groups and
+// still share plans through the cache. Order within a group follows qs.
+func groupByShape(qs []Query) [][]int {
+	type shape struct {
+		obs     string
+		fn      uintptr
+		horizon int
+	}
+	order := make([]shape, 0, 4)
+	groups := make(map[shape][]int, 4)
+	for i, q := range qs {
+		k := shape{obs: observerID(q), fn: *(*uintptr)(unsafe.Pointer(&q.Z)), horizon: q.Horizon}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// runBatchGroup answers one shape group, writing into results at the
+// group's original positions.
+func (s *Session) runBatchGroup(ctx context.Context, cfg config, opts []Option, qs []Query, group []int, results []Result) error {
+	if len(group) == 1 {
+		res, err := s.Run(ctx, qs[group[0]], opts...)
+		results[group[0]] = res
+		return err
+	}
+	q0 := qs[group[0]]
+	betas := make([]float64, len(group))
+	for i, gi := range group {
+		betas[i] = qs[gi].Beta
+	}
+	spec := serve.BatchSpec{
+		Proc:       s.proc,
+		Obs:        q0.Z,
+		ModelID:    s.proc.Name(),
+		ObserverID: observerID(q0),
+		Betas:      betas,
+		Horizon:    q0.Horizon,
+		Ratio:      cfg.ratio,
+		Seed:       cfg.seed,
+		SimWorkers: cfg.workers,
+		Stop:       cfg.stops,
+		Trace:      cfg.trace, // one shared run: traced through the hardest threshold
+	}
+	res, meta, err := s.runner.RunBatch(ctx, spec)
+	// Shared sampling cost is booked once for the whole group; the search
+	// cost flows through the plan cache's counter as usual.
+	s.sampleSteps.Add(meta.SharedSteps)
+	if err != nil {
+		return err
+	}
+	for i, gi := range group {
+		results[gi] = res[i]
+	}
+	s.queries.Add(int64(len(group)))
+	return nil
+}
+
+// RunMany answers a batch of queries. Queries sharing a shape (observer
+// and horizon, under the default GMLSS method with automatic levels) are
+// answered by one shared splitting run per shape via RunBatch; remaining
+// queries execute concurrently through the per-query path
+// (WithQueryConcurrency controls that parallelism; the default is
+// GOMAXPROCS), deduplicating level searches through the plan cache.
+// Results are positionally aligned with qs. The first error cancels the
+// remaining queries and is returned alongside whatever results completed.
 func (s *Session) RunMany(ctx context.Context, qs []Query, opts ...Option) ([]Result, error) {
 	all := append(append([]Option(nil), s.defaults...), opts...)
 	cfg, err := buildConfig(all)
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.concurrency
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(qs) {
-		workers = len(qs)
-	}
 	if len(qs) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return make([]Result, len(qs)), err
+	}
+
+	// Delegate shape groups to the batch path when the configuration
+	// supports it: shared runs answer a whole threshold lattice at the
+	// cost of its hardest member. Per-query traces and explicit plans keep
+	// the per-query path.
+	results := make([]Result, len(qs))
+	var singles []int
+	var groups [][]int
+	if cfg.method == GMLSS && cfg.planMode == planAuto && cfg.trace == nil {
+		for _, group := range groupByShape(qs) {
+			if len(group) < 2 {
+				singles = append(singles, group...)
+			} else {
+				groups = append(groups, group)
+			}
+		}
+	} else {
+		singles = make([]int, len(qs))
+		for i := range qs {
+			singles[i] = i
+		}
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	results := make([]Result, len(qs))
 	var mu sync.Mutex
 	var firstErr error
 	fail := func(err error) {
@@ -544,15 +676,45 @@ func (s *Session) RunMany(ctx context.Context, qs []Query, opts ...Option) ([]Re
 		cancel()
 	}
 
-	jobs := make(chan int)
+	// One bounded pool executes every unit of work — a shape group's
+	// shared run counts as one unit, exactly like a single query, so a
+	// many-shape sweep cannot oversubscribe the machine beyond
+	// WithQueryConcurrency.
+	type unit struct {
+		group  []int // a shape group's shared run...
+		single int   // ...or one per-query index (when group is nil)
+	}
+	units := make([]unit, 0, len(groups)+len(singles))
+	for _, g := range groups {
+		units = append(units, unit{group: g})
+	}
+	for _, i := range singles {
+		units = append(units, unit{group: nil, single: i})
+	}
+	workers := cfg.concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	jobs := make(chan unit)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				res, err := s.Run(ctx, qs[i], opts...)
-				results[i] = res
+			for u := range jobs {
+				if u.group != nil {
+					if err := s.runBatchGroup(ctx, cfg, opts, qs, u.group, results); err != nil {
+						fail(err)
+						return
+					}
+					continue
+				}
+				res, err := s.Run(ctx, qs[u.single], opts...)
+				results[u.single] = res
 				if err != nil {
 					fail(err)
 					return
@@ -561,9 +723,9 @@ func (s *Session) RunMany(ctx context.Context, qs []Query, opts ...Option) ([]Re
 		}()
 	}
 feed:
-	for i := range qs {
+	for _, u := range units {
 		select {
-		case jobs <- i:
+		case jobs <- u:
 		case <-ctx.Done():
 			break feed
 		}
@@ -638,4 +800,16 @@ func RunMany(ctx context.Context, proc Process, qs []Query, opts ...Option) ([]R
 		return nil, err
 	}
 	return s.RunMany(ctx, qs)
+}
+
+// RunBatch is the one-shot convenience form of Session.RunBatch: queries
+// sharing a (observer, horizon) shape are answered by one shared
+// splitting run over a covering level plan, so a whole threshold ladder
+// costs about as much as its hardest member. See Session.RunBatch.
+func RunBatch(ctx context.Context, proc Process, qs []Query, opts ...Option) ([]Result, error) {
+	s, err := NewSession(proc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunBatch(ctx, qs)
 }

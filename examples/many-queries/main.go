@@ -7,11 +7,14 @@
 // many users ask near-identical questions of a shared model.
 //
 // Answered independently, every query pays the paper's §5.2 adaptive
-// level search before it can sample. A Session instead memoizes plans by
-// query shape (observer, normalized threshold bucket, horizon, ratio):
-// thresholds within a bucket share one search, concurrent queries
-// deduplicate in flight, and the sweep's total simulation drops several
-// fold at the same statistical quality.
+// level search before it can sample, then its own full sampling run. A
+// Session shares both: RunMany groups queries of one shape (observer,
+// horizon) and answers each group with a single splitting run over a
+// covering level plan — every threshold a boundary, every answer a prefix
+// of the shared counters — while differently shaped queries still share
+// searches through the plan cache. The sweep's total simulation drops by
+// orders of magnitude at the same statistical quality. (See
+// examples/threshold-ladder for the batch mechanics in isolation.)
 //
 //	go run ./examples/many-queries
 package main

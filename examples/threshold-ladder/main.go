@@ -1,0 +1,76 @@
+// Threshold ladder: one splitting run answers a whole lattice of queries.
+//
+// A retail trading product shows every user the chance their position
+// reaches a profit target: "P(price >= X within 250 ticks)" for a ladder
+// of ten targets X over one market model. Each threshold is a separate
+// durability query — but a single g-MLSS run already watches every level
+// boundary on its way to the top, so if the level plan is built to
+// *cover* the ladder (every threshold a boundary, per-level splitting
+// ratios balanced against measured advancement), each query's answer is
+// just a prefix of the shared per-level counters.
+//
+// RunBatch does exactly that. The shared run keeps sampling until every
+// threshold meets the relative-error target, so its cost is set by the
+// rarest threshold — and the nine easier ones ride along nearly free,
+// where ten independent Run calls would each pay their own search and
+// their own full sampling run.
+//
+//	go run ./examples/threshold-ladder
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"durability"
+)
+
+func main() {
+	market := &durability.GBM{S0: 100, Mu: 0.0003, Sigma: 0.01}
+	const horizon = 250
+	betas := make([]float64, 10)
+	queries := make([]durability.Query, 10)
+	for i := range betas {
+		betas[i] = 112 + 2*float64(i) // profit targets 112, 114, ..., 130
+		queries[i] = durability.Query{Z: durability.ScalarValue, Beta: betas[i], Horizon: horizon, ZName: "price"}
+	}
+	opts := []durability.Option{
+		durability.WithRelativeErrorTarget(0.10),
+		durability.WithSeed(42),
+	}
+	ctx := context.Background()
+
+	// The batch path: one covering plan, one shared splitting run.
+	session, err := durability.NewSession(market, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := session.RunBatch(ctx, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchSteps := session.Stats().TotalSteps()
+
+	fmt.Println("profit-target ladder over GBM(100) — 10 thresholds, RE target 10%:")
+	for i, b := range betas {
+		ci := results[i].CI(0.95)
+		fmt.Printf("  P(price >= %3.0f within %d) = %.4g  (95%% CI [%.3g, %.3g])\n",
+			b, horizon, results[i].P, ci.Lo, ci.Hi)
+	}
+	fmt.Printf("\nbatch: one shared run, %d total simulator steps (search + sampling)\n", batchSteps)
+
+	// The per-query way: ten independent runs, each with its own level
+	// search and its own sampling to the same target.
+	var perQuery int64
+	for _, q := range queries {
+		res, err := durability.Run(ctx, market, q, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perQuery += res.Steps
+	}
+	fmt.Printf("per-query Run calls: %d simulator steps\n", perQuery)
+	fmt.Printf("\nsharing: %.1fx less simulation for the same quality targets\n",
+		float64(perQuery)/float64(batchSteps))
+}

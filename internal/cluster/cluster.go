@@ -52,9 +52,13 @@ type ShardRequest struct {
 	Horizon    int
 	Boundaries []float64
 	Ratio      int
-	Seed       uint64
-	RootLo     int64
-	RootHi     int64
+	// Ratios optionally overrides Ratio per landing level (len must be
+	// len(Boundaries) when set); batch covering plans ship their designed
+	// per-level ratios here.
+	Ratios []int
+	Seed   uint64
+	RootLo int64
+	RootHi int64
 	// GroupRoots fixes the bootstrap grouping by size: every group covers
 	// exactly GroupRoots consecutive root indices, so group boundaries are
 	// identical no matter how a logical root range was sharded across
@@ -114,6 +118,7 @@ func (w *Worker) Run(req ShardRequest, reply *ShardReply) error {
 		Query:   core.Query{Value: core.ThresholdValue(obs, req.Beta), Horizon: req.Horizon},
 		Plan:    plan,
 		Ratio:   req.Ratio,
+		Ratios:  req.Ratios,
 		Stop:    mc.Budget{Steps: 1}, // unused by RunRoots; validate() wants a rule
 		Seed:    req.Seed,
 		Workers: w.workers,

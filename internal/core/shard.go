@@ -135,6 +135,88 @@ func EstimateFromCounters(agg Counters, n int64, m, initLevel int) float64 {
 	return lc.estimate(n, m, initLevel)
 }
 
+// EstimatePrefixFromCounters computes the g-MLSS estimator truncated at
+// level target (initLevel < target <= m): the cumulative level-crossing
+// product up to boundary beta_target. It is an unbiased estimate of the
+// probability that the value function reaches beta_target within the
+// horizon — the same telescoping-conditional argument that makes Eq. 10
+// unbiased for the top level applies to every prefix, which is what lets
+// one splitting run answer a whole threshold lattice: each intermediate
+// threshold is read off as a prefix of the shared counters.
+func EstimatePrefixFromCounters(agg Counters, n int64, m, target, initLevel int) float64 {
+	if target == m {
+		return EstimateFromCounters(agg, n, m, initLevel)
+	}
+	if n == 0 || target <= initLevel || target > m {
+		return 0
+	}
+	first := initLevel + 1
+	// Crossings of the first watched boundary: paths that landed in
+	// L_first plus paths that jumped past it (the segment loop books a
+	// skip at every level below the landing level, the target included).
+	tau := (agg.Land[first] + agg.Skip[first]) / float64(n)
+	if tau == 0 {
+		return 0
+	}
+	for i := first; i < target; i++ {
+		denom := agg.Land[i] + agg.Skip[i]
+		if denom == 0 {
+			return 0
+		}
+		tau *= (agg.Mu[i] + agg.Skip[i]) / denom
+	}
+	return tau
+}
+
+// PrefixCrossings counts the crossing events observed at boundary target:
+// the per-level evidence mass behind a prefix estimate, the analog of
+// Result.Hits for an intermediate threshold (MinHits-style stop-rule
+// guards key off it). For the top level the crossings are the target hits.
+func PrefixCrossings(agg Counters, m, target int) float64 {
+	if target == m {
+		return agg.Hits
+	}
+	if target < 1 || target > m {
+		return 0
+	}
+	return agg.Land[target] + agg.Skip[target]
+}
+
+// BootstrapPrefixVariancesFromGroups estimates the variance of every
+// prefix estimator in targets at once by resampling equal-size root groups
+// with replacement. Each replicate draws one resampled counter set and
+// evaluates all prefixes from it, so the cost is one resampling pass (and
+// one PRNG trajectory) regardless of how many thresholds share the run; a
+// single-element targets slice consumes exactly the draws
+// BootstrapVarianceFromGroups would, keeping batch and single-query
+// variance trajectories comparable. rootsPerGroup * len(groups) must equal
+// the total number of roots the groups cover.
+func BootstrapPrefixVariancesFromGroups(groups []Counters, rootsPerGroup int64, m, initLevel int, targets []int, reps int, src *rng.Source) []float64 {
+	out := make([]float64, len(targets))
+	n := len(groups)
+	if n < 2 {
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
+	total := rootsPerGroup * int64(n)
+	accs := make([]stats.Accumulator, len(targets))
+	for b := 0; b < reps; b++ {
+		resampled := NewCounters(m)
+		for i := 0; i < n; i++ {
+			resampled.Add(groups[src.Intn(n)])
+		}
+		for ti, target := range targets {
+			accs[ti].Add(EstimatePrefixFromCounters(resampled, total, m, target, initLevel))
+		}
+	}
+	for i := range accs {
+		out[i] = accs[i].PopulationVariance()
+	}
+	return out
+}
+
 // BootstrapVarianceFromGroups estimates the estimator's variance by
 // resampling equal-size root groups with replacement, as the coordinator
 // does after merging shard results. rootsPerGroup * len(groups) must equal

@@ -67,6 +67,16 @@ func (q Query) Validate() error {
 // L_0 = [0, beta_1), ..., L_{m-1} = [beta_{m-1}, 1), L_m = [1, 1].
 type Plan struct {
 	Boundaries []float64
+
+	// Ratios optionally fixes a per-level splitting ratio alongside the
+	// boundaries: Ratios[j-1] is the offspring count for splits landing in
+	// level L_j (so len(Ratios) == M()-1 when set). g-MLSS bookkeeps
+	// per-split advancement fractions, so variable ratios stay unbiased
+	// (§4.1); covering plans built for batch answering rely on them — a
+	// dense threshold ladder has near-certain advancement at most
+	// boundaries, where any uniform ratio > 1 would grow the splitting
+	// tree geometrically. Empty means "use the sampler's uniform ratio".
+	Ratios []int
 }
 
 // NewPlan validates and returns a plan. Boundaries are sorted defensively.
@@ -134,15 +144,21 @@ func (p Plan) LevelOf(f float64) int {
 	return idx
 }
 
-// Equal reports whether two plans have identical boundaries. Counters
-// accumulated under one plan are interpretable under another exactly when
-// the plans are equal, which incremental maintenance relies on.
+// Equal reports whether two plans have identical boundaries and per-level
+// ratios. Counters accumulated under one plan are interpretable under
+// another exactly when the plans are equal, which incremental maintenance
+// relies on.
 func (p Plan) Equal(o Plan) bool {
-	if len(p.Boundaries) != len(o.Boundaries) {
+	if len(p.Boundaries) != len(o.Boundaries) || len(p.Ratios) != len(o.Ratios) {
 		return false
 	}
 	for i, b := range p.Boundaries {
 		if b != o.Boundaries[i] {
+			return false
+		}
+	}
+	for i, r := range p.Ratios {
+		if r != o.Ratios[i] {
 			return false
 		}
 	}

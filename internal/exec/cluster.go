@@ -281,6 +281,7 @@ func (c *Cluster) RunRoots(ctx context.Context, t Task, lo, hi int64, rootsPerGr
 			Horizon:    t.Horizon,
 			Boundaries: t.Boundaries,
 			Ratio:      t.Ratio,
+			Ratios:     t.Ratios,
 			Seed:       t.Seed,
 			RootLo:     clo,
 			RootHi:     chi,

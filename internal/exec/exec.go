@@ -59,6 +59,11 @@ type Task struct {
 	Horizon    int
 	Boundaries []float64 // the level plan
 	Ratio      int
+	// Ratios optionally overrides Ratio per landing level (len must be
+	// len(Boundaries) when set) — the covering plans of the batch
+	// answering path carry their designed per-level ratios here. Part of
+	// the numerics: both backends must apply it identically.
+	Ratios     []int
 	Seed       uint64
 	SimWorkers int // in-process parallelism (Local; workers use their own)
 }
@@ -122,6 +127,7 @@ func (Local) RunRoots(ctx context.Context, t Task, lo, hi int64, rootsPerGroup i
 		Query:   core.Query{Value: core.ThresholdValue(t.Obs, t.Beta), Horizon: t.Horizon},
 		Plan:    plan,
 		Ratio:   t.Ratio,
+		Ratios:  t.Ratios,
 		Stop:    mc.Budget{Steps: 1}, // unused by RunRootsBy; validate() wants a rule
 		Seed:    t.Seed,
 		Workers: t.SimWorkers,

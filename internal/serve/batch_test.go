@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"durability/internal/mc"
+	"durability/internal/stochastic"
+)
+
+func chainBatchSpec(betas ...float64) BatchSpec {
+	return BatchSpec{
+		Proc:       stochastic.BirthDeathChain(10, 0.45, 0),
+		Obs:        stochastic.ChainIndex,
+		ModelID:    "chain",
+		ObserverID: "value",
+		Betas:      betas,
+		Horizon:    50,
+		Ratio:      3,
+		Seed:       7,
+		Stop:       mc.Any{mc.RETarget{Target: 0.15}, mc.Budget{Steps: 5_000_000}},
+	}
+}
+
+// The covering plan is cached by the threshold-set bucket: a second batch
+// of the same ladder shape pays no search, and answers reproduce bit for
+// bit; a different ladder keys separately.
+func TestRunBatchPlanCache(t *testing.T) {
+	r := &Runner{Cache: NewPlanCache(0)}
+	ctx := context.Background()
+
+	first, meta1, err := r.RunBatch(ctx, chainBatchSpec(3, 5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta1.CacheHit || meta1.SearchSteps == 0 {
+		t.Fatalf("first batch should pay a covering search: %+v", meta1)
+	}
+	if meta1.Thresholds != 3 || len(meta1.Plan.Ratios) != meta1.Plan.M()-1 {
+		t.Fatalf("covering plan malformed: %+v", meta1)
+	}
+
+	second, meta2, err := r.RunBatch(ctx, chainBatchSpec(3, 5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta2.CacheHit || meta2.SearchSteps != 0 {
+		t.Fatalf("second batch should hit the plan cache: %+v", meta2)
+	}
+	for i := range first {
+		if first[i].P != second[i].P || first[i].Variance != second[i].Variance {
+			t.Fatalf("cached batch diverged at %d: %v vs %v", i, first[i].P, second[i].P)
+		}
+	}
+
+	if _, meta3, err := r.RunBatch(ctx, chainBatchSpec(4, 5, 7)); err != nil {
+		t.Fatal(err)
+	} else if meta3.CacheHit {
+		t.Fatalf("different ladder shape must not share a covering plan: %+v", meta3)
+	}
+}
+
+// Without a cache every batch pays its own search — the per-batch analog
+// of durability.Run's behavior.
+func TestRunBatchNoCache(t *testing.T) {
+	r := &Runner{}
+	res, meta, err := r.RunBatch(context.Background(), chainBatchSpec(3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.SearchSteps == 0 || meta.CacheHit {
+		t.Fatalf("cacheless batch meta: %+v", meta)
+	}
+	if len(res) != 2 || res[0].P <= res[1].P {
+		t.Fatalf("results wrong: %+v", res)
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	r := &Runner{}
+	ctx := context.Background()
+	bad := []BatchSpec{
+		{},                    // everything missing
+		chainBatchSpec(),      // no thresholds
+		chainBatchSpec(-3, 7), // non-positive threshold
+	}
+	long := chainBatchSpec(3)
+	long.Horizon = 0
+	bad = append(bad, long)
+	for i, spec := range bad {
+		if _, _, err := r.RunBatch(ctx, spec); err == nil {
+			t.Errorf("case %d: invalid batch spec accepted", i)
+		}
+	}
+	wide := chainBatchSpec()
+	for i := 0; i < MaxBatchThresholds+1; i++ {
+		wide.Betas = append(wide.Betas, 1+float64(i)*1e-6)
+	}
+	if _, _, err := r.RunBatch(ctx, wide); err == nil {
+		t.Error("oversized threshold lattice accepted")
+	}
+}
+
+func batchTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	registry := Registry{
+		"chain": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return stochastic.BirthDeathChain(10, 0.45, 0), map[string]stochastic.Observer{"value": stochastic.ChainIndex}, nil
+		},
+	}
+	srv := NewServer(registry, cfg)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// DoBatch end to end: per-threshold answers aligned with the request,
+// monotone in the threshold, with batch stats accounted.
+func TestServerDoBatch(t *testing.T) {
+	srv := batchTestServer(t, Config{PoolWorkers: 2, Seed: 1})
+	resp, err := srv.DoBatch(context.Background(), BatchRequest{
+		Model: "chain", Betas: []float64{7, 3, 5}, Horizon: 50, RelErr: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 3 || resp.Thresholds != 3 || resp.Coalesced != 1 {
+		t.Fatalf("batch response shape: %+v", resp)
+	}
+	for i, beta := range []float64{7, 3, 5} {
+		if resp.Answers[i].Beta != beta {
+			t.Fatalf("answer %d echoes beta %v, want %v", i, resp.Answers[i].Beta, beta)
+		}
+	}
+	if !(resp.Answers[1].P > resp.Answers[2].P && resp.Answers[2].P > resp.Answers[0].P) {
+		t.Fatalf("estimates not monotone in beta: %+v", resp.Answers)
+	}
+	if resp.SharedSteps == 0 || resp.SearchSteps == 0 || len(resp.Plan) == 0 {
+		t.Fatalf("cost accounting missing: %+v", resp)
+	}
+	st := srv.Stats()
+	if st.BatchRuns != 1 || st.BatchCallers != 1 || st.BatchThresholds != 3 {
+		t.Fatalf("batch stats: %+v", st)
+	}
+	if st.SampleSteps == 0 {
+		t.Fatalf("shared steps not booked: %+v", st)
+	}
+}
+
+func TestServerDoBatchValidation(t *testing.T) {
+	srv := batchTestServer(t, Config{PoolWorkers: 1, Seed: 1, MaxHorizon: 1000})
+	ctx := context.Background()
+	cases := []BatchRequest{
+		{Model: "chain", Horizon: 50},                                               // no thresholds
+		{Model: "chain", Betas: []float64{0}, Horizon: 50},                          // bad threshold
+		{Model: "chain", Betas: []float64{3}, Horizon: 0},                           // bad horizon
+		{Model: "chain", Betas: []float64{3}, Horizon: 5000},                        // beyond MaxHorizon
+		{Model: "nope", Betas: []float64{3}, Horizon: 50},                           // unknown model
+		{Model: "chain", Observer: "nope", Betas: []float64{3}, Horizon: 50},        // unknown observer
+		{Model: "chain", Betas: []float64{3}, Horizon: 50, RelErr: -1},              // negative target
+		{Model: "chain", Betas: make([]float64, MaxBatchThresholds+1), Horizon: 50}, // oversized
+	}
+	for i := range cases[len(cases)-1].Betas {
+		cases[len(cases)-1].Betas[i] = 1 + float64(i)
+	}
+	for i, req := range cases {
+		if _, err := srv.DoBatch(ctx, req); err == nil {
+			t.Errorf("case %d: invalid batch request accepted: %+v", i, req)
+		}
+	}
+}
+
+// Coalescing: batches of one compatibility class arriving inside the
+// window share a single run over the union of their thresholds, and every
+// caller receives exactly its own thresholds' answers.
+func TestServerDoBatchCoalesces(t *testing.T) {
+	srv := batchTestServer(t, Config{PoolWorkers: 2, Seed: 1, CoalesceWindow: 300 * time.Millisecond})
+	ctx := context.Background()
+
+	type out struct {
+		resp BatchResponse
+		err  error
+	}
+	leader := make(chan out, 1)
+	go func() {
+		resp, err := srv.DoBatch(ctx, BatchRequest{Model: "chain", Betas: []float64{3, 7}, Horizon: 50, RelErr: 0.15})
+		leader <- out{resp, err}
+	}()
+	// Wait until the leader's gather is registered, then join it — the
+	// join is deterministic, not a timing race.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().BatchPending == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader gather never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	follower, err := srv.DoBatch(ctx, BatchRequest{Model: "chain", Betas: []float64{5}, Horizon: 50, RelErr: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := <-leader
+	if l.err != nil {
+		t.Fatal(l.err)
+	}
+
+	if l.resp.Coalesced != 2 || follower.Coalesced != 2 {
+		t.Fatalf("coalesced counts: leader %d, follower %d, want 2", l.resp.Coalesced, follower.Coalesced)
+	}
+	if l.resp.Thresholds != 3 || follower.Thresholds != 3 {
+		t.Fatalf("union size: leader %d, follower %d, want 3", l.resp.Thresholds, follower.Thresholds)
+	}
+	if len(l.resp.Answers) != 2 || l.resp.Answers[0].Beta != 3 || l.resp.Answers[1].Beta != 7 {
+		t.Fatalf("leader got wrong thresholds: %+v", l.resp.Answers)
+	}
+	if len(follower.Answers) != 1 || follower.Answers[0].Beta != 5 {
+		t.Fatalf("follower got wrong thresholds: %+v", follower.Answers)
+	}
+	// Shared run: identical cost accounting, and the follower's estimate
+	// sits between the leader's (monotonicity across the union).
+	if l.resp.SharedSteps != follower.SharedSteps || l.resp.Paths != follower.Paths {
+		t.Fatalf("coalesced callers report different runs: %+v vs %+v", l.resp, follower)
+	}
+	if !(l.resp.Answers[0].P > follower.Answers[0].P && follower.Answers[0].P > l.resp.Answers[1].P) {
+		t.Fatalf("union answers not monotone: %v, %v, %v",
+			l.resp.Answers[0].P, follower.Answers[0].P, l.resp.Answers[1].P)
+	}
+	if st := srv.Stats(); st.BatchRuns != 1 || st.BatchCallers != 2 || st.BatchCoalesced != 1 {
+		t.Fatalf("coalescing stats: %+v", st)
+	}
+}
+
+// A joiner whose thresholds poison the union (here: below the model's
+// initial state, so the covering run cannot answer it) must fail alone —
+// the other gathered callers are retried without it and still succeed.
+func TestServerDoBatchBadJoinerFailsAlone(t *testing.T) {
+	registry := Registry{
+		"chain4": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return stochastic.BirthDeathChain(10, 0.45, 4), map[string]stochastic.Observer{"value": stochastic.ChainIndex}, nil
+		},
+	}
+	srv := NewServer(registry, Config{PoolWorkers: 2, Seed: 1, CoalesceWindow: 300 * time.Millisecond})
+	t.Cleanup(srv.Close)
+	ctx := context.Background()
+
+	type out struct {
+		resp BatchResponse
+		err  error
+	}
+	leader := make(chan out, 1)
+	go func() {
+		resp, err := srv.DoBatch(ctx, BatchRequest{Model: "chain4", Betas: []float64{7}, Horizon: 50, RelErr: 0.2})
+		leader <- out{resp, err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().BatchPending == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader gather never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Beta 3 sits below the chain's start state 4: invalid for any run.
+	_, badErr := srv.DoBatch(ctx, BatchRequest{Model: "chain4", Betas: []float64{3}, Horizon: 50, RelErr: 0.2})
+	l := <-leader
+	if badErr == nil {
+		t.Fatal("already-satisfied threshold accepted")
+	}
+	if l.err != nil {
+		t.Fatalf("valid caller failed because of a bad joiner: %v", l.err)
+	}
+	if len(l.resp.Answers) != 1 || l.resp.Answers[0].Beta != 7 || l.resp.Answers[0].P <= 0 {
+		t.Fatalf("valid caller's solo retry answered wrong: %+v", l.resp)
+	}
+	if l.resp.Coalesced != 1 {
+		t.Fatalf("solo retry should report itself uncoalesced: %+v", l.resp)
+	}
+}
+
+// With coalescing disabled, identical concurrent batches still answer
+// independently and correctly.
+func TestServerDoBatchNoCoalesceWindow(t *testing.T) {
+	srv := batchTestServer(t, Config{PoolWorkers: 2, Seed: 1})
+	var wg sync.WaitGroup
+	outs := make([]BatchResponse, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = srv.DoBatch(context.Background(),
+				BatchRequest{Model: "chain", Betas: []float64{3, 7}, Horizon: 50, RelErr: 0.15})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if outs[i].Coalesced != 1 || len(outs[i].Answers) != 2 {
+			t.Fatalf("caller %d: %+v", i, outs[i])
+		}
+	}
+	// Same seed, same shape: independent runs reproduce bit for bit.
+	if outs[0].Answers[0].P != outs[1].Answers[0].P {
+		t.Fatalf("independent same-seed batches diverged: %v vs %v", outs[0].Answers[0].P, outs[1].Answers[0].P)
+	}
+}
+
+// A closed server fails batch callers with ErrClosed rather than hanging.
+func TestServerDoBatchClosed(t *testing.T) {
+	srv := batchTestServer(t, Config{PoolWorkers: 1, Seed: 1})
+	srv.Close()
+	if _, err := srv.DoBatch(context.Background(),
+		BatchRequest{Model: "chain", Betas: []float64{3}, Horizon: 50}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

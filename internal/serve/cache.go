@@ -51,6 +51,13 @@ type PlanKey struct {
 	Ratio      int    // splitting ratio the plan was tuned for
 	Search     string // search strategy ("greedy", "balanced(tau,m)", ...)
 	Start      int    // start-state drift bucket (0 for canonical initial states)
+	// Set is the threshold-set bucket for batch covering plans: the
+	// canonical encoding of every requested threshold's ratio to the
+	// batch's top threshold. Two batches asking the same ladder shape
+	// (the common serving case — many users, one product's threshold
+	// lattice) share one covering plan; single-threshold queries leave it
+	// empty and key exactly as before.
+	Set string
 }
 
 // SearchFunc runs a level search and returns the plan plus the simulator

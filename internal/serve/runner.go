@@ -153,7 +153,7 @@ func (s *Spec) searchTag() string {
 // scheduling luck) of whichever query triggered the search.
 func planSeed(key PlanKey) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d\x00%s\x00%d", key.Model, key.Observer, key.BetaBucket, key.Horizon, key.Ratio, key.Search, key.Start)
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d\x00%s\x00%d\x00%s", key.Model, key.Observer, key.BetaBucket, key.Horizon, key.Ratio, key.Search, key.Start, key.Set)
 	seed := h.Sum64()
 	if seed == 0 {
 		seed = 1

@@ -90,6 +90,21 @@ type Config struct {
 	// (see Runner.ExecBatchRoots).
 	Executor       exec.Executor
 	ExecBatchRoots int
+
+	// CoalesceWindow is how long the first batch request of a
+	// compatibility class (model, observer, horizon, ratio, seed, quality
+	// target) holds the door open for concurrently arriving compatible
+	// batches before the shared run starts; everyone who joins is answered
+	// from one run over the union of their thresholds. 0 disables
+	// coalescing: every batch runs alone (still one run for all its own
+	// thresholds).
+	CoalesceWindow time.Duration
+
+	// MaxHorizon rejects queries whose horizon exceeds it (0 = unlimited).
+	// Budgets are enforced between sampling rounds, so a single absurd
+	// horizon can overshoot MaxBudget by a whole round; front ends exposed
+	// to untrusted bodies should set a ceiling.
+	MaxHorizon int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,11 +155,13 @@ type builtModel struct {
 	err       error
 }
 
-// job is one admitted query waiting for a pool worker.
+// job is one admitted unit of work waiting for a pool worker: a single
+// query, or a coalesced batch occupying one pool slot for all its callers.
 type job struct {
 	ctx   context.Context
 	req   Request
 	reply chan outcome
+	batch *batchGather
 }
 
 type outcome struct {
@@ -161,9 +178,10 @@ type Server struct {
 	registry Registry
 	runner   *Runner
 
-	mu     sync.Mutex
-	models map[string]*builtModel
-	closed bool
+	mu      sync.Mutex
+	models  map[string]*builtModel
+	closed  bool
+	pending map[batchKey]*batchGather // batch gathers holding their coalescing window open
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -184,6 +202,7 @@ func NewServer(registry Registry, cfg Config) *Server {
 		registry: registry,
 		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth, WithCacheCapacity(cap)), Exec: cfg.Executor, ExecBatchRoots: cfg.ExecBatchRoots},
 		models:   make(map[string]*builtModel),
+		pending:  make(map[batchKey]*batchGather),
 		queue:    make(chan *job, cfg.QueueDepth),
 	}
 	for w := 0; w < cfg.PoolWorkers; w++ {
@@ -192,6 +211,10 @@ func NewServer(registry Registry, cfg Config) *Server {
 			defer s.wg.Done()
 			for j := range s.queue {
 				s.stats.queueDepth.Add(-1)
+				if j.batch != nil {
+					s.executeBatch(j.batch)
+					continue
+				}
 				resp, err := s.execute(j.ctx, j.req)
 				j.reply <- outcome{resp: resp, err: err}
 			}
@@ -305,6 +328,9 @@ func (s *Server) spec(req Request) (Spec, error) {
 	obs, ok := m.observers[obsName]
 	if !ok {
 		return Spec{}, fmt.Errorf("serve: model %q has no observer %q", req.Model, obsName)
+	}
+	if s.cfg.MaxHorizon > 0 && req.Horizon > s.cfg.MaxHorizon {
+		return Spec{}, fmt.Errorf("serve: horizon %d exceeds the server's cap %d", req.Horizon, s.cfg.MaxHorizon)
 	}
 
 	var method Method

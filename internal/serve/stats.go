@@ -11,6 +11,14 @@ type serverCounters struct {
 	sampleSteps atomic.Int64
 	inFlight    atomic.Int64
 	queueDepth  atomic.Int64
+
+	// Batch path: shared runs executed, callers they answered, callers
+	// that joined an already-open gather, and distinct thresholds the
+	// shared runs covered.
+	batchRuns       atomic.Int64
+	batchCallers    atomic.Int64
+	batchCoalesced  atomic.Int64
+	batchThresholds atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the server, shaped for the
@@ -23,6 +31,14 @@ type Stats struct {
 	QueueDepth    int64 `json:"queueDepth"`
 	QueueCap      int   `json:"queueCap"`
 	PoolWorkers   int   `json:"poolWorkers"`
+
+	// Batch answering: one shared splitting run per gathered batch, many
+	// thresholds (and possibly many callers) per run.
+	BatchRuns       int64 `json:"batchRuns"`
+	BatchCallers    int64 `json:"batchCallers"`
+	BatchCoalesced  int64 `json:"batchCoalesced"`
+	BatchThresholds int64 `json:"batchThresholds"`
+	BatchPending    int   `json:"batchPending"` // gathers currently holding their coalescing window open
 
 	// Cost accounting, in simulator invocations: how much simulation went
 	// into answering queries versus searching for level plans. The ratio
@@ -45,6 +61,9 @@ type Stats struct {
 // Stats snapshots the server counters and its plan cache.
 func (s *Server) Stats() Stats {
 	cache := s.runner.Cache.Stats()
+	s.mu.Lock()
+	pending := len(s.pending)
+	s.mu.Unlock()
 	out := Stats{
 		QueriesServed:   s.stats.served.Load(),
 		Errors:          s.stats.errors.Load(),
@@ -53,6 +72,11 @@ func (s *Server) Stats() Stats {
 		QueueDepth:      s.stats.queueDepth.Load(),
 		QueueCap:        s.cfg.QueueDepth,
 		PoolWorkers:     s.cfg.PoolWorkers,
+		BatchRuns:       s.stats.batchRuns.Load(),
+		BatchCallers:    s.stats.batchCallers.Load(),
+		BatchCoalesced:  s.stats.batchCoalesced.Load(),
+		BatchThresholds: s.stats.batchThresholds.Load(),
+		BatchPending:    pending,
 		SampleSteps:     s.stats.sampleSteps.Load(),
 		SearchSteps:     cache.SearchSteps,
 		PlanEntries:     cache.Entries,
