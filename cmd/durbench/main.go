@@ -56,10 +56,22 @@ type benchReport struct {
 	BatchSteps    int64 `json:"batchSteps,omitempty"`
 	PerQuerySteps int64 `json:"perQuerySteps,omitempty"`
 
+	// Recovery path: a durable session crash-restarted from its data
+	// directory (the recovery scenario only). RecoverySteps is the
+	// simulator cost from reopening to the first maintained answer —
+	// WAL-tail replay plus the first tick's top-up over the restored
+	// pool; ColdRestartSteps is what a server with no data directory pays
+	// for the same first answer (full level search plus pool fill). Both
+	// are deterministic at a fixed seed, so scripts/bench guards
+	// RecoverySteps against regression alongside the batch scenario.
+	RecoverySteps    int64 `json:"recoverySteps,omitempty"`
+	ColdRestartSteps int64 `json:"coldRestartSteps,omitempty"`
+
 	// The headline: cold steps per query divided by incremental steps per
 	// tick (stream scenarios; the sharded scenario reuses the local cold
-	// baseline — the cold path is the same either way), or per-query steps
-	// divided by batch steps (batch scenario).
+	// baseline — the cold path is the same either way), per-query steps
+	// divided by batch steps (batch scenario), or cold-restart steps
+	// divided by recovery steps (recovery scenario).
 	Speedup float64 `json:"speedup"`
 }
 
@@ -186,6 +198,13 @@ func main() {
 	reports = append(reports, batch)
 	guardBatch(base, batch)
 
+	recovery, err := runRecovery(ctx, *re, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports = append(reports, recovery)
+	guardRecovery(base, recovery)
+
 	blob, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -198,6 +217,11 @@ func main() {
 		if r.BatchSteps > 0 {
 			fmt.Printf("durbench[%s]: batch %d steps for %d thresholds (%.1fx vs per-query %d steps)\n",
 				r.Backend, r.BatchSteps, r.Thresholds, r.Speedup, r.PerQuerySteps)
+			continue
+		}
+		if r.RecoverySteps > 0 {
+			fmt.Printf("durbench[%s]: recovery warm-start %d steps to first answer (%.1fx vs cold restart %d steps)\n",
+				r.Backend, r.RecoverySteps, r.Speedup, r.ColdRestartSteps)
 			continue
 		}
 		fmt.Printf("durbench[%s]: incremental %.0f steps/tick (%.1fx vs cold %.0f steps/query)\n",
@@ -267,6 +291,117 @@ func guardBatch(base []benchReport, fresh benchReport) {
 				fresh.BatchSteps, old.BatchSteps, 100*(float64(fresh.BatchSteps)/float64(old.BatchSteps)-1))
 		}
 		fmt.Printf("durbench: batch guard ok: %d steps vs committed %d\n", fresh.BatchSteps, old.BatchSteps)
+	}
+}
+
+// runRecovery measures the persist layer's restart economics: a durable
+// session (checkpoint + WAL in a scratch directory) maintains the
+// standing query through a tick history, checkpoints on its normal
+// cadence, takes a few more ticks and dies without warning. The
+// restarted server's cost to its first maintained answer — WAL-tail
+// replay plus one top-up over the restored root pool — is compared with
+// a cold restart paying the full level search and pool fill at the same
+// market state. Deterministic at the fixed seed, so regressions trip the
+// baseline guard.
+func runRecovery(ctx context.Context, re float64, seed uint64) (benchReport, error) {
+	const (
+		recoveryTicks = 60
+		tailTicks     = 5 // ticks between the last checkpoint and the crash
+	)
+	dir, err := os.MkdirTemp("", "durbench-recovery-*")
+	if err != nil {
+		return benchReport{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	market := &durability.GBM{S0: s0, Mu: mu, Sigma: sigma}
+	query := durability.Query{Z: durability.ScalarValue, Beta: beta, Horizon: horizon, ZName: "price"}
+	observers := map[string]durability.Observer{"price": durability.ScalarValue}
+	opts := []durability.Option{
+		durability.WithRelativeErrorTarget(re),
+		durability.WithSeed(seed),
+	}
+
+	prices := make([]float64, recoveryTicks+1)
+	feed := market.Initial()
+	src := rng.NewStream(2026, 7)
+	for i := range prices {
+		market.Step(feed, i+1, src)
+		prices[i] = durability.ScalarValue(feed)
+	}
+
+	session, err := durability.OpenSession(market, dir, observers, opts...)
+	if err != nil {
+		return benchReport{}, err
+	}
+	if _, err := session.Watch(ctx, "bench", query); err != nil {
+		return benchReport{}, err
+	}
+	var atCheckpoint durability.StreamStats
+	for i := 0; i < recoveryTicks; i++ {
+		if _, err := session.Publish(ctx, "bench", &durability.Scalar{V: prices[i]}); err != nil {
+			return benchReport{}, err
+		}
+		if i == recoveryTicks-tailTicks-1 {
+			if err := session.Checkpoint(); err != nil {
+				return benchReport{}, err
+			}
+			atCheckpoint = session.StreamStats()
+		}
+	}
+	// The crash: the session is abandoned — no Close, no final checkpoint.
+
+	recovered, err := durability.OpenSession(market, dir, observers, opts...)
+	if err != nil {
+		return benchReport{}, err
+	}
+	defer recovered.Close()
+	if _, err := recovered.Publish(ctx, "bench", &durability.Scalar{V: prices[recoveryTicks]}); err != nil {
+		return benchReport{}, err
+	}
+	after := recovered.StreamStats()
+	recoverySteps := (after.FreshSteps + after.SearchSteps) - (atCheckpoint.FreshSteps + atCheckpoint.SearchSteps)
+
+	cold, err := durability.NewSession(market, opts...)
+	if err != nil {
+		return benchReport{}, err
+	}
+	if _, err := cold.Publish(ctx, "bench", &durability.Scalar{V: prices[recoveryTicks]}); err != nil {
+		return benchReport{}, err
+	}
+	coldSub, err := cold.Watch(ctx, "bench", query)
+	if err != nil {
+		return benchReport{}, err
+	}
+	defer coldSub.Close()
+	coldSteps := coldSub.Answer().FreshSteps + coldSub.Answer().SearchSteps
+
+	if recoverySteps <= 0 {
+		recoverySteps = 1 // a fully satisfied restored pool: count the lookup as one step
+	}
+	return benchReport{
+		Scenario:         fmt.Sprintf("recovery gbm(s0=%.0f) beta=%.0f horizon=%d ticks=%d tail=%d", s0, beta, horizon, recoveryTicks, tailTicks),
+		Backend:          "local",
+		RelErr:           re,
+		RecoverySteps:    recoverySteps,
+		ColdRestartSteps: coldSteps,
+		Speedup:          float64(coldSteps) / float64(recoverySteps),
+	}, nil
+}
+
+// guardRecovery fails the run when the recovery scenario's deterministic
+// steps-to-first-answer regressed more than 10% against the committed
+// baseline, mirroring guardBatch.
+func guardRecovery(base []benchReport, fresh benchReport) {
+	for _, old := range base {
+		if old.RecoverySteps <= 0 || old.Scenario != fresh.Scenario || old.RelErr != fresh.RelErr {
+			continue
+		}
+		if float64(fresh.RecoverySteps) > 1.10*float64(old.RecoverySteps) {
+			log.Fatalf("durbench: recovery scenario regressed: %d steps vs committed %d (+%.1f%%, >10%% budget)",
+				fresh.RecoverySteps, old.RecoverySteps, 100*(float64(fresh.RecoverySteps)/float64(old.RecoverySteps)-1))
+		}
+		fmt.Printf("durbench: recovery guard ok: %d steps vs committed %d\n", fresh.RecoverySteps, old.RecoverySteps)
 	}
 }
 

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCrashRestartProcess is the end-to-end crash drill on the real
+// binary: start durserve with -data-dir, drive a subscription through
+// live ticks, kill -9 the process, restart it on the same directory and
+// assert the answers match an uninterrupted golden run tick for tick.
+// CI runs it as its own job step.
+func TestCrashRestartProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "durserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building durserve: %v", err)
+	}
+
+	const totalTicks, crashAfter = 10, 5
+
+	// Golden: one process, never interrupted.
+	golden := func() []string {
+		srv := startDurserve(t, bin, "")
+		defer srv.stop()
+		srv.subscribe(t)
+		out := make([]string, 0, totalTicks)
+		for i := 0; i < totalTicks; i++ {
+			out = append(out, srv.tick(t))
+		}
+		return out
+	}()
+
+	// Crash run: same flags plus -data-dir, killed without warning.
+	dir := t.TempDir()
+	srv := startDurserve(t, bin, dir)
+	srv.subscribe(t)
+	for i := 0; i < crashAfter; i++ {
+		if got := srv.tick(t); got != golden[i] {
+			t.Fatalf("pre-crash tick %d:\n got %s\nwant %s", i+1, got, golden[i])
+		}
+	}
+	srv.kill9(t)
+
+	restarted := startDurserve(t, bin, dir)
+	defer restarted.stop()
+	for i := crashAfter; i < totalTicks; i++ {
+		if got := restarted.tick(t); got != golden[i] {
+			t.Fatalf("post-restart tick %d:\n got %s\nwant %s", i+1, got, golden[i])
+		}
+	}
+}
+
+// durserveProc is one running durserve child process.
+type durserveProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDurserve launches the binary on a fresh loopback port and waits
+// for /healthz. dataDir == "" runs it in-memory.
+func startDurserve(t *testing.T, bin, dataDir string) *durserveProc {
+	t.Helper()
+	addr := freeAddr(t)
+	args := []string{"-addr", addr, "-pool", "2", "-seed", "1"}
+	if dataDir != "" {
+		args = append(args, "-data-dir", dataDir)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting durserve: %v", err)
+	}
+	p := &durserveProc{cmd: cmd, base: "http://" + addr}
+	t.Cleanup(p.stop)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("durserve on %s never became healthy", addr)
+	return nil
+}
+
+func (p *durserveProc) stop() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+// kill9 delivers SIGKILL — no shutdown hook, no final checkpoint.
+func (p *durserveProc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+func (p *durserveProc) subscribe(t *testing.T) {
+	t.Helper()
+	resp, err := http.Post(p.base+"/subscribe", "application/json",
+		strings.NewReader(`{"model":"walk","beta":15,"horizon":100,"re":0.2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+}
+
+// tick advances the walk stream once and returns the canonical JSON of
+// the lone refreshed answer.
+func (p *durserveProc) tick(t *testing.T) string {
+	t.Helper()
+	resp, err := http.Post(p.base+"/tick", "application/json",
+		strings.NewReader(`{"stream":"walk","steps":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tk tickResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(tk.Refreshes) != 1 || tk.Refreshes[0].Error != "" {
+		t.Fatalf("tick status %d, response %+v", resp.StatusCode, tk)
+	}
+	blob, err := json.Marshal(tk.Refreshes[0].Answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// freeAddr reserves a loopback port and releases it for the child.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return fmt.Sprintf("127.0.0.1:%d", ln.Addr().(*net.TCPAddr).Port)
+}

@@ -61,6 +61,19 @@
 // simulates it, so a sharded daemon returns bit-for-bit the answers a
 // single-machine daemon would; a worker dying mid-query costs a retry,
 // not the answer.
+//
+// With -data-dir the serving state is durable: every mutation is written
+// ahead to a log, checkpoints capture the standing-query engine, the
+// warm plan cache, the live feeds and the subscription handle table, and
+// a restarted daemon recovers all of it — answering every subsequent
+// tick bit-for-bit as the uninterrupted daemon would:
+//
+//	durserve -addr :8077 -data-dir /var/lib/durserve
+//
+// Checkpoints are written at boot, when the log outgrows
+// -checkpoint-bytes or -checkpoint-age, and on SIGTERM — after which
+// in-flight GET /updates long-polls resolve with 204 (shutting down)
+// instead of being dropped mid-wait.
 package main
 
 import (
@@ -81,6 +94,7 @@ import (
 
 	"durability/internal/cluster"
 	"durability/internal/exec"
+	"durability/internal/persist"
 	"durability/internal/serve"
 )
 
@@ -98,6 +112,9 @@ func main() {
 		bucket     = flag.Float64("bucket", serve.DefaultBetaBucketWidth, "plan-cache threshold bucket width (relative)")
 		planCache  = flag.Int("plan-cache", serve.DefaultPlanCacheCap, "plan-cache capacity (completed plans; < 0 = unlimited)")
 		tick       = flag.Duration("tick", 0, "auto-advance every live stream on this interval (0 = ticks only via POST /tick)")
+		dataDir    = flag.String("data-dir", "", "durable serving state: checkpoint + write-ahead log directory (empty = in-memory only; a restart forgets every subscription)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "checkpoint when the write-ahead log outgrows this many bytes (0 = 4 MiB default)")
+		ckptAge    = flag.Duration("checkpoint-age", 0, "checkpoint when the write-ahead log has been collecting this long (0 = 5m default)")
 		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "how long a /batch request waits for compatible batches to share its run (0 = never coalesce)")
 		workers    = flag.String("workers", "", "comma-separated shard-worker addresses; g-MLSS simulation is distributed across them")
 		worker     = flag.String("worker", "", "run as a shard worker on this address instead of serving HTTP")
@@ -171,6 +188,37 @@ func main() {
 	})
 	defer srv.Close()
 	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed, backend, *topUpRoots)
+	if *dataDir != "" {
+		store, err := persist.Open(*dataDir, persist.Options{MaxWALBytes: *ckptBytes, MaxWALAge: *ckptAge})
+		if err != nil {
+			log.Fatalf("durserve: %v", err)
+		}
+		replayed, err := hub.attachStore(store)
+		if err != nil {
+			log.Fatalf("durserve: recovering %s: %v", *dataDir, err)
+		}
+		st := hub.stats()
+		log.Printf("durserve: recovered %d subscriptions across %d streams from %s (%d WAL events replayed)",
+			st.Subscriptions, st.Engine.Streams, *dataDir, replayed)
+		// The trigger poller turns the store's size/age thresholds into
+		// actual checkpoints; SIGTERM below writes the final one.
+		pollDone := make(chan struct{})
+		defer close(pollDone)
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := hub.maybeCheckpoint(); err != nil {
+						log.Printf("durserve: checkpoint: %v", err)
+					}
+				case <-pollDone:
+					return
+				}
+			}
+		}()
+	}
 	if *tick > 0 {
 		ticker := time.NewTicker(*tick)
 		defer ticker.Stop()
@@ -193,6 +241,17 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Print("durserve: shutting down")
+	// Order matters: the final checkpoint captures the serving state,
+	// then in-flight long polls resolve with 204 (shutting down) instead
+	// of being dropped mid-wait, then the listener drains.
+	if *dataDir != "" {
+		if err := hub.checkpoint(); err != nil {
+			log.Printf("durserve: final checkpoint: %v", err)
+		} else {
+			log.Printf("durserve: final checkpoint written to %s", *dataDir)
+		}
+	}
+	hub.beginShutdown()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

@@ -1,0 +1,393 @@
+package main
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"durability/internal/persist"
+	"durability/internal/rng"
+	"durability/internal/serve"
+	"durability/internal/stochastic"
+	"durability/internal/stream"
+)
+
+// Durable serving state for the HTTP daemon. The stream engine journals
+// its own mutations (registrations, subscriptions, closes, publish ticks
+// — see internal/stream); the hub adds the few things only it knows: the
+// handle table binding HTTP subscription IDs to engine IDs, and the live
+// feeds whose dedicated random sources drive /tick. Snapshots carry the
+// whole serving state — engine, warm plan cache, handles, feeds — and the
+// WAL carries the events between snapshots, so a durserve restarted with
+// -data-dir resumes serving bit-for-bit where the dead process stood.
+
+// hubFeedCreate records a feed's birth (its initial state and random
+// source are derived deterministically from the stream name and server
+// seed, so only the names need logging).
+type hubFeedCreate struct {
+	Stream string
+	Model  string
+}
+
+// hubFeedStep records one advance of a feed's own dynamics. Replay
+// re-steps the feed, which both reproduces the published state and leaves
+// the feed's random source at exactly the pre-crash position — the next
+// live tick continues the sequence as if nothing happened.
+type hubFeedStep struct {
+	Stream string
+}
+
+// hubBind records the HTTP handle assigned to an engine subscription.
+type hubBind struct {
+	Handle string
+	SubID  uint64
+}
+
+// hubUnbind records a handle's removal (the engine's EvClosed rides just
+// before it in the log).
+type hubUnbind struct {
+	Handle string
+}
+
+func init() {
+	gob.Register(hubFeedCreate{})
+	gob.Register(hubFeedStep{})
+	gob.Register(hubBind{})
+	gob.Register(hubUnbind{})
+}
+
+// feedSnapshot is one live feed's persisted state: the model identity
+// plus the simulation state, step counter and the random source
+// mid-sequence.
+type feedSnapshot struct {
+	Stream string
+	Model  string
+	State  stochastic.State
+	Src    *rng.Source
+	Steps  int
+	LSN    int64
+}
+
+// hubSnapshot is the daemon's full serving state.
+type hubSnapshot struct {
+	Serving  persist.ServingSnapshot
+	NextID   int64
+	Handles  map[string]uint64
+	HubLSN   int64
+	Feeds    []feedSnapshot
+	TickErrs map[string]int64
+}
+
+// resolver rebuilds stream dynamics and observers from the model
+// registry, the same factories live requests use.
+func (h *streamHub) resolver(streamName, modelID string) (stochastic.Process, map[string]stochastic.Observer, error) {
+	factory, ok := h.registry[modelID]
+	if !ok {
+		return nil, nil, fmt.Errorf("snapshot names model %q, which this server was not started with", modelID)
+	}
+	return factory()
+}
+
+// snapshot assembles the hub's full serving state. Each component carries
+// the log sequence number of its last applied mutation, which is what
+// reconciles a snapshot taken under live traffic with the WAL around it.
+// The handle table is captured before the engine: a handle must never
+// name a subscription the engine part of the snapshot does not carry (a
+// bind landing between the two captures is replayed from the WAL
+// instead), while the reverse — an engine subscription without its handle
+// yet — is healed by the hubBind record replay.
+func (h *streamHub) snapshot() (*hubSnapshot, error) {
+	snap := &hubSnapshot{}
+	h.mu.Lock()
+	snap.NextID = h.nextID
+	snap.HubLSN = h.lsn
+	snap.Handles = make(map[string]uint64, len(h.subs))
+	for handle, sub := range h.subs {
+		snap.Handles[handle] = sub.ID()
+	}
+	snap.TickErrs = make(map[string]int64, len(h.tickErrs))
+	for name, n := range h.tickErrs {
+		snap.TickErrs[name] = n
+	}
+	feeds := make([]*feed, 0, len(h.feeds))
+	names := make([]string, 0, len(h.feeds))
+	for name, f := range h.feeds {
+		feeds = append(feeds, f)
+		names = append(names, name)
+	}
+	h.mu.Unlock()
+	snap.Serving = persist.ServingSnapshot{
+		Engine: h.engine.Snapshot(),
+		Plans:  h.planCache().Export(),
+	}
+	for i, f := range feeds {
+		f.mu.Lock()
+		src := *f.src
+		snap.Feeds = append(snap.Feeds, feedSnapshot{
+			Stream: names[i],
+			Model:  f.model,
+			State:  f.state.Clone(),
+			Src:    &src,
+			Steps:  f.steps,
+			LSN:    f.lsn,
+		})
+		f.mu.Unlock()
+	}
+	return snap, nil
+}
+
+// planCache returns the shared plan cache the hub warms and exports.
+func (h *streamHub) planCache() *serve.PlanCache {
+	return h.runner.Cache
+}
+
+// restore rebuilds the hub from a snapshot: warm plans, engine state,
+// feeds, handle table.
+func (h *streamHub) restore(snap *hubSnapshot) error {
+	for _, wp := range snap.Serving.Plans {
+		h.planCache().Warm(wp.Key, wp.Plan)
+	}
+	if err := h.engine.Restore(snap.Serving.Engine, h.resolver); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID = snap.NextID
+	h.lsn = snap.HubLSN
+	for name, n := range snap.TickErrs {
+		h.tickErrs[name] = n
+	}
+	for _, fs := range snap.Feeds {
+		proc, observers, err := h.resolver(fs.Stream, fs.Model)
+		if err != nil {
+			return fmt.Errorf("restoring feed %q: %w", fs.Stream, err)
+		}
+		src := *fs.Src
+		h.feeds[fs.Stream] = &feed{
+			model: fs.Model, proc: proc, observers: observers,
+			state: fs.State.Clone(), src: &src, steps: fs.Steps, lsn: fs.LSN,
+		}
+	}
+	for handle, subID := range snap.Handles {
+		sub, ok := h.engine.Subscription(subID)
+		if !ok {
+			// The subscription closed between the handle-table and engine
+			// captures; the hubUnbind record later in the WAL removes the
+			// handle too.
+			continue
+		}
+		h.subs[handle] = sub
+	}
+	return nil
+}
+
+// pendingStep is a replayed hubFeedStep waiting for its paired engine
+// update. A tick writes two records — the feed step, then the engine's
+// EvUpdated — and a crash can tear the log between them; applying the
+// feed step only when the update arrives makes the pair atomic, so a
+// torn pair leaves feed and engine consistently one tick back instead of
+// desynchronized by half a tick.
+type pendingStep struct {
+	lsn int64
+}
+
+// apply replays one WAL event. Engine events go to the engine; hub events
+// mutate the handle table and feeds the same way the live handlers do.
+// Components skip events their snapshot already covers (lsn at or below
+// their restored sequence number).
+func (h *streamHub) apply(ctx context.Context, lsn int64, ev any) error {
+	switch ev := ev.(type) {
+	case stream.JournalEvent:
+		if up, ok := ev.(stream.EvUpdated); ok {
+			if err := h.applyPendingStep(up.Name); err != nil {
+				return err
+			}
+		}
+		return h.engine.Apply(ctx, lsn, ev, h.resolver)
+
+	case hubFeedCreate:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if f, ok := h.feeds[ev.Stream]; ok {
+			if f.lsn < lsn {
+				f.lsn = lsn
+			}
+			return nil
+		}
+		proc, observers, err := h.resolver(ev.Stream, ev.Model)
+		if err != nil {
+			return fmt.Errorf("replaying feed %q: %w", ev.Stream, err)
+		}
+		h.feeds[ev.Stream] = &feed{
+			model: ev.Model, proc: proc, observers: observers,
+			state: proc.Initial(), src: feedSource(h.seed, ev.Stream), lsn: lsn,
+		}
+		return nil
+
+	case hubFeedStep:
+		h.mu.Lock()
+		_, ok := h.feeds[ev.Stream]
+		if ok {
+			h.pending[ev.Stream] = pendingStep{lsn: lsn}
+		}
+		h.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("replaying step of unknown feed %q", ev.Stream)
+		}
+		return nil
+
+	case hubBind:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if h.lsn >= lsn {
+			return nil
+		}
+		// The subscription can legitimately be gone: it was bound after
+		// the handle-table capture but closed before the engine capture,
+		// so neither snapshot half carries it and its EvSubscribed replay
+		// was LSN-skipped. Tolerated — the handle number is still
+		// consumed (no reuse), and the later hubUnbind replay is a no-op.
+		if sub, ok := h.engine.Subscription(ev.SubID); ok {
+			h.subs[ev.Handle] = sub
+		}
+		if n := handleNumber(ev.Handle); n > h.nextID {
+			h.nextID = n
+		}
+		h.lsn = lsn
+		return nil
+
+	case hubUnbind:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if h.lsn >= lsn {
+			return nil
+		}
+		delete(h.subs, ev.Handle)
+		h.lsn = lsn
+		return nil
+
+	default:
+		return fmt.Errorf("unknown WAL event %T", ev)
+	}
+}
+
+// applyPendingStep advances a feed whose journaled step's paired engine
+// update has now arrived in the replay.
+func (h *streamHub) applyPendingStep(streamName string) error {
+	h.mu.Lock()
+	p, ok := h.pending[streamName]
+	if ok {
+		delete(h.pending, streamName)
+	}
+	f := h.feeds[streamName]
+	h.mu.Unlock()
+	if !ok {
+		return nil // an engine-only update (no feed step preceded it)
+	}
+	if f == nil {
+		return fmt.Errorf("replaying step of unknown feed %q", streamName)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.lsn >= p.lsn {
+		return nil
+	}
+	f.steps++
+	f.proc.Step(f.state, f.steps, f.src)
+	f.lsn = p.lsn
+	return nil
+}
+
+// handleNumber extracts N from a "sub-N" handle (0 when malformed).
+func handleNumber(handle string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(handle, "sub-"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// attachStore recovers the hub from the store (snapshot plus WAL tail),
+// attaches the journal so every subsequent mutation is logged, and writes
+// a fresh checkpoint truncating the replayed tail. It reports how many
+// events were replayed.
+func (h *streamHub) attachStore(store *persist.Store) (replayed int, err error) {
+	var snap hubSnapshot
+	_, replayed, err = store.Recover(&snap,
+		func(found bool) error {
+			if !found {
+				return nil
+			}
+			return h.restore(&snap)
+		},
+		func(lsn int64, ev any) error {
+			return h.apply(context.Background(), lsn, ev)
+		},
+	)
+	if err != nil {
+		return replayed, err
+	}
+	// A feed step whose paired engine update was torn off the tail is
+	// dropped with it: the recovered server serves that tick again.
+	h.mu.Lock()
+	h.pending = make(map[string]pendingStep)
+	bound := make(map[uint64]bool, len(h.subs))
+	for _, sub := range h.subs {
+		bound[sub.ID()] = true
+	}
+	h.mu.Unlock()
+	// Reap orphans: a crash between the engine's EvSubscribed record and
+	// the hub's bind record recovers a live subscription no handle can
+	// ever address — it would pay refresh cost on every tick forever.
+	// The client never saw its handle (the crash beat the response), so
+	// closing it is the consistent outcome: the subscribe simply never
+	// happened.
+	for _, sub := range h.engine.Subscriptions() {
+		if !bound[sub.ID()] {
+			sub.Close()
+		}
+	}
+	h.store = store
+	h.engine.SetJournal(persist.EngineJournal{Store: store})
+	return replayed, h.checkpoint()
+}
+
+// checkpoint writes one snapshot generation; concurrent callers serialize.
+func (h *streamHub) checkpoint() error {
+	if h.store == nil {
+		return nil
+	}
+	h.ckptMu.Lock()
+	defer h.ckptMu.Unlock()
+	if err := h.store.Err(); err != nil {
+		return err
+	}
+	return h.store.Checkpoint(func() (any, error) { return h.snapshot() })
+}
+
+// maybeCheckpoint runs a checkpoint when the store's size or age trigger
+// has fired; the main loop polls it.
+func (h *streamHub) maybeCheckpoint() error {
+	if h.store == nil || !h.store.NeedCheckpoint() {
+		return nil
+	}
+	return h.checkpoint()
+}
+
+// append journals one hub-level event; with no store attached it reports
+// lsn 0, which every consumer treats as "not journaled".
+func (h *streamHub) append(ev any) (int64, error) {
+	if h.store == nil {
+		return 0, nil
+	}
+	return h.store.Append(ev)
+}
+
+// beginShutdown resolves every in-flight long poll: /updates waits are
+// cancelled, which the handler answers with 204 No Content — the client's
+// cue to re-arm against the server that comes back. Idempotent.
+func (h *streamHub) beginShutdown() {
+	h.downOnce.Do(func() { close(h.down) })
+}

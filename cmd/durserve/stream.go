@@ -13,6 +13,7 @@ import (
 
 	"durability/internal/exec"
 	"durability/internal/mc"
+	"durability/internal/persist"
 	"durability/internal/rng"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
@@ -27,17 +28,31 @@ import (
 // plan cache as one-shot /query requests.
 type streamHub struct {
 	engine   *stream.Engine
+	runner   *serve.Runner
 	registry serve.Registry
 
 	defaultRelErr float64
 	maxBudget     int64
 	seed          uint64
 
+	// Durable serving state (-data-dir): the checkpoint+WAL store, the
+	// checkpoint serializer, and the hub's own last-applied log sequence
+	// number (the engine and each feed track theirs separately).
+	store  *persist.Store
+	ckptMu sync.Mutex
+
+	// down closes when the server begins shutting down, resolving every
+	// in-flight long poll with 204 instead of dropping it mid-wait.
+	down     chan struct{}
+	downOnce sync.Once
+
 	mu       sync.Mutex
+	lsn      int64
 	nextID   int64
 	subs     map[string]*stream.Subscription
 	feeds    map[string]*feed
-	tickErrs map[string]int64 // auto-tick failures per stream
+	tickErrs map[string]int64       // auto-tick failures per stream
+	pending  map[string]pendingStep // recovery only: feed steps awaiting their engine update
 }
 
 // feed is the live state the hub advances for one stream: the model's own
@@ -54,6 +69,7 @@ type feed struct {
 	state stochastic.State
 	src   *rng.Source
 	steps int
+	lsn   int64 // last journaled mutation applied to this feed
 }
 
 func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr float64, maxBudget int64, seed uint64, backend exec.Executor, topUpRoots int) *streamHub {
@@ -68,13 +84,16 @@ func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr floa
 	}
 	return &streamHub{
 		engine:        stream.NewEngine(stream.Config{Runner: srv.Runner(), Exec: backend, TopUpRoots: topUpRoots}),
+		runner:        srv.Runner(),
 		registry:      registry,
 		defaultRelErr: defaultRelErr,
 		maxBudget:     maxBudget,
 		seed:          seed,
+		down:          make(chan struct{}),
 		subs:          make(map[string]*stream.Subscription),
 		feeds:         make(map[string]*feed),
 		tickErrs:      make(map[string]int64),
+		pending:       make(map[string]pendingStep),
 	}
 }
 
@@ -186,13 +205,18 @@ func (h *streamHub) ensureFeed(streamName, model string) (*feed, error) {
 	}
 	state := proc.Initial()
 	// The model name rides along as the stream's registry identity, so a
-	// distributed execution backend can rebuild the model on its workers.
+	// distributed execution backend can rebuild the model on its workers
+	// (and the persist layer can rebuild it on recovery).
 	if err := h.engine.RegisterModel(streamName, model, proc, state); err != nil {
 		return nil, err
 	}
+	lsn, err := h.append(hubFeedCreate{Stream: streamName, Model: model})
+	if err != nil {
+		return nil, fmt.Errorf("%w: journaling feed %q: %v", serve.ErrInternal, streamName, err)
+	}
 	f := &feed{
 		model: model, proc: proc, observers: observers,
-		state: state, src: feedSource(h.seed, streamName),
+		state: state, src: feedSource(h.seed, streamName), lsn: lsn,
 	}
 	h.feeds[streamName] = f
 	return f, nil
@@ -264,6 +288,13 @@ func (h *streamHub) subscribe(ctx context.Context, req subscribeRequest) (subscr
 	h.mu.Lock()
 	h.nextID++
 	id := "sub-" + strconv.FormatInt(h.nextID, 10)
+	if lsn, jerr := h.append(hubBind{Handle: id, SubID: sub.ID()}); jerr != nil {
+		h.mu.Unlock()
+		sub.Close()
+		return subscribeResponse{}, fmt.Errorf("%w: journaling subscription: %v", serve.ErrInternal, jerr)
+	} else if lsn > h.lsn {
+		h.lsn = lsn
+	}
 	h.subs[id] = sub
 	h.mu.Unlock()
 	return subscribeResponse{ID: id, SubID: sub.ID(), Stream: streamName, Answer: toAnswerJSON(sub.Answer())}, nil
@@ -277,16 +308,27 @@ func (h *streamHub) lookup(id string) (*stream.Subscription, bool) {
 	return sub, ok
 }
 
-// unsubscribe closes and forgets a subscription.
+// unsubscribe closes and forgets a subscription. The engine journals the
+// close itself (inside sub.Close), and only then does the hub journal
+// the handle's removal: a crash between the two records recovers a
+// *closed* subscription with a dangling handle — /updates answers it
+// with 410 Gone, consistent from the client's view — never a live,
+// unaddressable subscription burning refresh cost forever.
 func (h *streamHub) unsubscribe(id string) bool {
 	h.mu.Lock()
 	sub, ok := h.subs[id]
 	delete(h.subs, id)
 	h.mu.Unlock()
-	if ok {
-		sub.Close()
+	if !ok {
+		return false
 	}
-	return ok
+	sub.Close()
+	h.mu.Lock()
+	if lsn, err := h.append(hubUnbind{Handle: id}); err == nil && lsn > h.lsn {
+		h.lsn = lsn
+	}
+	h.mu.Unlock()
+	return true
 }
 
 // tickRequest advances a live state.
@@ -335,8 +377,18 @@ func (h *streamHub) tick(ctx context.Context, req tickRequest) (tickResponse, er
 	var refreshes []stream.Refresh
 	var err error
 	for i := 0; i < steps; i++ {
+		// The feed step is journaled before the engine's own update
+		// record, so replay advances the feed's random source in lockstep
+		// with the published states.
+		lsn, jerr := h.append(hubFeedStep{Stream: req.Stream})
+		if jerr != nil {
+			return tickResponse{}, fmt.Errorf("%w: journaling tick: %v", serve.ErrInternal, jerr)
+		}
 		f.steps++
 		f.proc.Step(f.state, f.steps, f.src)
+		if lsn > f.lsn {
+			f.lsn = lsn
+		}
 		refreshes, err = h.engine.Update(ctx, req.Stream, f.state)
 		if err != nil {
 			return tickResponse{}, err
@@ -405,6 +457,18 @@ func (h *streamHub) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	// A shutting-down server resolves the poll instead of dropping the
+	// connection: the cancellation surfaces as 204 below, telling the
+	// client to re-arm (against the restarted server).
+	waitDone := make(chan struct{})
+	defer close(waitDone)
+	go func() {
+		select {
+		case <-h.down:
+			cancel()
+		case <-waitDone:
+		}
+	}()
 	ans, err := sub.Wait(ctx, since)
 	switch {
 	case err == nil:

@@ -37,6 +37,7 @@ import (
 	"durability/internal/core"
 	"durability/internal/mc"
 	"durability/internal/opt"
+	"durability/internal/persist"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
 	"durability/internal/stream"
@@ -459,6 +460,12 @@ type Session struct {
 	// runner (and so the plan cache) with the one-shot query path.
 	streamOnce sync.Once
 	stream     *stream.Engine
+
+	// Durable sessions (OpenSession) carry the checkpoint+WAL store and
+	// the named observers persisted subscriptions are rebuilt from; both
+	// are nil on a plain NewSession.
+	store     *persist.Store
+	observers map[string]Observer
 
 	queries     atomic.Int64
 	sampleSteps atomic.Int64

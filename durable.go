@@ -1,0 +1,144 @@
+package durability
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"durability/internal/persist"
+	"durability/internal/stochastic"
+	"durability/internal/stream"
+)
+
+// OpenSession opens a session whose standing-query state survives process
+// death. dir is the session's data directory: on first open it is
+// created; on a reopen the latest checkpoint is loaded and the write-
+// ahead log's tail replayed, so every live stream, every Watch
+// subscription — its root-path pool, plan, tick clock and generator
+// positions — and every warm level plan come back exactly as they were.
+// The recovered session then produces bit-for-bit the answers the
+// uninterrupted session would have: recovery restores state, it never
+// restarts sampling.
+//
+// observers names the observer functions standing queries may use.
+// Persisted subscriptions are rebuilt by observer *name* (functions are
+// code, not data), so every Watch query on a durable session must carry a
+// ZName registered here; Watch rejects unregistered ones up front. The
+// same process dynamics and session options must be passed on every open
+// — the snapshot refuses settings that would change the maintained
+// numerics. Re-attach to recovered standing queries through
+// Session.Subscriptions (the pre-crash *Subscription handles died with
+// their process).
+//
+// Durability is governed by the store's checkpoint policy: a checkpoint
+// is written when the log outgrows its size or age trigger (checked after
+// each Publish), on Session.Checkpoint, and on Session.Close.
+func OpenSession(proc Process, dir string, observers map[string]Observer, opts ...Option) (*Session, error) {
+	s, err := NewSession(proc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	store, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	s.observers = make(map[string]Observer, len(observers))
+	for name, obs := range observers {
+		if obs == nil {
+			store.Close()
+			return nil, fmt.Errorf("durability: observer %q is nil", name)
+		}
+		s.observers[name] = obs
+	}
+
+	eng := s.engine()
+	resolve := func(streamName, modelID string) (stochastic.Process, map[string]stochastic.Observer, error) {
+		return s.proc, s.observers, nil
+	}
+	var snap persist.ServingSnapshot
+	_, _, err = store.Recover(&snap,
+		func(found bool) error {
+			if !found {
+				return nil
+			}
+			for _, wp := range snap.Plans {
+				s.runner.Cache.Warm(wp.Key, wp.Plan)
+			}
+			return eng.Restore(snap.Engine, resolve)
+		},
+		func(lsn int64, ev any) error {
+			sev, ok := ev.(stream.JournalEvent)
+			if !ok {
+				return fmt.Errorf("durability: unexpected WAL event %T", ev)
+			}
+			return eng.Apply(context.Background(), lsn, sev, resolve)
+		},
+	)
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("durability: recovering %s: %w", dir, err)
+	}
+	eng.SetJournal(persist.EngineJournal{Store: store})
+
+	// An immediate checkpoint truncates the replayed tail, so the next
+	// recovery starts from here instead of re-replaying it.
+	if err := s.Checkpoint(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Subscriptions lists the session's live standing queries, ordered by
+// ID. After OpenSession recovers a data directory this is how callers
+// re-attach to subscriptions whose *Subscription handles died with the
+// previous process: each entry supports Answer, Wait and Close exactly
+// as the original handle did. (Calling Watch again would register a
+// second, duplicate subscription, doubling the per-tick refresh cost.)
+func (s *Session) Subscriptions() []*Subscription {
+	return s.engine().Subscriptions()
+}
+
+// Checkpoint writes a durable snapshot of the session's standing-query
+// state and warm plans, and compacts the log behind it. It also surfaces
+// any write error an unreportable journal append (a Subscription.Close)
+// left behind. A non-durable session (NewSession) has nothing to
+// checkpoint and reports an error.
+func (s *Session) Checkpoint() error {
+	if s.store == nil {
+		return errors.New("durability: session has no data directory (open it with OpenSession)")
+	}
+	if err := s.store.Err(); err != nil {
+		return err
+	}
+	return s.store.Checkpoint(func() (any, error) {
+		return &persist.ServingSnapshot{
+			Engine: s.engine().Snapshot(),
+			Plans:  s.runner.Cache.Export(),
+		}, nil
+	})
+}
+
+// Close ends a durable session: a final checkpoint, then the store is
+// released. On a non-durable session it is a no-op. The session must not
+// be used afterwards.
+func (s *Session) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	err := s.Checkpoint()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// maybeCheckpoint runs a checkpoint when the store's size or age trigger
+// has fired. Called after mutations, outside every engine lock.
+func (s *Session) maybeCheckpoint() error {
+	if s.store == nil || !s.store.NeedCheckpoint() {
+		return nil
+	}
+	return s.Checkpoint()
+}

@@ -1,0 +1,307 @@
+package durability_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"durability"
+	"durability/internal/rng"
+)
+
+// gbmTrajectory precomputes a deterministic price path so the reference
+// and durable runs publish identical states.
+func gbmTrajectory(market *durability.GBM, ticks int) []float64 {
+	st := market.Initial()
+	src := rng.NewStream(2027, 0)
+	out := make([]float64, ticks)
+	for i := 0; i < ticks; i++ {
+		market.Step(st, i+1, src)
+		out[i] = durability.ScalarValue(st)
+	}
+	return out
+}
+
+// sameAnswer asserts bit-for-bit equality of every deterministic field.
+func sameAnswer(t *testing.T, label string, got, want durability.Answer) {
+	t.Helper()
+	if got.Result.P != want.Result.P || got.Result.Variance != want.Result.Variance ||
+		got.Result.Paths != want.Result.Paths || got.Result.Hits != want.Result.Hits ||
+		got.Tick != want.Tick || got.Satisfied != want.Satisfied ||
+		got.FreshRoots != want.FreshRoots || got.FreshSteps != want.FreshSteps ||
+		got.SurvivedRoots != want.SurvivedRoots || got.PoolRoots != want.PoolRoots {
+		t.Fatalf("%s: answer %+v differs from uninterrupted %+v", label, got, want)
+	}
+}
+
+const durableTicks = 40 // total trajectory length; the crash lands mid-way
+
+// watchOpts is the one configuration both the reference and the durable
+// sessions run under.
+func watchOpts() []durability.Option {
+	return []durability.Option{
+		durability.WithRelativeErrorTarget(0.2),
+		durability.WithSeed(42),
+	}
+}
+
+// referenceAnswers maintains the standing query on a never-dying session.
+func referenceAnswers(t *testing.T, market *durability.GBM, q durability.Query, prices []float64) []durability.Answer {
+	t.Helper()
+	ctx := context.Background()
+	session, err := durability.NewSession(market, watchOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := session.Watch(ctx, "live", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	out := make([]durability.Answer, 0, len(prices))
+	for _, p := range prices {
+		refreshes, err := session.Publish(ctx, "live", &durability.Scalar{V: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refreshes) != 1 || refreshes[0].Err != nil {
+			t.Fatalf("refreshes %+v", refreshes)
+		}
+		out = append(out, refreshes[0].Answer)
+	}
+	return out
+}
+
+// A durable session killed without warning and reopened must continue
+// producing bit-for-bit the uninterrupted session's answers — including
+// when the crash tore the final WAL record in half, in which case the
+// dropped tick is simply re-published.
+func TestOpenSessionCrashRecoveryDeterminism(t *testing.T) {
+	for _, tearTail := range []bool{false, true} {
+		name := "clean-tail"
+		if tearTail {
+			name = "torn-tail"
+		}
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			dir := t.TempDir()
+			market := &durability.GBM{S0: 100, Mu: 0.0004, Sigma: 0.01}
+			q := durability.Query{Z: durability.ScalarValue, ZName: "price", Beta: 120, Horizon: 150}
+			prices := gbmTrajectory(market, durableTicks)
+			reference := referenceAnswers(t, market, q, prices)
+
+			observers := map[string]durability.Observer{"price": durability.ScalarValue}
+			session, err := durability.OpenSession(market, dir, observers, watchOpts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := session.Watch(ctx, "live", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashAt := durableTicks / 2
+			for i := 0; i < crashAt; i++ {
+				refreshes, err := session.Publish(ctx, "live", &durability.Scalar{V: prices[i]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameAnswer(t, "pre-crash tick", refreshes[0].Answer, reference[i])
+			}
+			_ = sub // the crash: no Close, no final checkpoint
+
+			resume := crashAt
+			if tearTail {
+				// Chop bytes off the newest WAL segment: the final tick's
+				// record becomes a torn tail, recovery truncates it, and
+				// the server resumes one tick earlier.
+				wals, err := filepath.Glob(filepath.Join(dir, "wal-*"))
+				if err != nil || len(wals) == 0 {
+					t.Fatalf("no wal segments (%v)", err)
+				}
+				sort.Strings(wals)
+				newest := wals[len(wals)-1]
+				info, err := os.Stat(newest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(newest, info.Size()-5); err != nil {
+					t.Fatal(err)
+				}
+				resume = crashAt - 1
+			}
+
+			recovered, err := durability.OpenSession(market, dir, observers, watchOpts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer recovered.Close()
+			for i := resume; i < durableTicks; i++ {
+				refreshes, err := recovered.Publish(ctx, "live", &durability.Scalar{V: prices[i]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(refreshes) != 1 || refreshes[0].Err != nil {
+					t.Fatalf("refreshes %+v", refreshes)
+				}
+				sameAnswer(t, "post-recovery tick", refreshes[0].Answer, reference[i])
+			}
+		})
+	}
+}
+
+// Durable standing queries must name a registered observer; an anonymous
+// identity could never be resolved at recovery time.
+func TestDurableWatchRequiresRegisteredObserver(t *testing.T) {
+	market := &durability.GBM{S0: 100, Mu: 0, Sigma: 0.01}
+	session, err := durability.OpenSession(market, t.TempDir(),
+		map[string]durability.Observer{"price": durability.ScalarValue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	q := durability.Query{Z: durability.ScalarValue, Beta: 120, Horizon: 100} // no ZName
+	if _, err := session.Watch(context.Background(), "live", q); err == nil {
+		t.Fatal("durable Watch accepted a query without a registered observer name")
+	}
+	q.ZName = "volume" // named, but not registered
+	if _, err := session.Watch(context.Background(), "live", q); err == nil {
+		t.Fatal("durable Watch accepted an unregistered observer name")
+	}
+}
+
+// Checkpoint on a non-durable session is a contract error, not a panic;
+// Close is a no-op.
+func TestCheckpointRequiresDurableSession(t *testing.T) {
+	session, err := durability.NewSession(&durability.GBM{S0: 100, Sigma: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint succeeded on a session without a data directory")
+	}
+	if err := session.Close(); err != nil {
+		t.Fatalf("Close on a non-durable session: %v", err)
+	}
+}
+
+// TestRecoveryWarmStartBeatsColdRestart is the acceptance benchmark
+// behind examples/crash-restart: after a restart, a recovered server's
+// steps-to-first-answer (a routine top-up over the restored pool) must
+// be at least 5x cheaper than a cold restart paying the full level
+// search and pool fill again.
+func TestRecoveryWarmStartBeatsColdRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	market := &durability.GBM{S0: 100, Mu: 0.0004, Sigma: 0.01}
+	q := durability.Query{Z: durability.ScalarValue, ZName: "price", Beta: 125, Horizon: 200}
+	observers := map[string]durability.Observer{"price": durability.ScalarValue}
+	prices := gbmTrajectory(market, 60)
+
+	session, err := durability.OpenSession(market, dir, observers, watchOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.Watch(ctx, "live", q); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range prices {
+		if _, err := session.Publish(ctx, "live", &durability.Scalar{V: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The crash: no Close, no final checkpoint.
+
+	recovered, err := durability.OpenSession(market, dir, observers, watchOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	nextPrice := prices[len(prices)-1] * 1.001
+	refreshes, err := recovered.Publish(ctx, "live", &durability.Scalar{V: nextPrice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := refreshes[0].Answer.FreshSteps + refreshes[0].Answer.SearchSteps
+
+	cold, err := durability.NewSession(market, watchOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Publish(ctx, "live", &durability.Scalar{V: nextPrice}); err != nil {
+		t.Fatal(err)
+	}
+	coldSub, err := cold.Watch(ctx, "live", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coldSub.Close()
+	coldSteps := coldSub.Answer().FreshSteps + coldSub.Answer().SearchSteps
+
+	if warm*5 > coldSteps {
+		t.Fatalf("recovered first answer cost %d steps, cold restart %d — want at least 5x cheaper", warm, coldSteps)
+	}
+	t.Logf("recovery warm-start: %d steps vs cold restart %d (%.1fx)", warm, coldSteps, float64(coldSteps)/float64(warm))
+}
+
+// A recovered session re-attaches to its standing queries through
+// Subscriptions: the recovered handle long-polls and closes exactly like
+// the pre-crash one.
+func TestOpenSessionSubscriptionsReattach(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	market := &durability.GBM{S0: 100, Mu: 0.0004, Sigma: 0.01}
+	q := durability.Query{Z: durability.ScalarValue, ZName: "price", Beta: 120, Horizon: 150}
+	observers := map[string]durability.Observer{"price": durability.ScalarValue}
+	prices := gbmTrajectory(market, 10)
+
+	session, err := durability.OpenSession(market, dir, observers, watchOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := session.Watch(ctx, "live", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range prices[:5] {
+		if _, err := session.Publish(ctx, "live", &durability.Scalar{V: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The crash: no Close, no final checkpoint.
+
+	recovered, err := durability.OpenSession(market, dir, observers, watchOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	subs := recovered.Subscriptions()
+	if len(subs) != 1 || subs[0].ID() != orig.ID() {
+		t.Fatalf("recovered Subscriptions() = %d entries, want the original subscription", len(subs))
+	}
+	sub := subs[0]
+	if got := sub.Answer(); got.Tick != 5 {
+		t.Fatalf("recovered answer at tick %d, want 5", got.Tick)
+	}
+	// The re-attached handle long-polls like the original.
+	done := make(chan durability.Answer, 1)
+	go func() {
+		ans, err := sub.Wait(ctx, 5)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- ans
+	}()
+	if _, err := recovered.Publish(ctx, "live", &durability.Scalar{V: prices[5]}); err != nil {
+		t.Fatal(err)
+	}
+	if ans := <-done; ans.Tick != 6 {
+		t.Fatalf("Wait returned tick %d, want 6", ans.Tick)
+	}
+	// And closes like the original.
+	sub.Close()
+	if n := len(recovered.Subscriptions()); n != 0 {
+		t.Fatalf("after Close, Subscriptions() still lists %d", n)
+	}
+}

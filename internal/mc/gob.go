@@ -1,0 +1,17 @@
+package mc
+
+import "encoding/gob"
+
+// Serving-state snapshots (internal/persist) and WAL records carry each
+// standing query's stopping rule as a StopRule interface value inside its
+// gob-encoded subscription state. gob resolves interface values through a
+// registry of concrete types, so every plain-data rule defined here is
+// registered once. Callers embedding custom StopRule implementations in
+// persisted specs must register those themselves.
+func init() {
+	gob.Register(Budget{})
+	gob.Register(CITarget{})
+	gob.Register(RETarget{})
+	gob.Register(Any{})
+	gob.Register(All{})
+}

@@ -1,0 +1,49 @@
+package neural
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+// The neural wrapper's state carries the full recurrent context; it must
+// round-trip through gob as a stochastic.State interface value — the form
+// snapshots and cluster RPC requests use — and the decoded state must
+// continue the simulation bit-for-bit, or a recovered standing query on an
+// LSTM-MDN model would silently restart its hidden state.
+func TestStockStateGob(t *testing.T) {
+	m := NewModel(Config{Hidden: 6, Layers: 2, Mixtures: 2, SeqLen: 20}, 5)
+	p := NewStockProcess(m, 1000, 10)
+
+	st := p.Initial()
+	src := rng.NewStream(3, 0)
+	for i := 1; i <= 5; i++ {
+		p.Step(st, i, src)
+	}
+
+	var buf bytes.Buffer
+	carrier := struct{ S stochastic.State }{S: st}
+	if err := gob.NewEncoder(&buf).Encode(carrier); err != nil {
+		t.Fatalf("encoding StockState: %v", err)
+	}
+	var out struct{ S stochastic.State }
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+		t.Fatalf("decoding StockState: %v", err)
+	}
+
+	if got, want := Price(out.S), Price(st); got != want {
+		t.Fatalf("decoded price %v, original %v", got, want)
+	}
+	a, b := st.Clone(), out.S
+	srcA, srcB := rng.NewStream(11, 2), rng.NewStream(11, 2)
+	for i := 6; i <= 20; i++ {
+		p.Step(a, i, srcA)
+		p.Step(b, i, srcB)
+		if Price(a) != Price(b) {
+			t.Fatalf("decoded state diverged at step %d: %v vs %v", i, Price(b), Price(a))
+		}
+	}
+}

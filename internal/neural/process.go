@@ -1,6 +1,8 @@
 package neural
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 
@@ -35,6 +37,46 @@ type StockState struct {
 // MLSS offspring evolve independently.
 func (s *StockState) Clone() stochastic.State {
 	return &StockState{Price: s.Price, lastRet: s.lastRet, hidden: s.hidden.clone()}
+}
+
+// stockStateWire is the exported mirror of StockState for gob: the last
+// return and the recurrent activations are unexported (nothing outside the
+// package may touch them), so the state ships through an explicit encoder.
+type stockStateWire struct {
+	Price, LastRet float64
+	H, C           [][]float64
+}
+
+// GobEncode implements gob.GobEncoder: the full simulation state — price,
+// last normalised return and every layer's recurrent activations — so a
+// snapshotted LSTM-MDN state resumes simulation exactly where it stood.
+func (s *StockState) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(stockStateWire{
+		Price: s.Price, LastRet: s.lastRet, H: s.hidden.h, C: s.hidden.c,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *StockState) GobDecode(data []byte) error {
+	var w stockStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if len(w.H) != len(w.C) {
+		return fmt.Errorf("neural: decoded StockState has %d h layers but %d c layers", len(w.H), len(w.C))
+	}
+	s.Price, s.lastRet = w.Price, w.LastRet
+	s.hidden = hiddenState{h: w.H, c: w.C}
+	return nil
+}
+
+// Serving-state snapshots and cluster RPC requests carry states as
+// stochastic.State interface values, which gob resolves through its
+// type registry.
+func init() {
+	gob.Register(&StockState{})
 }
 
 // Price observes the simulated stock price of a StockState.

@@ -1,0 +1,26 @@
+package persist
+
+import (
+	"durability/internal/serve"
+	"durability/internal/stream"
+)
+
+// ServingSnapshot is the snapshot payload shared by every serving front
+// end: the standing-query engine's full state plus the warm plan cache.
+// Front ends with extra state of their own (cmd/durserve persists its
+// HTTP handle table and live feeds) embed it in a wider struct.
+type ServingSnapshot struct {
+	Engine stream.EngineSnapshot
+	Plans  []serve.WarmPlan
+}
+
+// EngineJournal adapts a Store into the stream engine's journal: every
+// engine mutation becomes one WAL record.
+type EngineJournal struct {
+	Store *Store
+}
+
+// Record implements stream.Journal.
+func (j EngineJournal) Record(ev stream.JournalEvent) (int64, error) {
+	return j.Store.Append(ev)
+}

@@ -1,0 +1,177 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// envelope wraps a WAL event so gob carries it as an interface value;
+// concrete event types register themselves (internal/stream does, and
+// front ends register their own).
+type envelope struct {
+	E any
+}
+
+// Record frame layout:
+//
+//	[4B payload length][4B CRC32C of lsn+payload][8B lsn][payload]
+//
+// Every record is a self-contained gob stream, so a reader can stop at
+// any frame boundary and a torn frame never confuses the decoder state.
+
+const frameHeaderLen = 4 + 4 + 8
+
+// encodeRecord frames one event.
+func encodeRecord(lsn int64, ev any) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(envelope{E: ev}); err != nil {
+		return nil, fmt.Errorf("persist: encoding %T: %w", ev, err)
+	}
+	frame := make([]byte, frameHeaderLen+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:], uint32(payload.Len()))
+	binary.LittleEndian.PutUint64(frame[8:], uint64(lsn))
+	copy(frame[frameHeaderLen:], payload.Bytes())
+	crc := crc32.Update(0, crcTable, frame[8:])
+	binary.LittleEndian.PutUint32(frame[4:], crc)
+	return frame, nil
+}
+
+// readStatus is the outcome of one frame read.
+type readStatus int
+
+const (
+	readOK   readStatus = iota // a complete, valid record
+	readEOF                    // stream ended cleanly at a frame boundary
+	readTorn                   // incomplete or checksum-failed record: a crash footprint
+)
+
+// readRecord reads one frame. readEOF and readTorn end the stream; the
+// caller decides whether a torn record is acceptable (it is only at the
+// very end of the final segment). Only an EOF-shaped short read counts
+// as torn — a genuine I/O failure (EIO, a vanished file) is an error,
+// never a truncation point: mistaking one for a torn tail would
+// silently discard committed history. A record that checksums correctly
+// but will not decode, or whose sequence number breaks the chain, is
+// likewise corruption beyond a torn tail and reports an error.
+func readRecord(r io.Reader, wantLSN int64) (ev any, status readStatus, err error) {
+	header := make([]byte, frameHeaderLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		switch err {
+		case io.EOF:
+			return nil, readEOF, nil
+		case io.ErrUnexpectedEOF:
+			return nil, readTorn, nil // short header
+		}
+		return nil, readTorn, fmt.Errorf("reading record header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(header[0:])
+	if length > maxRecordBytes {
+		return nil, readTorn, nil // garbage length
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, readTorn, nil // short payload
+		}
+		return nil, readTorn, fmt.Errorf("reading record payload: %w", err)
+	}
+	crc := crc32.Update(0, crcTable, header[8:])
+	crc = crc32.Update(crc, crcTable, payload)
+	if crc != binary.LittleEndian.Uint32(header[4:]) {
+		return nil, readTorn, nil // torn or bit-rotted record
+	}
+	lsn := int64(binary.LittleEndian.Uint64(header[8:]))
+	if lsn != wantLSN {
+		return nil, readTorn, fmt.Errorf("record carries lsn %d, expected %d", lsn, wantLSN)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, readTorn, fmt.Errorf("decoding record: %w", err)
+	}
+	return env.E, readOK, nil
+}
+
+// Snapshot file layout:
+//
+//	[8B magic][4B CRC32C of payload][8B payload length][payload]
+//
+// The file is written to a temp name, fsynced and atomically renamed, so
+// the latest snap-N is either complete or absent; the checksum guards the
+// payload against anything subtler.
+
+// writeSnapshot atomically publishes a snapshot file.
+func writeSnapshot(path string, snap any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return fmt.Errorf("persist: encoding snapshot %T: %w", snap, err)
+	}
+	header := make([]byte, len(snapMagic)+4+8)
+	copy(header, snapMagic)
+	binary.LittleEndian.PutUint32(header[len(snapMagic):], crc32.Checksum(payload.Bytes(), crcTable))
+	binary.LittleEndian.PutUint64(header[len(snapMagic)+4:], uint64(payload.Len()))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(header); err == nil {
+		_, err = f.Write(payload.Bytes())
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	// Make the rename itself durable.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// readSnapshot decodes a snapshot file into snap (a pointer to the
+// caller's snapshot type). ok == false with a nil error means the file is
+// missing, incomplete or fails its checksum — recovery falls back to an
+// older generation. A checksum-valid payload that will not decode is a
+// programming error (an unregistered type, a changed snapshot struct) and
+// is reported, not masked.
+func readSnapshot(path string, snap any) (ok bool, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("persist: %w", err)
+	}
+	headerLen := len(snapMagic) + 4 + 8
+	if len(blob) < headerLen || !bytes.Equal(blob[:len(snapMagic)], snapMagic) {
+		return false, nil
+	}
+	crc := binary.LittleEndian.Uint32(blob[len(snapMagic):])
+	length := binary.LittleEndian.Uint64(blob[len(snapMagic)+4:])
+	payload := blob[headerLen:]
+	if uint64(len(payload)) != length || crc32.Checksum(payload, crcTable) != crc {
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(snap); err != nil {
+		return false, fmt.Errorf("persist: decoding snapshot %s: %w", path, err)
+	}
+	return true, nil
+}

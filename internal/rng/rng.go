@@ -16,7 +16,11 @@
 // component choice).
 package rng
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // Source is a deterministic xoshiro256** generator. It is not safe for
 // concurrent use; derive one Source per goroutine with NewStream or Split.
@@ -73,6 +77,44 @@ func (s *Source) Reseed(seed uint64) {
 // disturbing the parent's future output beyond one draw.
 func (s *Source) Split() *Source {
 	return New(s.Uint64())
+}
+
+// sourceMarshalLen is the wire size of a marshalled Source: four 64-bit
+// state words, the Box-Muller cache flag and the cached variate.
+const sourceMarshalLen = 4*8 + 1 + 8
+
+// MarshalBinary implements encoding.BinaryMarshaler: the full generator
+// state, cached Box-Muller variate included, so a restored Source resumes
+// the sequence at exactly the draw where the original stood. Snapshots of
+// serving state (internal/persist) rely on this for the bit-for-bit
+// determinism guarantee across restarts; gob picks the interface up
+// automatically.
+func (s *Source) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, sourceMarshalLen)
+	binary.LittleEndian.PutUint64(buf[0:], s.s0)
+	binary.LittleEndian.PutUint64(buf[8:], s.s1)
+	binary.LittleEndian.PutUint64(buf[16:], s.s2)
+	binary.LittleEndian.PutUint64(buf[24:], s.s3)
+	if s.normCached {
+		buf[32] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[33:], math.Float64bits(s.normValue))
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, restoring the
+// exact state captured by MarshalBinary.
+func (s *Source) UnmarshalBinary(data []byte) error {
+	if len(data) != sourceMarshalLen {
+		return fmt.Errorf("rng: marshalled Source is %d bytes, want %d", len(data), sourceMarshalLen)
+	}
+	s.s0 = binary.LittleEndian.Uint64(data[0:])
+	s.s1 = binary.LittleEndian.Uint64(data[8:])
+	s.s2 = binary.LittleEndian.Uint64(data[16:])
+	s.s3 = binary.LittleEndian.Uint64(data[24:])
+	s.normCached = data[32] == 1
+	s.normValue = math.Float64frombits(binary.LittleEndian.Uint64(data[33:]))
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -99,6 +99,7 @@ type PlanCache struct {
 	misses      atomic.Int64
 	evictions   atomic.Int64
 	invalidated atomic.Int64
+	warmed      atomic.Int64
 	searchSteps atomic.Int64
 }
 
@@ -276,6 +277,52 @@ func (c *PlanCache) Invalidate(pred func(PlanKey) bool) int {
 	return n
 }
 
+// WarmPlan is one exported cache entry: a completed plan together with the
+// key it serves. Serving-state snapshots (internal/persist) carry the warm
+// set so a recovered server answers its first queries without re-searching.
+type WarmPlan struct {
+	Key  PlanKey
+	Plan core.Plan
+}
+
+// Export returns every completed plan in least-recently-used-first order,
+// so warming a fresh cache by inserting them in sequence reproduces the
+// exporting cache's recency order (the last insert is the most recent).
+// In-flight searches are not exported — their waiters hold the entry, but
+// a snapshot must not publish a plan that may still fail or be doomed.
+func (c *PlanCache) Export() []WarmPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WarmPlan, 0, c.lru.Len())
+	for e := c.lru.Back(); e != nil; e = e.Prev() {
+		key := e.Value.(PlanKey)
+		out = append(out, WarmPlan{Key: key, Plan: c.entries[key].plan})
+	}
+	return out
+}
+
+// Warm inserts a completed plan for key without running a search — the
+// recovery path filling a fresh cache from a snapshot's export. A key that
+// already holds an entry (completed or in flight) is left untouched: live
+// traffic racing a recovery warm-start must never have a plan swapped out
+// from under it, and a search already under way will produce an equivalent
+// plan anyway (searches are pure functions of the key and the searching
+// state). Warm counts against the LRU cap like any completed entry.
+func (c *PlanCache) Warm(key PlanKey, plan core.Plan) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &cacheEntry{ready: make(chan struct{}), plan: plan}
+	close(e.ready)
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(key)
+	c.enforceCapLocked()
+	c.warmed.Add(1)
+	return true
+}
+
 // Peek returns the cached plan for key without triggering a search. It
 // reports false while the key is missing or still in flight.
 func (c *PlanCache) Peek(key PlanKey) (core.Plan, bool) {
@@ -303,6 +350,7 @@ type CacheStats struct {
 	Misses      int64 // lookups whose search completed a plan
 	Evictions   int64 // completed plans dropped by the LRU cap
 	Invalidated int64 // completed plans dropped by Invalidate
+	Warmed      int64 // plans inserted without a search (snapshot warm-start)
 	SearchSteps int64 // total simulator invocations spent on searches, failed ones included
 }
 
@@ -326,6 +374,7 @@ func (c *PlanCache) Stats() CacheStats {
 		Misses:      c.misses.Load(),
 		Evictions:   c.evictions.Load(),
 		Invalidated: c.invalidated.Load(),
+		Warmed:      c.warmed.Load(),
 		SearchSteps: c.searchSteps.Load(),
 	}
 }

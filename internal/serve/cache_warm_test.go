@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"durability/internal/core"
+)
+
+// warmKey builds a distinct key per index.
+func warmKey(i int) PlanKey {
+	return PlanKey{Model: "m", Observer: fmt.Sprintf("obs-%d", i), Horizon: 100, Ratio: 3, Search: "greedy"}
+}
+
+func TestExportWarmRoundTrip(t *testing.T) {
+	src := NewPlanCache(0)
+	plans := map[PlanKey]core.Plan{}
+	for i := 0; i < 8; i++ {
+		key := warmKey(i)
+		plan := core.MustPlan(float64(i+1) / 10)
+		plans[key] = plan
+		if _, _, _, err := src.GetOrSearch(context.Background(), key, func(context.Context) (core.Plan, int64, error) {
+			return plan, 1, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dst := NewPlanCache(0)
+	for _, wp := range src.Export() {
+		if !dst.Warm(wp.Key, wp.Plan) {
+			t.Fatalf("warm rejected fresh key %+v", wp.Key)
+		}
+	}
+	if got := dst.Stats().Warmed; got != 8 {
+		t.Fatalf("Warmed = %d, want 8", got)
+	}
+	for key, want := range plans {
+		got, ok := dst.Peek(key)
+		if !ok || !got.Equal(want) {
+			t.Fatalf("warmed cache misses %+v (ok=%v)", key, ok)
+		}
+	}
+
+	// Warming an occupied key must not replace the resident plan.
+	occupied := warmKey(0)
+	if dst.Warm(occupied, core.MustPlan(0.99)) {
+		t.Fatal("Warm replaced a resident entry")
+	}
+	if got, _ := dst.Peek(occupied); !got.Equal(plans[occupied]) {
+		t.Fatal("resident plan changed under Warm")
+	}
+}
+
+// Warm entries must obey the LRU cap: a warm-start larger than the cap
+// keeps only the most recently inserted plans.
+func TestWarmRespectsCapacity(t *testing.T) {
+	c := NewPlanCache(0, WithCacheCapacity(3))
+	for i := 0; i < 10; i++ {
+		c.Warm(warmKey(i), core.MustPlan(0.5))
+	}
+	st := c.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+	if st.Evictions != 7 {
+		t.Fatalf("evictions = %d, want 7", st.Evictions)
+	}
+	for i := 7; i < 10; i++ {
+		if _, ok := c.Peek(warmKey(i)); !ok {
+			t.Fatalf("most recent key %d evicted", i)
+		}
+	}
+}
+
+// Recovery-time warm-start inserts race with live traffic: searches,
+// warms, invalidations and LRU eviction all mutate the cache concurrently.
+// The test drives all four under the race detector and then checks the
+// cache is still internally consistent (every LRU node resolves to a
+// completed entry, entry count matches, capacity holds).
+func TestPlanCacheConcurrentWarmGetInvalidate(t *testing.T) {
+	c := NewPlanCache(0, WithCacheCapacity(16))
+	const (
+		goroutines = 8
+		iters      = 300
+		keys       = 48
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := warmKey((g*iters + i) % keys)
+				switch i % 4 {
+				case 0:
+					c.Warm(key, core.MustPlan(0.5))
+				case 1:
+					if _, _, _, err := c.GetOrSearch(context.Background(), key, func(context.Context) (core.Plan, int64, error) {
+						return core.MustPlan(0.25, 0.75), 1, nil
+					}); err != nil {
+						t.Errorf("GetOrSearch: %v", err)
+						return
+					}
+				case 2:
+					c.Peek(key)
+				default:
+					c.Invalidate(func(k PlanKey) bool { return k == key })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru.Len() != len(c.entries) {
+		t.Fatalf("lru holds %d keys but map holds %d entries", c.lru.Len(), len(c.entries))
+	}
+	if c.lru.Len() > 16 {
+		t.Fatalf("capacity exceeded: %d entries", c.lru.Len())
+	}
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		key := e.Value.(PlanKey)
+		entry, ok := c.entries[key]
+		if !ok {
+			t.Fatalf("lru key %+v missing from entry map", key)
+		}
+		select {
+		case <-entry.ready:
+		default:
+			t.Fatalf("lru holds in-flight entry for %+v", key)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package simdb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+// Every model kind the catalog can instantiate must produce states that
+// round-trip through gob as interface values — catalog-built models flow
+// into the same snapshots and cluster requests as directly constructed
+// ones, so the builder registry is part of the gob audit surface.
+func TestBuilderStatesGob(t *testing.T) {
+	params := map[string]map[string]float64{
+		"queue":       {"lambda": 0.5, "mu1": 2, "mu2": 2},
+		"cpp":         {"u": 15, "c": 6, "lambda": 0.8, "claim_lo": 5, "claim_hi": 10},
+		"random-walk": {"sigma": 1},
+		"gbm":         {"s0": 100, "sigma": 0.01},
+	}
+	for kind, build := range builders {
+		t.Run(kind, func(t *testing.T) {
+			p, ok := params[kind]
+			if !ok {
+				t.Fatalf("no audit parameters for builder %q — add them so its state type stays covered", kind)
+			}
+			proc, fields, err := build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var obs stochastic.Observer
+			for _, o := range fields {
+				obs = o
+				break
+			}
+			st := proc.Initial()
+			src := rng.NewStream(5, 0)
+			for i := 1; i <= 5; i++ {
+				proc.Step(st, i, src)
+			}
+
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(struct{ S stochastic.State }{S: st}); err != nil {
+				t.Fatalf("%s: encoding %T: %v", kind, st, err)
+			}
+			var out struct{ S stochastic.State }
+			if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+				t.Fatalf("%s: decoding: %v", kind, err)
+			}
+			if got, want := obs(out.S), obs(st); got != want {
+				t.Fatalf("%s: decoded state observes %v, original %v", kind, got, want)
+			}
+		})
+	}
+}

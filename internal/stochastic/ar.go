@@ -1,6 +1,8 @@
 package stochastic
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"durability/internal/rng"
@@ -37,6 +39,35 @@ type ARState struct {
 // Clone implements State.
 func (s *ARState) Clone() State {
 	return &ARState{hist: append([]float64(nil), s.hist...), head: s.head}
+}
+
+// arStateWire is the exported mirror of ARState for gob: the ring buffer's
+// fields are unexported (callers must not reach into the history), so the
+// state ships through an explicit encoder instead of gob's default path.
+type arStateWire struct {
+	Hist []float64
+	Head int
+}
+
+// GobEncode implements gob.GobEncoder, making AR states snapshot- and
+// cluster-shippable like the plain-data states.
+func (s *ARState) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(arStateWire{Hist: s.hist, Head: s.head})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *ARState) GobDecode(data []byte) error {
+	var w arStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.Head < 0 || w.Head >= len(w.Hist) {
+		return fmt.Errorf("stochastic: decoded ARState head %d outside history of %d", w.Head, len(w.Hist))
+	}
+	s.hist, s.head = w.Hist, w.Head
+	return nil
 }
 
 // Current returns v_{t-1}, the most recent value.

@@ -4,12 +4,15 @@ import "encoding/gob"
 
 // The distributed execution backend (internal/exec, internal/cluster)
 // ships live-state snapshots to remote workers inside gob-encoded RPC
-// requests, as a State interface field. gob resolves interface values
-// through a registry of concrete types, so every plain-data State defined
-// here is registered once. States with unexported fields (ARState) or
-// heavyweight payloads (neural hidden states) are deliberately absent:
-// encoding one surfaces a clear gob error at the caller, and those models
-// stay on the local backend.
+// requests, and the durable-serving layer (internal/persist) writes them
+// into checkpoints and WAL records — both as a State interface field. gob
+// resolves interface values through a registry of concrete types, so every
+// State defined here is registered once; ARState, whose ring buffer is
+// unexported, carries its own GobEncode/GobDecode pair. TestStateGob
+// audits that every constructor's state round-trips, so an unregistered
+// concrete type is a test failure rather than a runtime encoding error on
+// a live snapshot or RPC. (The neural package registers its StockState
+// alongside its own encoder.)
 func init() {
 	gob.Register(&Scalar{})
 	gob.Register(&QueueState{})
@@ -17,4 +20,5 @@ func init() {
 	gob.Register(&RegimeState{})
 	gob.Register(&NetworkState{})
 	gob.Register(&MarketState{})
+	gob.Register(&ARState{})
 }

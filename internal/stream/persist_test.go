@@ -1,0 +1,260 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"testing"
+
+	"durability/internal/exec"
+	"durability/internal/stochastic"
+)
+
+// memJournal captures engine events like a WAL would: every event is gob
+// round-tripped at record time, so anything that would not survive the
+// real on-disk encoding fails here, and replay consumes the decoded copy
+// exactly as recovery does.
+type memJournal struct {
+	lsn    int64
+	events []journaledEvent
+}
+
+type journaledEvent struct {
+	lsn int64
+	ev  JournalEvent
+}
+
+func (j *memJournal) Record(ev JournalEvent) (int64, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(struct{ E JournalEvent }{ev}); err != nil {
+		return 0, err
+	}
+	var out struct{ E JournalEvent }
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+		return 0, err
+	}
+	j.lsn++
+	j.events = append(j.events, journaledEvent{lsn: j.lsn, ev: out.E})
+	return j.lsn, nil
+}
+
+// chainResolver rebuilds the test chain the way a recovery would.
+func chainResolver(stream, modelID string) (stochastic.Process, map[string]stochastic.Observer, error) {
+	return newChainEnv().proc, map[string]stochastic.Observer{"index": stochastic.ChainIndex}, nil
+}
+
+// answersEqual asserts two answers are bit-for-bit equal in every
+// deterministic field (wall-clock times excepted, as everywhere in the
+// repo's determinism tests).
+func answersEqual(t *testing.T, label string, got, want Answer) {
+	t.Helper()
+	if got.Result.P != want.Result.P || got.Result.Variance != want.Result.Variance ||
+		got.Result.Paths != want.Result.Paths || got.Result.Steps != want.Result.Steps ||
+		got.Result.Hits != want.Result.Hits {
+		t.Fatalf("%s: result (P=%v Var=%v paths=%d steps=%d hits=%d) != uninterrupted (P=%v Var=%v paths=%d steps=%d hits=%d)",
+			label, got.Result.P, got.Result.Variance, got.Result.Paths, got.Result.Steps, got.Result.Hits,
+			want.Result.P, want.Result.Variance, want.Result.Paths, want.Result.Steps, want.Result.Hits)
+	}
+	if got.Tick != want.Tick || got.Satisfied != want.Satisfied ||
+		got.FreshRoots != want.FreshRoots || got.FreshSteps != want.FreshSteps ||
+		got.SurvivedRoots != want.SurvivedRoots || got.DroppedRoots != want.DroppedRoots ||
+		got.PoolRoots != want.PoolRoots || got.Replanned != want.Replanned || got.Capped != want.Capped {
+		t.Fatalf("%s: answer %+v differs from uninterrupted %+v", label, got, want)
+	}
+}
+
+// runRecovery drives the full crash/recover cycle on the given backend:
+// an uninterrupted engine maintains the whole trajectory; a journaled
+// engine is snapshotted after snapAt ticks, "crashes" after crashAt, and
+// a recovered engine — Restore(snapshot) plus WAL-tail replay — finishes
+// the trajectory. Every post-recovery answer must be bit-for-bit the
+// uninterrupted engine's.
+func runRecovery(t *testing.T, backend exec.Executor, trajectory []int, snapAt, crashAt int) {
+	t.Helper()
+	ctx := context.Background()
+	env := newChainEnv()
+
+	reference := maintain(t, backend, trajectory)
+
+	// The journaled engine lives through snapAt ticks, is snapshotted,
+	// then runs on to crashAt — those extra ticks form the WAL tail.
+	journal := &memJournal{}
+	live := NewEngine(Config{Exec: backend})
+	live.SetJournal(journal)
+	if err := live.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := live.Subscribe(ctx, env.spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap EngineSnapshot
+	for i := 0; i < crashAt; i++ {
+		if i == snapAt {
+			snap = live.Snapshot()
+		}
+		if _, err := live.Update(ctx, "chain", &stochastic.ChainState{I: trajectory[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snapAt >= crashAt {
+		snap = live.Snapshot()
+	}
+	_ = sub // the live engine is now abandoned: the crash
+
+	// Recovery: restore the snapshot, replay the whole journal (events the
+	// snapshot already covers are skipped by LSN), then keep serving.
+	recovered := NewEngine(Config{Exec: backend})
+	if err := recovered.Restore(snap, chainResolver); err != nil {
+		t.Fatal(err)
+	}
+	for _, je := range journal.events {
+		if err := recovered.Apply(ctx, je.lsn, je.ev, chainResolver); err != nil {
+			t.Fatalf("replaying lsn %d (%T): %v", je.lsn, je.ev, err)
+		}
+	}
+
+	rsub := recovered.findSub(sub.ID())
+	if rsub == nil {
+		t.Fatal("recovered engine lost the subscription")
+	}
+	// The answer standing after recovery must match the uninterrupted
+	// engine's answer at the crash tick (reference[0] is the subscribe
+	// answer, reference[i+1] the answer after tick i).
+	answersEqual(t, "answer at crash tick", rsub.Answer(), reference[crashAt])
+
+	// And every subsequent tick must stay bit-for-bit identical.
+	for i := crashAt; i < len(trajectory); i++ {
+		refreshes, err := recovered.Update(ctx, "chain", &stochastic.ChainState{I: trajectory[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refreshes) != 1 || refreshes[0].Err != nil {
+			t.Fatalf("refreshes %+v", refreshes)
+		}
+		answersEqual(t, "post-recovery tick", refreshes[0].Answer, reference[i+1])
+	}
+}
+
+// A recovered engine must produce bit-for-bit the answers of an engine
+// that never died — the repo's determinism guarantee extended across
+// restarts. The trajectory includes drift, revisits and a bucket crossing,
+// and the crash point leaves a non-empty WAL tail after the snapshot.
+func TestRecoveryDeterminismLocal(t *testing.T) {
+	trajectory := []int{0, 1, 0, 1, 2, 3, 2, 1, 0, 3, 4, 2, 1}
+	runRecovery(t, exec.Local{}, trajectory, 4, 9)
+}
+
+// Recovery straight off a checkpoint (empty WAL tail).
+func TestRecoveryDeterminismAtCheckpoint(t *testing.T) {
+	trajectory := []int{0, 1, 2, 1, 0, 2, 3}
+	runRecovery(t, exec.Local{}, trajectory, 4, 4)
+}
+
+// The same guarantee on the cluster backend: a recovered engine refreshing
+// over a worker fleet matches the uninterrupted fleet bit for bit.
+func TestRecoveryDeterminismCluster(t *testing.T) {
+	backend := exec.NewCluster(startChainWorkers(t, 2)...)
+	defer backend.Close()
+	trajectory := []int{0, 1, 0, 2, 3, 2, 1, 0, 3}
+	runRecovery(t, backend, trajectory, 3, 6)
+}
+
+// Closes must journal and replay: a subscription closed before the crash
+// must stay closed after recovery, while the survivor keeps its answers.
+func TestRecoveryReplaysClose(t *testing.T) {
+	ctx := context.Background()
+	env := newChainEnv()
+	journal := &memJournal{}
+	live := NewEngine(Config{})
+	live.SetJournal(journal)
+	if err := live.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := live.Subscribe(ctx, env.spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := env.spec()
+	spec2.Seed = 11
+	survivor, err := live.Subscribe(ctx, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := live.Snapshot()
+	if _, err := live.Update(ctx, "chain", &stochastic.ChainState{I: 1}); err != nil {
+		t.Fatal(err)
+	}
+	doomed.Close()
+
+	recovered := NewEngine(Config{})
+	if err := recovered.Restore(snap, chainResolver); err != nil {
+		t.Fatal(err)
+	}
+	for _, je := range journal.events {
+		if err := recovered.Apply(ctx, je.lsn, je.ev, chainResolver); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if recovered.findSub(doomed.ID()) != nil {
+		t.Fatal("closed subscription resurrected by recovery")
+	}
+	rsub := recovered.findSub(survivor.ID())
+	if rsub == nil {
+		t.Fatal("surviving subscription lost")
+	}
+	answersEqual(t, "survivor", rsub.Answer(), survivor.Answer())
+}
+
+// Restore must refuse a snapshot maintained under different engine
+// numerics instead of silently replaying a different trajectory.
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	env := newChainEnv()
+	eng := NewEngine(Config{})
+	if err := eng.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+
+	other := NewEngine(Config{TopUpRoots: 128})
+	if err := other.Restore(snap, chainResolver); err == nil {
+		t.Fatal("Restore accepted a snapshot from different engine settings")
+	}
+}
+
+// Restore must name the missing observer when a subscription's ObserverID
+// cannot be resolved, rather than panicking later mid-refresh.
+func TestRestoreRejectsUnknownObserver(t *testing.T) {
+	ctx := context.Background()
+	env := newChainEnv()
+	eng := NewEngine(Config{})
+	if err := eng.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Subscribe(ctx, env.spec()); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+
+	bare := func(stream, modelID string) (stochastic.Process, map[string]stochastic.Observer, error) {
+		return env.proc, map[string]stochastic.Observer{}, nil
+	}
+	recovered := NewEngine(Config{})
+	if err := recovered.Restore(snap, bare); err == nil {
+		t.Fatal("Restore accepted a subscription with an unresolvable observer")
+	}
+}
+
+// Restore only fills empty engines: recovering onto one already serving
+// would splice two histories.
+func TestRestoreRequiresEmptyEngine(t *testing.T) {
+	env := newChainEnv()
+	eng := NewEngine(Config{})
+	if err := eng.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if err := eng.Restore(snap, chainResolver); err == nil {
+		t.Fatal("Restore accepted a non-empty engine")
+	}
+}

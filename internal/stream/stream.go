@@ -182,6 +182,10 @@ type liveState struct {
 	state stochastic.State
 	tick  int64
 	subs  map[uint64]*Subscription
+	// lsn is the journal sequence number of the last mutation applied to
+	// this stream; snapshots carry it so WAL replay can skip events a
+	// snapshot already includes (see persist.go).
+	lsn int64
 }
 
 // Engine is the subscription registry and maintenance engine: clients
@@ -196,6 +200,12 @@ type Engine struct {
 
 	mu      sync.RWMutex
 	streams map[string]*liveState
+
+	// journal, when attached, receives every engine mutation as a
+	// JournalEvent before-or-as it lands (see persist.go); nil engines
+	// journal nothing and pay nothing.
+	jmu     sync.RWMutex
+	journal Journal
 
 	nextSub atomic.Uint64
 
@@ -240,10 +250,18 @@ func (e *Engine) RegisterModel(name, modelID string, proc stochastic.Process, in
 	}
 
 	ls.mu.Lock()
+	lsn, rerr := e.record(EvRegistered{Name: name, ModelID: modelID, State: initial.Clone()})
+	if rerr != nil {
+		ls.mu.Unlock()
+		return fmt.Errorf("stream: journaling re-registration of %q: %w", name, rerr)
+	}
 	replaced := ls.proc != proc
 	ls.proc = proc
 	ls.modelID = modelID
 	ls.state = initial.Clone()
+	if lsn > ls.lsn {
+		ls.lsn = lsn
+	}
 	for _, sub := range ls.subs {
 		sub.forceReplan()
 	}
@@ -280,12 +298,17 @@ func (e *Engine) ensure(name, modelID string, proc stochastic.Process, initial s
 	if ls, ok := e.streams[name]; ok {
 		return ls, false, nil
 	}
+	lsn, err := e.record(EvRegistered{Name: name, ModelID: modelID, State: initial.Clone()})
+	if err != nil {
+		return nil, false, fmt.Errorf("stream: journaling registration of %q: %w", name, err)
+	}
 	ls = &liveState{
 		name:    name,
 		modelID: modelID,
 		proc:    proc,
 		state:   initial.Clone(),
 		subs:    make(map[uint64]*Subscription),
+		lsn:     lsn,
 	}
 	e.streams[name] = ls
 	return ls, true, nil
@@ -338,8 +361,17 @@ func (e *Engine) Update(ctx context.Context, name string, st stochastic.State) (
 	}
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
+	// Write-ahead: the update is journaled before it is applied, so every
+	// tick whose answers a client could have observed is recoverable.
+	lsn, err := e.record(EvUpdated{Name: name, State: st.Clone()})
+	if err != nil {
+		return nil, fmt.Errorf("stream: journaling update of %q: %w", name, err)
+	}
 	ls.state = st.Clone()
 	ls.tick++
+	if lsn > ls.lsn {
+		ls.lsn = lsn
+	}
 	e.ticks.Add(1)
 	return e.refreshLocked(ctx, ls), nil
 }
@@ -395,12 +427,24 @@ func (e *Engine) Subscribe(ctx context.Context, spec SubSpec) (*Subscription, er
 	if err != nil {
 		return nil, err
 	}
+	return e.subscribe(ctx, spec, 0, 0)
+}
+
+// subscribe registers a defaulted spec. id == 0 is the live path: a fresh
+// ID is assigned and the registration journaled once the initial refresh
+// succeeds. A nonzero id is the replay path (Apply), which reuses the
+// logged ID and stamps the event's lsn instead of journaling again.
+func (e *Engine) subscribe(ctx context.Context, spec SubSpec, id uint64, lsn int64) (*Subscription, error) {
 	ls, err := e.stream(spec.Stream)
 	if err != nil {
 		return nil, err
 	}
+	replay := id != 0
+	if !replay {
+		id = e.nextSub.Add(1)
+	}
 	sub := &Subscription{
-		id:     e.nextSub.Add(1),
+		id:     id,
 		engine: e,
 		ls:     ls,
 		spec:   spec,
@@ -411,7 +455,18 @@ func (e *Engine) Subscribe(ctx context.Context, spec SubSpec) (*Subscription, er
 	if _, err := sub.refresh(ctx, ls.proc, ls.state, ls.tick); err != nil {
 		return nil, err
 	}
+	if !replay {
+		// Journaled only on success: a crash mid-subscribe loses the
+		// half-built registration (the client retries) rather than
+		// recovering a subscription the client was never told about.
+		if lsn, err = e.record(EvSubscribed{Spec: specState(spec), ID: id}); err != nil {
+			return nil, fmt.Errorf("stream: journaling subscription: %w", err)
+		}
+	}
 	ls.subs[sub.id] = sub
+	if lsn > ls.lsn {
+		ls.lsn = lsn
+	}
 	return sub, nil
 }
 

@@ -283,6 +283,12 @@ func (s *Subscription) Close() {
 		s.destroyed = true
 		delete(s.ls.subs, s.id)
 		s.batches = nil
+		// A journal failure cannot abort a close (Close returns nothing);
+		// the store keeps the error sticky and the next checkpoint — which
+		// captures the subscription's absence — surfaces it.
+		if lsn, err := s.engine.record(EvClosed{ID: s.id}); err == nil && lsn > s.ls.lsn {
+			s.ls.lsn = lsn
+		}
 	}
 	s.ls.mu.Unlock()
 

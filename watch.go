@@ -3,6 +3,7 @@ package durability
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"durability/internal/stream"
 )
@@ -49,7 +50,16 @@ func (s *Session) Publish(ctx context.Context, name string, st State) ([]Refresh
 	if err := e.Ensure(name, s.proc, st); err != nil {
 		return nil, err
 	}
-	return e.Update(ctx, name, st)
+	refreshes, err := e.Update(ctx, name, st)
+	if err != nil {
+		return nil, err
+	}
+	// Durable sessions checkpoint when the log's size or age trigger has
+	// fired; the tick's answers stand either way.
+	if cerr := s.maybeCheckpoint(); cerr != nil {
+		return refreshes, fmt.Errorf("durability: tick applied but checkpoint failed: %w", cerr)
+	}
+	return refreshes, nil
 }
 
 // Watch registers a standing durability query against the named live
@@ -81,13 +91,27 @@ func (s *Session) Watch(ctx context.Context, name string, q Query, opts ...Optio
 	if cfg.planMode != planAuto {
 		return nil, errors.New("durability: standing queries use automatic level search; WithPlan and WithBalancedLevels are not supported")
 	}
+	obs := q.Z
+	if s.store != nil {
+		// Durable subscriptions are rebuilt after a restart by observer
+		// name; an identity the session cannot resolve would make the
+		// snapshot unrecoverable, so refuse it now rather than at the
+		// worst possible moment. The *registered* function is also the
+		// one subscribed live — if q.Z differed from it, the recovered
+		// subscription would silently maintain a different quantity.
+		registered, ok := s.observers[observerID(q)]
+		if !ok {
+			return nil, fmt.Errorf("durability: durable standing queries need an observer registered with OpenSession; query %q is not (set Query.ZName to a registered name)", observerID(q))
+		}
+		obs = registered
+	}
 	e := s.engine()
 	if err := e.Ensure(name, s.proc, s.proc.Initial()); err != nil {
 		return nil, err
 	}
 	return e.Subscribe(ctx, stream.SubSpec{
 		Stream:     name,
-		Obs:        q.Z,
+		Obs:        obs,
 		ObserverID: observerID(q),
 		Beta:       q.Beta,
 		Horizon:    q.Horizon,
