@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// guardBudget is the tolerated cost growth for the deterministic
+// scenarios: a fresh run may cost at most 10% more steps than the
+// committed baseline before the guard trips.
+const guardBudget = 1.10
+
+// loadBaseline reads a committed BENCH_serve.json. A missing file guards
+// nothing (first run records, later runs enforce); a malformed one is an
+// error — a guard silently skipped by a typo is worse than no guard.
+func loadBaseline(path string) ([]benchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durbench: reading baseline %s: %w", path, err)
+	}
+	var base []benchReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("durbench: parsing baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// checkBatchRegression returns an error when the fresh batch scenario's
+// total steps exceed the matching committed scenario's by more than the
+// guard budget — the CI tripwire for the batch path's cost. A baseline
+// without a matching batch scenario guards nothing.
+func checkBatchRegression(base []benchReport, fresh benchReport) error {
+	for _, old := range base {
+		if old.BatchSteps <= 0 || old.Scenario != fresh.Scenario || old.RelErr != fresh.RelErr {
+			continue
+		}
+		if float64(fresh.BatchSteps) > guardBudget*float64(old.BatchSteps) {
+			return fmt.Errorf("durbench: batch scenario regressed: %d steps vs committed %d (+%.1f%%, >%.0f%% budget)",
+				fresh.BatchSteps, old.BatchSteps,
+				100*(float64(fresh.BatchSteps)/float64(old.BatchSteps)-1), 100*(guardBudget-1))
+		}
+		fmt.Printf("durbench: batch guard ok: %d steps vs committed %d\n", fresh.BatchSteps, old.BatchSteps)
+	}
+	return nil
+}
+
+// checkRecoveryRegression mirrors checkBatchRegression for the recovery
+// scenario's deterministic steps-to-first-answer.
+func checkRecoveryRegression(base []benchReport, fresh benchReport) error {
+	for _, old := range base {
+		if old.RecoverySteps <= 0 || old.Scenario != fresh.Scenario || old.RelErr != fresh.RelErr {
+			continue
+		}
+		if float64(fresh.RecoverySteps) > guardBudget*float64(old.RecoverySteps) {
+			return fmt.Errorf("durbench: recovery scenario regressed: %d steps vs committed %d (+%.1f%%, >%.0f%% budget)",
+				fresh.RecoverySteps, old.RecoverySteps,
+				100*(float64(fresh.RecoverySteps)/float64(old.RecoverySteps)-1), 100*(guardBudget-1))
+		}
+		fmt.Printf("durbench: recovery guard ok: %d steps vs committed %d\n", fresh.RecoverySteps, old.RecoverySteps)
+	}
+	return nil
+}

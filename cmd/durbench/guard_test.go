@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline commits a synthetic BENCH_serve.json and loads it back
+// through the same decode path main uses.
+func writeBaseline(t *testing.T, contents string) []benchReport {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatalf("loadBaseline: %v", err)
+	}
+	return base
+}
+
+const syntheticBaseline = `[
+  {"scenario": "ladder", "backend": "local", "relErrTarget": 0.1,
+   "thresholds": 10, "batchSteps": 100000, "perQuerySteps": 2000000, "speedup": 20},
+  {"scenario": "recovery", "backend": "local", "relErrTarget": 0.1,
+   "recoverySteps": 50000, "coldRestartSteps": 500000, "speedup": 10}
+]`
+
+// TestBatchGuardTrips is the guard's own regression test: the >10%
+// tripwire must fire at +10.1% and stay quiet at +9%.
+func TestBatchGuardTrips(t *testing.T) {
+	base := writeBaseline(t, syntheticBaseline)
+
+	regressed := benchReport{Scenario: "ladder", RelErr: 0.1, BatchSteps: 110100} // +10.1%
+	err := checkBatchRegression(base, regressed)
+	if err == nil {
+		t.Fatalf("guard did not trip at +10.1%% (%d vs %d)", regressed.BatchSteps, 100000)
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("unexpected guard error: %v", err)
+	}
+
+	within := benchReport{Scenario: "ladder", RelErr: 0.1, BatchSteps: 109000} // +9%
+	if err := checkBatchRegression(base, within); err != nil {
+		t.Fatalf("guard tripped inside the 10%% budget: %v", err)
+	}
+
+	exact := benchReport{Scenario: "ladder", RelErr: 0.1, BatchSteps: 110000} // exactly +10%
+	if err := checkBatchRegression(base, exact); err != nil {
+		t.Fatalf("guard tripped at exactly +10%% (budget is exclusive): %v", err)
+	}
+}
+
+// TestRecoveryGuardTrips mirrors the batch guard assertions for the
+// recovery scenario.
+func TestRecoveryGuardTrips(t *testing.T) {
+	base := writeBaseline(t, syntheticBaseline)
+
+	regressed := benchReport{Scenario: "recovery", RelErr: 0.1, RecoverySteps: 56000} // +12%
+	if err := checkRecoveryRegression(base, regressed); err == nil {
+		t.Fatal("recovery guard did not trip at +12%")
+	}
+
+	within := benchReport{Scenario: "recovery", RelErr: 0.1, RecoverySteps: 54500} // +9%
+	if err := checkRecoveryRegression(base, within); err != nil {
+		t.Fatalf("recovery guard tripped inside the 10%% budget: %v", err)
+	}
+}
+
+// TestGuardMatchesScenarioAndTarget pins the matching rules: a fresh
+// report only guards against baselines with the same scenario name and
+// relative-error target, and baselines without the scenario's step
+// counter guard nothing.
+func TestGuardMatchesScenarioAndTarget(t *testing.T) {
+	base := writeBaseline(t, syntheticBaseline)
+
+	otherScenario := benchReport{Scenario: "other", RelErr: 0.1, BatchSteps: 10_000_000}
+	if err := checkBatchRegression(base, otherScenario); err != nil {
+		t.Fatalf("guard matched a different scenario: %v", err)
+	}
+	otherTarget := benchReport{Scenario: "ladder", RelErr: 0.05, BatchSteps: 10_000_000}
+	if err := checkBatchRegression(base, otherTarget); err != nil {
+		t.Fatalf("guard matched a different RE target: %v", err)
+	}
+	// The recovery entry has no BatchSteps: it must not batch-guard.
+	viaRecovery := benchReport{Scenario: "recovery", RelErr: 0.1, BatchSteps: 10_000_000}
+	if err := checkBatchRegression(base, viaRecovery); err != nil {
+		t.Fatalf("batch guard matched a recovery-only baseline: %v", err)
+	}
+}
+
+// TestLoadBaseline pins the loader's contract: missing file guards
+// nothing, malformed file is an error, not a silently skipped guard.
+func TestLoadBaseline(t *testing.T) {
+	if base, err := loadBaseline(filepath.Join(t.TempDir(), "absent.json")); err != nil || base != nil {
+		t.Fatalf("missing baseline: got %v, %v; want nil, nil", base, err)
+	}
+	path := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("malformed baseline silently accepted")
+	}
+}

@@ -99,10 +99,9 @@ func main() {
 	// guard compares against what was checked in, not what this run wrote.
 	var base []benchReport
 	if *baseline != "" {
-		if blob, err := os.ReadFile(*baseline); err == nil {
-			if err := json.Unmarshal(blob, &base); err != nil {
-				log.Fatalf("durbench: parsing baseline %s: %v", *baseline, err)
-			}
+		var err error
+		if base, err = loadBaseline(*baseline); err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -196,14 +195,18 @@ func main() {
 		log.Fatal(err)
 	}
 	reports = append(reports, batch)
-	guardBatch(base, batch)
+	if err := checkBatchRegression(base, batch); err != nil {
+		log.Fatal(err)
+	}
 
 	recovery, err := runRecovery(ctx, *re, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	reports = append(reports, recovery)
-	guardRecovery(base, recovery)
+	if err := checkRecoveryRegression(base, recovery); err != nil {
+		log.Fatal(err)
+	}
 
 	blob, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
@@ -275,23 +278,6 @@ func runBatchLadder(ctx context.Context, re float64, seed uint64) (benchReport, 
 		PerQuerySteps: perQuery,
 		Speedup:       float64(perQuery) / float64(batchSteps),
 	}, nil
-}
-
-// guardBatch fails the run when the fresh batch scenario's total steps
-// regressed more than 10% against the committed baseline — the CI tripwire
-// for the batch path's cost. A baseline without a batch scenario (or none
-// at all) guards nothing: the first run records, later runs enforce.
-func guardBatch(base []benchReport, fresh benchReport) {
-	for _, old := range base {
-		if old.BatchSteps <= 0 || old.Scenario != fresh.Scenario || old.RelErr != fresh.RelErr {
-			continue
-		}
-		if float64(fresh.BatchSteps) > 1.10*float64(old.BatchSteps) {
-			log.Fatalf("durbench: batch scenario regressed: %d steps vs committed %d (+%.1f%%, >10%% budget)",
-				fresh.BatchSteps, old.BatchSteps, 100*(float64(fresh.BatchSteps)/float64(old.BatchSteps)-1))
-		}
-		fmt.Printf("durbench: batch guard ok: %d steps vs committed %d\n", fresh.BatchSteps, old.BatchSteps)
-	}
 }
 
 // runRecovery measures the persist layer's restart economics: a durable
@@ -387,22 +373,6 @@ func runRecovery(ctx context.Context, re float64, seed uint64) (benchReport, err
 		ColdRestartSteps: coldSteps,
 		Speedup:          float64(coldSteps) / float64(recoverySteps),
 	}, nil
-}
-
-// guardRecovery fails the run when the recovery scenario's deterministic
-// steps-to-first-answer regressed more than 10% against the committed
-// baseline, mirroring guardBatch.
-func guardRecovery(base []benchReport, fresh benchReport) {
-	for _, old := range base {
-		if old.RecoverySteps <= 0 || old.Scenario != fresh.Scenario || old.RelErr != fresh.RelErr {
-			continue
-		}
-		if float64(fresh.RecoverySteps) > 1.10*float64(old.RecoverySteps) {
-			log.Fatalf("durbench: recovery scenario regressed: %d steps vs committed %d (+%.1f%%, >10%% budget)",
-				fresh.RecoverySteps, old.RecoverySteps, 100*(float64(fresh.RecoverySteps)/float64(old.RecoverySteps)-1))
-		}
-		fmt.Printf("durbench: recovery guard ok: %d steps vs committed %d\n", fresh.RecoverySteps, old.RecoverySteps)
-	}
 }
 
 // runSharded maintains the same standing query over the cluster

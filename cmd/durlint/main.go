@@ -1,0 +1,183 @@
+// Command durlint is the repository's invariant checker: a multichecker
+// driving the five internal/analysis passes that statically enforce
+// what the runtime `==` drills can only spot-check — deterministic
+// sources (detsource), collision-free substream construction
+// (substream), sorted map iteration on serialized paths (maporder), a
+// closed gob registration surface (gobreg) and no blocking I/O under
+// locks (locksafe).
+//
+//	go run ./cmd/durlint ./...            # whole tree, all checks
+//	go run ./cmd/durlint -checks substream,maporder ./internal/...
+//	go run ./cmd/durlint -show-suppressed ./...
+//
+// Findings print as file:line:col: analyzer: message and make the exit
+// status 1 — CI runs durlint as its own job, so a new finding fails the
+// build. A finding that is understood and accepted is suppressed in
+// source with `//durlint:ignore <analyzer> <reason>` on (or directly
+// above) the flagged line; the reason is mandatory and malformed
+// directives are themselves findings. ARCHITECTURE.md's "Invariants"
+// section documents each invariant and the suppression policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"durability/internal/analysis"
+	"durability/internal/analysis/detsource"
+	"durability/internal/analysis/gobreg"
+	"durability/internal/analysis/locksafe"
+	"durability/internal/analysis/maporder"
+	"durability/internal/analysis/substream"
+)
+
+// suite is every analyzer durlint drives, in report order.
+var suite = []*analysis.Analyzer{
+	detsource.Analyzer,
+	substream.Analyzer,
+	maporder.Analyzer,
+	gobreg.Analyzer,
+	locksafe.Analyzer,
+}
+
+func main() {
+	var (
+		checks         = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		showSuppressed = flag.Bool("show-suppressed", false, "also list findings silenced by durlint:ignore directives")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: durlint [flags] [packages]\n\nanalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	active, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "durlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "durlint:", err)
+		os.Exit(2)
+	}
+
+	type located struct {
+		pos  token.Position
+		name string
+		msg  string
+	}
+	var findings, suppressed []located
+	for _, pkg := range prog.Targets() {
+		for _, a := range active {
+			pass, err := analysis.RunAnalyzer(a, prog, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "durlint:", err)
+				os.Exit(2)
+			}
+			for _, d := range pass.Diagnostics() {
+				findings = append(findings, located{prog.Fset.Position(d.Pos), d.Analyzer, d.Message})
+			}
+			for _, d := range pass.Suppressed() {
+				suppressed = append(suppressed, located{prog.Fset.Position(d.Pos), d.Analyzer, d.Message})
+			}
+		}
+		// Malformed suppressions are findings too: an ignore without a
+		// justification defeats the policy it implements.
+		for _, f := range pkg.Files {
+			for _, d := range analysis.FileDirectives(prog.Fset, f) {
+				if msg := validateDirective(d); msg != "" {
+					findings = append(findings, located{prog.Fset.Position(d.Pos), "durlint", msg})
+				}
+			}
+		}
+	}
+
+	sortLocated := func(s []located) {
+		sort.Slice(s, func(i, j int) bool {
+			a, b := s[i], s[j]
+			if a.pos.Filename != b.pos.Filename {
+				return a.pos.Filename < b.pos.Filename
+			}
+			if a.pos.Line != b.pos.Line {
+				return a.pos.Line < b.pos.Line
+			}
+			return a.name < b.name
+		})
+	}
+	sortLocated(findings)
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.pos, f.name, f.msg)
+	}
+	if *showSuppressed && len(suppressed) > 0 {
+		sortLocated(suppressed)
+		fmt.Printf("\n%d suppressed:\n", len(suppressed))
+		for _, f := range suppressed {
+			fmt.Printf("%s: %s: %s (suppressed)\n", f.pos, f.name, f.msg)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "durlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -checks flag against the suite.
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	if checks == "" {
+		return suite, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, names())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func names() string {
+	var ns []string
+	for _, a := range suite {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// validateDirective returns a finding message when the parsed ignore
+// directive is malformed, or "".
+func validateDirective(d analysis.Directive) string {
+	known := map[string]bool{"all": true}
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	switch {
+	case d.Analyzer == "":
+		return fmt.Sprintf("durlint:ignore needs an analyzer and a reason: %q", d.Raw)
+	case !known[d.Analyzer]:
+		return fmt.Sprintf("durlint:ignore names unknown analyzer %q (have all, %s)", d.Analyzer, names())
+	case d.Reason == "":
+		return fmt.Sprintf("durlint:ignore %s needs a justification — the reason is the policy: %q", d.Analyzer, d.Raw)
+	}
+	return ""
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"durability/internal/analysis"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(suite) {
+		t.Fatalf("empty -checks: got %d analyzers, err %v; want the whole suite", len(all), err)
+	}
+
+	two, err := selectAnalyzers("substream, maporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "substream" || two[1].Name != "maporder" {
+		t.Fatalf("selected %v", two)
+	}
+
+	if _, err := selectAnalyzers("nope"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("unknown analyzer accepted: %v", err)
+	}
+}
+
+func TestValidateDirective(t *testing.T) {
+	cases := []struct {
+		d    analysis.Directive
+		want string // substring of the finding, "" = valid
+	}{
+		{analysis.Directive{Analyzer: "detsource", Reason: "telemetry only"}, ""},
+		{analysis.Directive{Analyzer: "all", Reason: "generated file"}, ""},
+		{analysis.Directive{Analyzer: "", Raw: "//durlint:ignore"}, "needs an analyzer"},
+		{analysis.Directive{Analyzer: "typo", Reason: "x"}, "unknown analyzer"},
+		{analysis.Directive{Analyzer: "locksafe", Raw: "//durlint:ignore locksafe"}, "needs a justification"},
+	}
+	for _, c := range cases {
+		c.d.Pos = token.Pos(1)
+		got := validateDirective(c.d)
+		if c.want == "" && got != "" {
+			t.Errorf("directive %+v: unexpected finding %q", c.d, got)
+		}
+		if c.want != "" && !strings.Contains(got, c.want) {
+			t.Errorf("directive %+v: finding %q, want substring %q", c.d, got, c.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -70,14 +71,34 @@ type feedSnapshot struct {
 	LSN    int64
 }
 
-// hubSnapshot is the daemon's full serving state.
+// handleBinding is one HTTP-handle-to-subscription row. Persisted as a
+// slice sorted by handle, not a map: gob encodes maps in iteration
+// order, which would make two checkpoints of the same state differ.
+type handleBinding struct {
+	Handle string
+	SubID  uint64
+}
+
+// tickErrCount is one stream's failed-sweep counter, sorted by stream
+// for the same reason.
+type tickErrCount struct {
+	Stream string
+	Errors int64
+}
+
+// hubSnapshot is the daemon's full serving state. Every component is
+// persisted in a canonical order (sorted handles, feeds and error
+// counters; the engine sorts its own streams and subscriptions), so
+// checkpoints of identical serving states are byte-identical.
+//
+//durlint:gobroot
 type hubSnapshot struct {
 	Serving  persist.ServingSnapshot
 	NextID   int64
-	Handles  map[string]uint64
+	Handles  []handleBinding
 	HubLSN   int64
 	Feeds    []feedSnapshot
-	TickErrs map[string]int64
+	TickErrs []tickErrCount
 }
 
 // resolver rebuilds stream dynamics and observers from the model
@@ -103,19 +124,26 @@ func (h *streamHub) snapshot() (*hubSnapshot, error) {
 	h.mu.Lock()
 	snap.NextID = h.nextID
 	snap.HubLSN = h.lsn
-	snap.Handles = make(map[string]uint64, len(h.subs))
+	snap.Handles = make([]handleBinding, 0, len(h.subs))
 	for handle, sub := range h.subs {
-		snap.Handles[handle] = sub.ID()
+		snap.Handles = append(snap.Handles, handleBinding{Handle: handle, SubID: sub.ID()})
 	}
-	snap.TickErrs = make(map[string]int64, len(h.tickErrs))
+	sort.Slice(snap.Handles, func(i, j int) bool { return snap.Handles[i].Handle < snap.Handles[j].Handle })
+	snap.TickErrs = make([]tickErrCount, 0, len(h.tickErrs))
 	for name, n := range h.tickErrs {
-		snap.TickErrs[name] = n
+		snap.TickErrs = append(snap.TickErrs, tickErrCount{Stream: name, Errors: n})
 	}
-	feeds := make([]*feed, 0, len(h.feeds))
+	sort.Slice(snap.TickErrs, func(i, j int) bool { return snap.TickErrs[i].Stream < snap.TickErrs[j].Stream })
+	// Feed order must not leak map order into the snapshot: two
+	// checkpoints of the same server state must be byte-identical.
 	names := make([]string, 0, len(h.feeds))
-	for name, f := range h.feeds {
-		feeds = append(feeds, f)
+	for name := range h.feeds {
 		names = append(names, name)
+	}
+	sort.Strings(names)
+	feeds := make([]*feed, 0, len(names))
+	for _, name := range names {
+		feeds = append(feeds, h.feeds[name])
 	}
 	h.mu.Unlock()
 	snap.Serving = persist.ServingSnapshot{
@@ -156,8 +184,8 @@ func (h *streamHub) restore(snap *hubSnapshot) error {
 	defer h.mu.Unlock()
 	h.nextID = snap.NextID
 	h.lsn = snap.HubLSN
-	for name, n := range snap.TickErrs {
-		h.tickErrs[name] = n
+	for _, te := range snap.TickErrs {
+		h.tickErrs[te.Stream] = te.Errors
 	}
 	for _, fs := range snap.Feeds {
 		proc, observers, err := h.resolver(fs.Stream, fs.Model)
@@ -170,15 +198,15 @@ func (h *streamHub) restore(snap *hubSnapshot) error {
 			state: fs.State.Clone(), src: &src, steps: fs.Steps, lsn: fs.LSN,
 		}
 	}
-	for handle, subID := range snap.Handles {
-		sub, ok := h.engine.Subscription(subID)
+	for _, hb := range snap.Handles {
+		sub, ok := h.engine.Subscription(hb.SubID)
 		if !ok {
 			// The subscription closed between the handle-table and engine
 			// captures; the hubUnbind record later in the WAL removes the
 			// handle too.
 			continue
 		}
-		h.subs[handle] = sub
+		h.subs[hb.Handle] = sub
 	}
 	return nil
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// The stats surfaces are part of the deterministic contract: two servers
+// driven through the same request sequence must render byte-identical
+// GET /stats and GET /streams payloads, and byte-identical checkpoints.
+// These tests pin the sorted-iteration fixes (snapshot feed order, the
+// handle/error tables persisted as sorted slices) — before them, map
+// iteration order leaked into the encodings and identical states could
+// serialize differently from run to run.
+
+// driveFixedSequence issues the same request trajectory every call: two
+// standing queries on different streams, a one-shot query, and a few
+// ticks. Everything downstream is seeded, so two servers driven through
+// it land in identical serving states.
+func driveFixedSequence(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	subscribe(t, ts, `{"model":"walk","beta":15,"horizon":100,"re":0.2}`)
+	subscribe(t, ts, `{"model":"queue","beta":26,"horizon":500,"re":0.2}`)
+	postQuery(t, ts, `{"model":"walk","beta":8,"horizon":100,"re":0.2}`)
+	tickOnce(t, ts, "walk")
+	tickOnce(t, ts, "queue")
+	tickOnce(t, ts, "walk")
+}
+
+func getBytes(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStatsEncodingByteIdentical drives two independent servers through
+// the same sequence and asserts the stats JSON matches byte for byte —
+// across servers (no map order in the encoding) and across repeated
+// reads of one quiescent server (no hidden clock in the counters).
+func TestStatsEncodingByteIdentical(t *testing.T) {
+	tsA := testServer(t)
+	tsB := testServer(t)
+	driveFixedSequence(t, tsA)
+	driveFixedSequence(t, tsB)
+
+	for _, path := range []string{"/stats", "/streams"} {
+		a := getBytes(t, tsA, path)
+		b := getBytes(t, tsB, path)
+		if !bytes.Equal(a, b) {
+			t.Errorf("GET %s diverged across identically-driven servers:\n%s\n%s", path, a, b)
+		}
+		again := getBytes(t, tsA, path)
+		if !bytes.Equal(a, again) {
+			t.Errorf("GET %s diverged across repeated reads:\n%s\n%s", path, a, again)
+		}
+	}
+}
+
+// latestSnapshot returns the bytes of the newest checkpoint in dir.
+func latestSnapshot(t *testing.T, dir string) []byte {
+	t.Helper()
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshots in %s (err %v)", dir, err)
+	}
+	sort.Strings(snaps)
+	blob, err := os.ReadFile(snaps[len(snaps)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestCheckpointBytesIdentical is the persistence half of the contract:
+// two durable servers driven through the same sequence write
+// byte-identical checkpoints. Gob encodes maps in iteration order, so
+// this only holds because every map in the snapshot path is serialized
+// through a sorted slice.
+func TestCheckpointBytesIdentical(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	tsA, hubA := durableServer(t, dirA)
+	tsB, hubB := durableServer(t, dirB)
+	driveFixedSequence(t, tsA)
+	driveFixedSequence(t, tsB)
+
+	if err := hubA.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hubB.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := latestSnapshot(t, dirA), latestSnapshot(t, dirB)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("checkpoints of identically-driven servers differ (%d vs %d bytes)", len(a), len(b))
+	}
+}

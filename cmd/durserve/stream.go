@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -417,6 +418,9 @@ func (h *streamHub) autoTick(ctx context.Context) {
 		names = append(names, name)
 	}
 	h.mu.Unlock()
+	// Sweep in name order: map order would tick streams in a different
+	// sequence every pass, making multi-stream traces unreproducible.
+	sort.Strings(names)
 	for _, name := range names {
 		if _, err := h.tick(ctx, tickRequest{Stream: name, Steps: 1}); err != nil {
 			h.mu.Lock()

@@ -1,0 +1,165 @@
+// Package analysis is the static-analysis substrate behind cmd/durlint:
+// a deliberately small, stdlib-only re-implementation of the
+// golang.org/x/tools/go/analysis surface this repository needs. The
+// container build must stay dependency-free, so instead of importing
+// x/tools we mirror its shape — an Analyzer owns a Run func over a Pass,
+// a Pass reports position-anchored Diagnostics — on top of go/ast,
+// go/parser and go/types.
+//
+// The five analyzers in the subpackages (detsource, substream, maporder,
+// gobreg, locksafe) encode the source-level invariants every headline
+// guarantee of this repository rests on; ARCHITECTURE.md's "Invariants"
+// section maps each invariant to its analyzer.
+//
+// # Suppression
+//
+// A finding that is understood and accepted is suppressed in source with
+//
+//	//durlint:ignore <analyzer> <reason>
+//
+// either on the flagged line or alone on the line directly above it.
+// <analyzer> is one of the five analyzer names or "all"; <reason> is
+// mandatory — a bare ignore is itself reported as a finding by the
+// driver, so every suppression in the tree carries its justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer describes one static check: a name findings are reported
+// under (and suppressions keyed by), documentation, and the Run function
+// applied to every package under analysis.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass carries one analyzer's view of one package: its syntax, type
+// information, and the surrounding Program for whole-module checks
+// (gobreg walks every package's gob.Register calls, for example).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Path     string // import path of the package under analysis
+	Program  *Program
+
+	diagnostics []Diagnostic
+	suppressed  []Diagnostic
+	directives  map[string][]Directive // file name -> directives, lazily built
+}
+
+// Reportf records a finding at pos unless a durlint:ignore directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name}
+	if p.suppressedAt(pos) {
+		p.suppressed = append(p.suppressed, d)
+		return
+	}
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Diagnostics returns the unsuppressed findings recorded so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// Suppressed returns the findings silenced by durlint:ignore directives.
+func (p *Pass) Suppressed() []Diagnostic { return p.suppressed }
+
+// suppressedAt reports whether a durlint:ignore directive for this
+// analyzer covers the given position: same line, or alone on the
+// preceding line.
+func (p *Pass) suppressedAt(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	if p.directives == nil {
+		p.directives = map[string][]Directive{}
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			p.directives[name] = FileDirectives(p.Fset, f)
+		}
+	}
+	for _, dir := range p.directives[position.Filename] {
+		if dir.Line != position.Line && dir.Line != position.Line-1 {
+			continue
+		}
+		if dir.Analyzer == p.Analyzer.Name || dir.Analyzer == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// A Directive is one parsed //durlint:ignore comment.
+type Directive struct {
+	Pos      token.Pos
+	Line     int
+	Analyzer string // analyzer name, "all", or "" when malformed
+	Reason   string
+	Raw      string
+}
+
+var directiveRe = regexp.MustCompile(`^//\s*durlint:ignore\b(.*)$`)
+
+// FileDirectives extracts every durlint:ignore directive in the file.
+// Malformed directives (no analyzer, no reason) are returned with the
+// missing fields empty so the driver can flag them.
+func FileDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			rest := strings.TrimSpace(m[1])
+			d := Directive{
+				Pos:  c.Pos(),
+				Line: fset.Position(c.Pos()).Line,
+				Raw:  c.Text,
+			}
+			if rest != "" {
+				parts := strings.SplitN(rest, " ", 2)
+				d.Analyzer = parts[0]
+				if len(parts) == 2 {
+					d.Reason = strings.TrimSpace(parts[1])
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// Inspect walks every file of the pass in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

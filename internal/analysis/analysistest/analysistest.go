@@ -1,0 +1,149 @@
+// Package analysistest runs an analyzer over testdata fixture packages
+// and checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only
+// framework of internal/analysis.
+//
+// A fixture line expecting findings carries a comment of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each quoted pattern must match exactly one diagnostic reported on that
+// line, and every diagnostic must be claimed by a pattern; anything
+// unmatched in either direction fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"durability/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+
+// expectation is one `want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under srcRoot (a testdata/src
+// directory), applies the analyzer, and reports mismatches between its
+// diagnostics and the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, srcRoot, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, srcRoot string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	prog, err := analysis.LoadFixture(srcRoot, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	pkg := prog.Lookup(path)
+	pass, err := analysis.RunAnalyzer(a, prog, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		ws, err := fileWants(prog.Fset, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range pass.Diagnostics() {
+		pos := prog.Fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// fileWants extracts the want expectations of one fixture file.
+func fileWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimSuffix(m[1], "*/"))
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				lit, tail, err := splitQuoted(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v in want comment %q", pos.Filename, pos.Line, err, c.Text)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, lit, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				rest = strings.TrimSpace(tail)
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted unquotes the leading Go string literal (double- or
+// back-quoted) of s and returns it with the remainder.
+func splitQuoted(s string) (lit, rest string, err error) {
+	if s[0] == '`' {
+		if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+			return s[1 : i+1], s[i+2:], nil
+		}
+		return "", "", fmt.Errorf("unterminated quoted pattern")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted pattern")
+}

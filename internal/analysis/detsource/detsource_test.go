@@ -1,0 +1,16 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"durability/internal/analysis/analysistest"
+	"durability/internal/analysis/detsource"
+)
+
+func TestDetsource(t *testing.T) {
+	analysistest.Run(t, "testdata/src", detsource.Analyzer,
+		"internal/core/bad",
+		"internal/core/clean",
+		"outside",
+	)
+}

@@ -1,0 +1,45 @@
+// Package bad exercises every detsource violation class inside a
+// deterministic import path (internal/core/...).
+package bad
+
+import (
+	"math/rand" // want `deterministic package imports math/rand`
+	"time"
+)
+
+// Stamp reads the wall clock from a sampling path.
+func Stamp() time.Time {
+	return time.Now() // want `reads the wall clock via time\.Now`
+}
+
+// Elapsed is just as nondeterministic as Now.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `reads the wall clock via time\.Since`
+}
+
+// Draw uses the globally seeded generator.
+func Draw() float64 {
+	return rand.Float64() // want `uses math/rand\.Float64`
+}
+
+// MergeRace folds whichever worker answers first into the counter —
+// the ready-channel choice is randomized, so the fold order races.
+func MergeRace(a, b chan int) int {
+	total := 0
+	for i := 0; i < 2; i++ {
+		select { // want `select binds values from 2 receive cases`
+		case v := <-a:
+			total += v
+		case v := <-b:
+			total += v
+		}
+	}
+	return total
+}
+
+// Suppressed shows the sanctioned escape hatch: telemetry that never
+// feeds sampled values.
+func Suppressed() time.Time {
+	//durlint:ignore detsource timing telemetry only, never feeds sampled values
+	return time.Now()
+}

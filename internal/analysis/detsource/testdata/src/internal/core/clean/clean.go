@@ -1,0 +1,32 @@
+// Package clean shows the deterministic idioms detsource must accept.
+package clean
+
+import (
+	"context"
+	"time"
+)
+
+// Wait uses durations and signal-only selects: no wall clock, no bound
+// racing receives.
+func Wait(ctx context.Context, ch chan struct{}, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Collect binds from a single receive case; the other arm is a pure
+// cancellation signal, so the result cannot depend on the runtime's
+// ready-case choice.
+func Collect(ctx context.Context, results chan int) (int, error) {
+	select {
+	case v := <-results:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}

@@ -1,0 +1,13 @@
+// Package outside is not a deterministic package: wall-clock reads and
+// global rand are legal here and detsource must stay silent.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is fine outside the deterministic packages.
+func Jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second))) + time.Since(time.Now())
+}

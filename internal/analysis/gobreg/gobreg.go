@@ -1,0 +1,302 @@
+// Package gobreg statically audits the gob surface of snapshot and wire
+// types: every concrete type reachable from a declared gob root must be
+// encodable and, when it travels behind an interface, gob.Register'ed.
+//
+// PR 5's runtime audit iterates registered constructors and round-trips
+// their states; this analyzer is its static complement, catching the
+// type that was never wired into the audit in the first place. A root is
+// declared in source with a directive comment on the type declaration:
+//
+//	//durlint:gobroot
+//	type EngineSnapshot struct { ... }
+//
+// From each root the analyzer walks the reachable type graph (struct
+// fields, slice/array/map elements, pointers). Two findings come out:
+//
+//   - an interface reached from a root whose concrete implementers (any
+//     module type satisfying it) are not all gob.Register'ed — an
+//     unregistered implementer encodes fine on the sending side of a
+//     snapshot and fails only at decode, i.e. during recovery, the one
+//     moment the data matters;
+//   - a reachable concrete struct carrying unexported fields without
+//     custom encoders (GobEncode/GobDecode or MarshalBinary/
+//     UnmarshalBinary): gob silently drops unexported fields, so the
+//     restored value is subtly wrong instead of loudly broken.
+package gobreg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"durability/internal/analysis"
+)
+
+// Analyzer is the gobreg pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "gobreg",
+	Doc:  "audit gob roots: registration of interface implementers, encoders for unexported state",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	roots := gobRoots(pass)
+	if len(roots) == 0 {
+		return nil
+	}
+	registered := registeredTypes(pass.Program)
+	w := &walker{
+		pass:       pass,
+		registered: registered,
+		seen:       map[string]bool{},
+	}
+	for _, r := range roots {
+		w.root = r
+		w.walk(r.obj.Type())
+	}
+	return nil
+}
+
+// gobRoot is one //durlint:gobroot-annotated type declaration.
+type gobRoot struct {
+	obj *types.TypeName
+	pos token.Pos
+}
+
+// gobRoots finds the declared roots of the analyzed package.
+func gobRoots(pass *analysis.Pass) []*gobRoot {
+	var out []*gobRoot
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			declMarked := hasRootDirective(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || (!declMarked && !hasRootDirective(ts.Doc) && !hasRootDirective(ts.Comment)) {
+					continue
+				}
+				if obj, ok := pass.ObjectOf(ts.Name).(*types.TypeName); ok {
+					out = append(out, &gobRoot{obj: obj, pos: ts.Pos()})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasRootDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "durlint:gobroot") {
+			return true
+		}
+	}
+	return false
+}
+
+// registeredTypes collects every type passed to gob.Register or
+// gob.RegisterName anywhere in the program, keyed by the named type's
+// full string (pointers stripped: registering *T covers T's identity
+// for this audit's purposes).
+func registeredTypes(prog *analysis.Program) map[string]bool {
+	out := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Register" && sel.Sel.Name != "RegisterName") {
+					return true
+				}
+				obj := pkg.Info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/gob" {
+					return true
+				}
+				arg := call.Args[len(call.Args)-1]
+				if t := pkg.Info.TypeOf(arg); t != nil {
+					out[typeKey(t)] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// typeKey names a type with pointers stripped.
+func typeKey(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	return types.TypeString(t, nil)
+}
+
+type walker struct {
+	pass       *analysis.Pass
+	registered map[string]bool
+	seen       map[string]bool
+	root       *gobRoot
+}
+
+// walk traverses the reachable type graph from t.
+func (w *walker) walk(t types.Type) {
+	key := typeKey(t)
+	if w.seen[key] {
+		return
+	}
+	w.seen[key] = true
+
+	switch tt := t.(type) {
+	case *types.Pointer:
+		w.walk(tt.Elem())
+	case *types.Slice:
+		w.walk(tt.Elem())
+	case *types.Array:
+		w.walk(tt.Elem())
+	case *types.Map:
+		w.walk(tt.Key())
+		w.walk(tt.Elem())
+	case *types.Named:
+		w.named(tt)
+	case *types.Struct:
+		w.structFields(tt)
+	case *types.Interface:
+		// An unnamed interface field: audit implementers the same way.
+		w.iface(t, tt)
+	}
+}
+
+func (w *walker) named(n *types.Named) {
+	obj := n.Obj()
+	if iface, ok := n.Underlying().(*types.Interface); ok {
+		// Standard-library interfaces (error, fmt.Stringer, ...) would
+		// enumerate the whole world; the gob contract we audit is the
+		// module's own.
+		if moduleType(w.pass, obj) {
+			w.iface(n, iface)
+		}
+		return
+	}
+	// Custom encoders make the representation opaque: gob never looks at
+	// the fields, so neither do we.
+	if hasCustomEncoder(n) {
+		return
+	}
+	if st, ok := n.Underlying().(*types.Struct); ok {
+		if moduleType(w.pass, obj) && hasUnexportedData(st) {
+			w.reportAt(obj,
+				"type %s is reachable from gob root %s, has unexported fields and no GobEncode/MarshalBinary: gob silently drops them, so a restored value loses state",
+				typeKey(n), w.root.obj.Name())
+		}
+		w.structFields(st)
+		return
+	}
+	w.walk(n.Underlying())
+}
+
+func (w *walker) structFields(st *types.Struct) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // not encoded; the unexported-data check reports the type itself
+		}
+		w.walk(f.Type())
+	}
+}
+
+// iface audits every module type implementing the reachable interface.
+func (w *walker) iface(t types.Type, iface *types.Interface) {
+	if iface.NumMethods() == 0 {
+		return // `any`: nothing enumerable to audit statically
+	}
+	for _, pkg := range w.pass.Program.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			ct := tn.Type()
+			if _, isIface := ct.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if !types.Implements(ct, iface) && !types.Implements(types.NewPointer(ct), iface) {
+				continue
+			}
+			if !w.registered[typeKey(ct)] {
+				w.reportAt(tn,
+					"type %s implements %s (reachable from gob root %s) but is never gob.Register'ed: a snapshot holding it encodes, then fails at decode — during recovery",
+					typeKey(ct), typeKey(t), w.root.obj.Name())
+			}
+			w.walk(ct)
+		}
+	}
+}
+
+// reportAt anchors the diagnostic at the offending type when it is
+// declared in the analyzed package, else at the root declaration.
+func (w *walker) reportAt(obj types.Object, format string, args ...any) {
+	pos := w.root.pos
+	if obj.Pkg() == w.pass.Pkg {
+		pos = obj.Pos()
+	}
+	w.pass.Reportf(pos, format, args...)
+}
+
+// moduleType reports whether obj is declared in one of the loaded
+// (module or fixture) packages — standard-library types manage their own
+// encoding contracts.
+func moduleType(pass *analysis.Pass, obj types.Object) bool {
+	if obj.Pkg() == nil {
+		return false
+	}
+	return pass.Program.Lookup(obj.Pkg().Path()) != nil
+}
+
+// hasCustomEncoder reports whether T or *T provides gob- or
+// binary-marshalling methods.
+func hasCustomEncoder(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "MarshalBinary"} {
+		if hasMethod(t, name) || hasMethod(types.NewPointer(t), name) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// hasUnexportedData reports whether the struct has at least one
+// unexported non-embedded field.
+func hasUnexportedData(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); !f.Exported() && !f.Embedded() {
+			return true
+		}
+	}
+	return false
+}

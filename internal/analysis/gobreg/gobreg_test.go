@@ -1,0 +1,15 @@
+package gobreg_test
+
+import (
+	"testing"
+
+	"durability/internal/analysis/analysistest"
+	"durability/internal/analysis/gobreg"
+)
+
+func TestGobreg(t *testing.T) {
+	analysistest.Run(t, "testdata/src", gobreg.Analyzer,
+		"gobbad",
+		"gobclean",
+	)
+}

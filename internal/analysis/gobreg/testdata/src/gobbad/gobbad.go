@@ -1,0 +1,42 @@
+// Package gobbad declares a gob root whose reachable surface has two
+// holes: an unregistered interface implementer and a struct whose
+// unexported state gob would silently drop.
+package gobbad
+
+import "encoding/gob"
+
+// Event is the journal payload contract.
+type Event interface{ event() }
+
+// Registered is wired in correctly below.
+type Registered struct{ N int }
+
+func (Registered) event() {}
+
+// Forgotten implements Event but nobody registered it: a snapshot
+// holding one encodes, then fails at decode — during recovery.
+type Forgotten struct{ S string } // want `type gobbad\.Forgotten implements gobbad\.Event .* never gob\.Register'ed`
+
+func (Forgotten) event() {}
+
+// Cursor hides its position in unexported fields with no custom
+// encoder: a restored Cursor silently resets.
+type Cursor struct { // want `type gobbad\.Cursor is reachable from gob root Snapshot, has unexported fields and no GobEncode/MarshalBinary`
+	Name string
+	pos  int64
+}
+
+// Snapshot is the durable root.
+//
+//durlint:gobroot
+type Snapshot struct {
+	Tail   []Event
+	Cursor Cursor
+}
+
+func init() {
+	gob.Register(Registered{})
+}
+
+// use keeps the unexported field honest.
+func (c *Cursor) Advance() { c.pos++ }

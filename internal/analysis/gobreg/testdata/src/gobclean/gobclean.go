@@ -1,0 +1,53 @@
+// Package gobclean closes every hole gobbad leaves open: all
+// implementers registered, unexported state behind custom encoders.
+package gobclean
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+)
+
+// Event is the journal payload contract.
+type Event interface{ event() }
+
+// Created is registered below.
+type Created struct{ N int }
+
+func (Created) event() {}
+
+// Closed is registered below.
+type Closed struct{ S string }
+
+func (Closed) event() {}
+
+// Cursor carries unexported state through MarshalBinary, so gob (which
+// honours encoding.BinaryMarshaler) round-trips it faithfully.
+type Cursor struct {
+	pos int64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c Cursor) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(c.pos))
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Cursor) UnmarshalBinary(data []byte) error {
+	c.pos = int64(binary.LittleEndian.Uint64(data))
+	return nil
+}
+
+// Snapshot is the durable root; everything reachable is accounted for.
+//
+//durlint:gobroot
+type Snapshot struct {
+	Tail   []Event
+	Cursor Cursor
+}
+
+func init() {
+	gob.Register(Created{})
+	gob.Register(Closed{})
+}

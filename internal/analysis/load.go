@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked package under analysis.
+type Package struct {
+	Path    string // import path
+	Name    string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Target  bool // matched the load patterns (vs. pulled in as a dependency)
+	listErr string
+}
+
+// A Program is a load result: every module-local package in the
+// dependency closure of the requested patterns, type-checked against the
+// standard library.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	byPath   map[string]*Package
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (pr *Program) Lookup(path string) *Package { return pr.byPath[path] }
+
+// Targets returns the packages that matched the load patterns, in
+// import-path order.
+func (pr *Program) Targets() []*Package {
+	var out []*Package
+	for _, p := range pr.Packages {
+		if p.Target {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Load builds a Program for the packages matching patterns, resolved by
+// `go list` from dir (the module root or any directory inside it).
+// Module-local dependencies are type-checked from source in dependency
+// order; standard-library imports come from the toolchain's export data.
+func Load(dir string, patterns []string) (*Program, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	pr := &Program{Fset: fset, byPath: map[string]*Package{}}
+	imp := newImporter(fset, pr)
+
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if lp.Standard {
+			continue // resolved through export data on demand
+		}
+		pkg := &Package{
+			Path:   lp.ImportPath,
+			Name:   lp.Name,
+			Dir:    lp.Dir,
+			Target: !lp.DepOnly,
+		}
+		if lp.Error != nil {
+			pkg.listErr = lp.Error.Err
+		}
+		var files []*ast.File
+		for _, gf := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %w", gf, err)
+			}
+			files = append(files, f)
+		}
+		pkg.Files = files
+		// go list -deps emits dependencies before dependents, so every
+		// module-local import is already checked when we get here.
+		if err := typeCheck(fset, pkg, imp); err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+		}
+		pr.Packages = append(pr.Packages, pkg)
+		pr.byPath[pkg.Path] = pkg
+	}
+	if len(pr.Packages) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %s", strings.Join(patterns, " "))
+	}
+	return pr, nil
+}
+
+// LoadFixture builds a Program rooted at an analysistest-style source
+// tree: srcRoot is a testdata/src directory, path an import path under
+// it. Imports resolve first against sibling fixture directories, then
+// the standard library.
+func LoadFixture(srcRoot, path string) (*Program, error) {
+	fset := token.NewFileSet()
+	pr := &Program{Fset: fset, byPath: map[string]*Package{}}
+	imp := newImporter(fset, pr)
+	imp.srcRoot = srcRoot
+	pkg, err := imp.loadFixtureDir(path)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Target = true
+	return pr, nil
+}
+
+// typeCheck runs the types checker over pkg's parsed files.
+func typeCheck(fset *token.FileSet, pkg *Package, imp *progImporter) error {
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect nothing; first error returned below
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	return err
+}
+
+// progImporter resolves imports for type-checking: module-local and
+// fixture packages from the Program, everything else through the
+// toolchain's export data with a source-parse fallback.
+type progImporter struct {
+	fset    *token.FileSet
+	prog    *Program
+	srcRoot string // non-empty in fixture mode
+	gc      types.Importer
+	source  types.Importer
+}
+
+func newImporter(fset *token.FileSet, prog *Program) *progImporter {
+	return &progImporter{
+		fset:   fset,
+		prog:   prog,
+		gc:     importer.ForCompiler(fset, "gc", nil),
+		source: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	if p := pi.prog.byPath[path]; p != nil {
+		if p.Types == nil {
+			return nil, fmt.Errorf("import cycle or unchecked package %q", path)
+		}
+		return p.Types, nil
+	}
+	if pi.srcRoot != "" {
+		if st, err := os.Stat(filepath.Join(pi.srcRoot, path)); err == nil && st.IsDir() {
+			p, err := pi.loadFixtureDir(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	tp, err := pi.gc.Import(path)
+	if err == nil {
+		return tp, nil
+	}
+	return pi.source.Import(path)
+}
+
+// loadFixtureDir parses and checks one fixture directory, memoised in
+// the Program.
+func (pi *progImporter) loadFixtureDir(path string) (*Package, error) {
+	if p := pi.prog.byPath[path]; p != nil {
+		return p, nil
+	}
+	dir := filepath.Join(pi.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(pi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing fixture %s: %w", e.Name(), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("analysis: fixture %s has no Go files", path)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	// Register before checking so self-imports fail loudly instead of
+	// recursing; deps resolve through Import above.
+	pi.prog.byPath[path] = pkg
+	if err := typeCheck(pi.fset, pkg, pi); err != nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", path, err)
+	}
+	pi.prog.Packages = append(pi.prog.Packages, pkg)
+	return pkg, nil
+}
+
+// RunAnalyzer applies one analyzer to one package of the program and
+// returns the pass (diagnostics included).
+func RunAnalyzer(a *Analyzer, pr *Program, pkg *Package) (*Pass, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pr.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Path:     pkg.Path,
+		Program:  pr,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	return pass, nil
+}

@@ -1,0 +1,256 @@
+// Package locksafe flags mutexes held across blocking I/O: net/rpc
+// calls, HTTP round-trips, file/WAL syncs and long-poll waits.
+//
+// A lock held across a network round-trip or fsync turns one slow peer
+// into a convoy: every goroutine needing the lock — tick sweeps, stats
+// scrapes, admission checks — stalls behind a disk or a dead worker's
+// TCP timeout. The serving layer's rule is to snapshot what the
+// critical section needs, release, then block. The analyzer simulates
+// each function body linearly: Lock/RLock marks the mutex held, Unlock
+// releases it, defer Unlock holds it to the end, and any blocking call
+// made while something is held is reported. Goroutine bodies and other
+// function literals are analyzed separately — work handed off with `go`
+// does not run under the caller's critical section.
+//
+// Blocking calls recognised: (*net/rpc.Client).Call, net/http client
+// calls (Do/Get/Post/PostForm/Head, RoundTrip, and the package-level
+// helpers), any Sync method (os.File and WAL-shaped types), and any
+// Wait method taking a context.Context (the long-poll idiom).
+//
+// Intentionally serialized blocking — a WAL whose own mutex orders its
+// appends and syncs — is the expected suppression case:
+// //durlint:ignore locksafe <reason>.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"durability/internal/analysis"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag mutexes held across rpc calls, HTTP round-trips, syncs and long-poll waits",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// event is one lock-relevant occurrence in a body, in source order.
+type event struct {
+	pos  token.Pos
+	kind int // lock, unlock, deferUnlock, blocking
+	key  string
+	what string // blocking description
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evBlocking
+)
+
+// checkBody linearly simulates one function body. Nested function
+// literals are opaque here; they get their own scan.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit && n.Pos() != body.Pos() {
+			return false // analyzed separately
+		}
+		if def, ok := n.(*ast.DeferStmt); ok {
+			if key, kind := lockEvent(pass, def.Call); kind == evUnlock && key != "" {
+				events = append(events, event{pos: def.Pos(), kind: evDeferUnlock, key: key})
+			}
+			// Don't descend: the deferred unlock must not double as a
+			// live unlock at its source position.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, kind := lockEvent(pass, call); key != "" {
+			events = append(events, event{pos: call.Pos(), kind: kind, key: key})
+			return true
+		}
+		if what := blockingCall(pass, call); what != "" {
+			events = append(events, event{pos: call.Pos(), kind: evBlocking, what: what})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]bool{}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock, evDeferUnlock:
+			// A deferred unlock means the lock stays held for the rest of
+			// the body — exactly the window we must scan.
+			if ev.kind == evLock {
+				held[ev.key] = true
+			}
+		case evUnlock:
+			delete(held, ev.key)
+		case evBlocking:
+			for key := range held {
+				pass.Reportf(ev.pos, "%s while holding %s: one slow peer or disk convoys every goroutine waiting on the lock — snapshot state, release, then block", ev.what, key)
+				break // one report per call is enough
+			}
+		}
+	}
+}
+
+// lockEvent classifies a call as Lock/RLock or Unlock/RUnlock on a
+// mutex-shaped receiver and returns the receiver's canonical spelling.
+func lockEvent(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	var kind int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = evLock
+	case "Unlock", "RUnlock":
+		kind = evUnlock
+	default:
+		return "", 0
+	}
+	if !isMutex(pass.TypeOf(sel.X)) {
+		return "", 0
+	}
+	return types.ExprString(sel.X), kind
+}
+
+// isMutex reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex, or embeds one.
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+		}
+		t = named.Underlying()
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Embedded() && isMutex(f.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockingCall classifies call as blocking I/O and returns a short
+// description, or "".
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil {
+		return ""
+	}
+
+	// Package-level net/http helpers: http.Get(url), http.Post(...).
+	if pkg, ok := pass.ObjectOf(ident(sel.X)).(*types.PkgName); ok {
+		if pkg.Imported().Path() == "net/http" {
+			switch name {
+			case "Get", "Post", "PostForm", "Head":
+				return "HTTP round-trip (http." + name + ")"
+			}
+		}
+		return ""
+	}
+
+	recv := pass.TypeOf(sel.X)
+	switch name {
+	case "Call":
+		if typeIs(recv, "net/rpc", "Client") {
+			return "synchronous net/rpc call"
+		}
+	case "Do", "Get", "Post", "PostForm", "Head":
+		if typeIs(recv, "net/http", "Client") {
+			return "HTTP round-trip ((*http.Client)." + name + ")"
+		}
+	case "RoundTrip":
+		return "HTTP round-trip (RoundTrip)"
+	case "Sync":
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Params().Len() == 0 {
+			return "durable sync (" + typeKey(recv) + ".Sync)"
+		}
+	case "Wait":
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Params().Len() > 0 {
+			if typeIs(sig.Params().At(0).Type(), "context", "Context") {
+				return "long-poll wait"
+			}
+		}
+	}
+	return ""
+}
+
+func ident(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	if id == nil {
+		return &ast.Ident{Name: ""}
+	}
+	return id
+}
+
+// typeIs reports whether t (pointers stripped) is the named type
+// pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func typeKey(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	s := types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	return strings.TrimPrefix(s, "*")
+}

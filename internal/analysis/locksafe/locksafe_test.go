@@ -1,0 +1,15 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"durability/internal/analysis/analysistest"
+	"durability/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata/src", locksafe.Analyzer,
+		"lockbad",
+		"lockclean",
+	)
+}

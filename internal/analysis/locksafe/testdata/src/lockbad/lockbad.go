@@ -1,0 +1,74 @@
+// Package lockbad holds locks across blocking I/O — every shape the
+// serving layer must never ship.
+package lockbad
+
+import (
+	"context"
+	"net/rpc"
+	"os"
+	"sync"
+)
+
+// Store convoys: the explicit Lock/Unlock pair brackets an fsync.
+type Store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Flush fsyncs inside the critical section.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	err := s.f.Sync() // want `durable sync \(os\.File\.Sync\) while holding s\.mu`
+	s.mu.Unlock()
+	return err
+}
+
+// Pool convoys through a deferred unlock: the lock lives to the end of
+// the body, so the rpc round-trip runs under it.
+type Pool struct {
+	mu sync.Mutex
+	cl *rpc.Client
+}
+
+// Refresh makes a synchronous rpc call with the pool locked.
+func (p *Pool) Refresh(args, reply any) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cl.Call("Worker.Run", args, reply) // want `synchronous net/rpc call while holding p\.mu`
+}
+
+// waiter is a long-poll surface.
+type waiter struct{}
+
+func (waiter) Wait(ctx context.Context, since int64) error { return nil }
+
+// Observe long-polls while holding a read lock.
+type Observe struct {
+	mu sync.RWMutex
+	w  waiter
+}
+
+// Block holds the read lock across the wait.
+func (o *Observe) Block(ctx context.Context) error {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.w.Wait(ctx, 0) // want `long-poll wait while holding o\.mu`
+}
+
+// Journal shows the sanctioned suppression: a WAL's own mutex exists to
+// serialize append+sync, so blocking under it is the contract.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Append serializes the write and its durability barrier.
+func (j *Journal) Append(rec []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	//durlint:ignore locksafe the journal mutex exists to serialize append+sync; durability requires the barrier inside it
+	return j.f.Sync()
+}

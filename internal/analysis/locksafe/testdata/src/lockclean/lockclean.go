@@ -1,0 +1,47 @@
+// Package lockclean blocks only outside critical sections: snapshot
+// state, release, then do the slow thing.
+package lockclean
+
+import (
+	"net/rpc"
+	"os"
+	"sync"
+)
+
+// Store releases before the fsync.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	tail []byte
+}
+
+// Flush snapshots the buffer under the lock, syncs outside it.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	buf := append([]byte(nil), s.tail...)
+	s.tail = s.tail[:0]
+	s.mu.Unlock()
+	if _, err := s.f.Write(buf); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Pool hands the slow call to a goroutine: the literal's body is its
+// own scope and does not run under the caller's lock.
+type Pool struct {
+	mu   sync.Mutex
+	cl   *rpc.Client
+	busy int
+}
+
+// Kick bumps the counter under the lock and calls out asynchronously.
+func (p *Pool) Kick(args, reply any) {
+	p.mu.Lock()
+	p.busy++
+	cl := p.cl
+	p.mu.Unlock()
+	go func() {
+		_ = cl.Call("Worker.Run", args, reply)
+	}()
+}

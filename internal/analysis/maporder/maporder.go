@@ -1,0 +1,204 @@
+// Package maporder flags slices built from map iteration that are never
+// sorted inside the building function.
+//
+// Go randomizes map iteration order per range statement. A slice
+// appended to while ranging over a map therefore carries a fresh random
+// permutation on every run — poison for this repository's determinism
+// guarantees the moment it reaches a counter merge, a gob encoder, a WAL
+// append or an HTTP response (snapshot bytes differ between identical
+// runs; sweep and fold orders drift between local and cluster
+// placements). The fix is always local: sort the slice (or collect the
+// keys, sort them, and iterate the map in key order) before the slice
+// escapes.
+//
+// The analyzer reports every range-over-map whose body appends to a
+// slice declared outside the loop, unless a sort call (package sort or
+// slices) naming that slice appears later in the same function. Loops
+// that accumulate into order-insensitive aggregates (sums, sets, maps)
+// are not reported; slices whose order provably cannot matter should
+// carry a //durlint:ignore maporder <reason> annotation instead of
+// staying silent.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"durability/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag slices appended from map iteration without a subsequent sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// appendTarget is one slice appended to inside a map-range body.
+type appendTarget struct {
+	rng  *ast.RangeStmt
+	expr ast.Expr // the append destination
+	key  string   // canonical spelling used to match sort calls
+}
+
+// checkFunc analyzes one function body. Function literals nested inside
+// are analyzed as part of the same body: a sort in the enclosing
+// function still clears a loop inside a closure and vice versa, which
+// errs on the quiet side.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var targets []appendTarget
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass.TypeOf(rng.X)) {
+			return true
+		}
+		for _, tgt := range mapRangeAppends(pass, rng) {
+			targets = append(targets, tgt)
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		return
+	}
+	// A sort anywhere after the loop's start clears the target; sorts
+	// inside the loop body count too (sorted-insert idioms).
+	var sorts []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSortCall(pass, call) {
+			sorts = append(sorts, call)
+		}
+		return true
+	})
+	for _, tgt := range targets {
+		if sortedAfter(tgt, sorts) {
+			continue
+		}
+		pass.Reportf(tgt.rng.Pos(),
+			"slice %s is appended from a map iteration and never sorted in this function; map order is randomized per run — sort it (or iterate sorted keys) before it reaches a merge, encoder, WAL append or response", tgt.key)
+	}
+}
+
+// mapRangeAppends returns the slices appended to inside rng's body that
+// are declared outside the loop.
+func mapRangeAppends(pass *analysis.Pass, rng *ast.RangeStmt) []appendTarget {
+	var out []appendTarget
+	seen := map[string]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		dst := as.Lhs[0]
+		if !sameExpr(dst, call.Args[0]) {
+			return true // append into a different variable: not accumulation
+		}
+		if id, ok := dst.(*ast.Ident); ok {
+			obj := pass.ObjectOf(id)
+			if obj == nil || insideRange(obj.Pos(), rng) {
+				return true // loop-local scratch, dies with the iteration
+			}
+		}
+		key := types.ExprString(dst)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, appendTarget{rng: rng, expr: dst, key: key})
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether any sort call positioned at or after the
+// range statement names the target.
+func sortedAfter(tgt appendTarget, sorts []*ast.CallExpr) bool {
+	for _, call := range sorts {
+		if call.End() < tgt.rng.Pos() {
+			continue
+		}
+		if callMentions(call, tgt.key) {
+			return true
+		}
+	}
+	return false
+}
+
+// callMentions reports whether the canonical spelling of any
+// subexpression of call's arguments matches key.
+func callMentions(call *ast.CallExpr, key string) bool {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok && types.ExprString(e) == key {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// isSortCall reports whether call invokes anything from package sort or
+// slices.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+func insideRange(pos token.Pos, rng *ast.RangeStmt) bool {
+	return pos >= rng.Pos() && pos <= rng.End()
+}
+
+func sameExpr(a, b ast.Expr) bool {
+	return types.ExprString(a) == types.ExprString(b)
+}

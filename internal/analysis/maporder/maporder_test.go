@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"durability/internal/analysis/analysistest"
+	"durability/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", maporder.Analyzer,
+		"mapbad",
+		"mapclean",
+	)
+}

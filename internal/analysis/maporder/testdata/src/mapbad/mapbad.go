@@ -1,0 +1,47 @@
+// Package mapbad builds slices from map iteration and lets them escape
+// unsorted — every function here leaks a per-run random permutation.
+package mapbad
+
+import "encoding/json"
+
+// Names feeds an HTTP-response-shaped payload straight from map order.
+func Names(m map[string]int) ([]byte, error) {
+	var names []string
+	for name := range m { // want `slice names is appended from a map iteration and never sorted`
+		names = append(names, name)
+	}
+	return json.Marshal(names)
+}
+
+// Merge folds counters in map order: local and sharded runs fold in
+// different orders and drift apart in floating point.
+func Merge(shards map[int][]float64) []float64 {
+	var all []float64
+	for _, s := range shards { // want `slice all is appended from a map iteration and never sorted`
+		all = append(all, s...)
+	}
+	return all
+}
+
+type payload struct {
+	Entries []string
+}
+
+// Fields appends through a struct field — same leak, different syntax.
+func Fields(m map[string]bool) payload {
+	var p payload
+	for k := range m { // want `slice p\.Entries is appended from a map iteration and never sorted`
+		p.Entries = append(p.Entries, k)
+	}
+	return p
+}
+
+// Counted is acknowledged order-insensitive accumulation.
+func Counted(m map[string]int) []int {
+	var ns []int
+	//durlint:ignore maporder the slice is summed by the caller, order cannot matter
+	for _, v := range m {
+		ns = append(ns, v)
+	}
+	return ns
+}

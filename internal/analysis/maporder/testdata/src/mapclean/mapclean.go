@@ -1,0 +1,57 @@
+// Package mapclean shows the sanctioned shapes: collect then sort, or
+// never range a map into an escaping slice at all.
+package mapclean
+
+import (
+	"sort"
+)
+
+// SortedKeys is the canonical idiom: collect, sort, then use.
+func SortedKeys(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SortedValues sorts with sort.Slice after collecting.
+func SortedValues(m map[string]float64) []float64 {
+	var vs []float64
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// SliceRange ranges a slice, not a map: order is the slice's own.
+func SliceRange(in []string) []string {
+	var out []string
+	for _, s := range in {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Sum accumulates into a scalar; no slice, no ordering to leak.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Scratch appends to a slice declared inside the loop body: it dies
+// with the iteration and cannot leak order.
+func Scratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+// Package substream flags rng substream constructions that mix identity
+// into the seed with arithmetic.
+//
+// The determinism contract of internal/rng is positional: root i draws
+// substream i of one base seed, so every placement of the work — local,
+// sharded, replayed after a crash — reproduces identical draws. Folding
+// an identity into the *seed* argument with `^`, `+`, `-` or `*`
+// silently breaks the contract's independence guarantee: PR 3 shipped
+// exactly this as rng.NewStream(seed^id, 1<<62), where distinct
+// (seed, id) pairs collide on seed^id and share one bootstrap sequence.
+// The approved constructions keep the seed pristine and put identity in
+// the stream-index argument, reserving disjoint index windows with
+// shifts and masks (1<<62|id, uint64(stage)<<32|uint64(i)), which cannot
+// collide across distinct identities.
+//
+// The analyzer reports any call to an rng package's NewStream whose seed
+// (first) argument contains `^`, `+`, `-` or `*` over non-constant
+// operands, and any stream-index argument using `^` (XOR folds are how
+// seeds get mixed by the back door). Constant-only arithmetic
+// (1<<62 | 3) stays legal anywhere.
+package substream
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"durability/internal/analysis"
+)
+
+// Analyzer is the substream pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "substream",
+	Doc:  "flag rng substream seeds derived with identity arithmetic instead of index-offset constructors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isNewStream(pass, call) || len(call.Args) < 2 {
+			return true
+		}
+		if op := mixingOp(pass, call.Args[0], token.XOR, token.ADD, token.SUB, token.MUL); op != token.ILLEGAL {
+			pass.Reportf(call.Args[0].Pos(),
+				"substream seed mixes identity with %q; distinct (seed, id) pairs can collide and share a sequence — keep the seed pristine and offset the stream index instead (e.g. rng.NewStream(seed, 1<<62|id))", op)
+		}
+		for _, arg := range call.Args[1:] {
+			if op := mixingOp(pass, arg, token.XOR); op != token.ILLEGAL {
+				pass.Reportf(arg.Pos(),
+					"substream index folds identity with %q; XOR windows overlap — reserve disjoint index windows with shifts and masks (e.g. 1<<62|id)", op)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isNewStream reports whether call invokes a NewStream function of an
+// rng package (the repository's internal/rng or a fixture shim named
+// rng).
+func isNewStream(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewStream" {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "rng" || strings.HasSuffix(p, "/rng")
+}
+
+// mixingOp returns the first of the given binary operators found inside
+// expr with at least one non-constant operand, or token.ILLEGAL. Shift
+// and mask composition (<<, |, &) is the approved way to build index
+// windows and is never reported.
+func mixingOp(pass *analysis.Pass, expr ast.Expr, ops ...token.Token) token.Token {
+	found := token.ILLEGAL
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != token.ILLEGAL {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		for _, op := range ops {
+			if bin.Op == op && !isConst(pass, bin) {
+				found = op
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isConst reports whether the checker evaluated e to a constant.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

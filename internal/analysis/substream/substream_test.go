@@ -1,0 +1,15 @@
+package substream_test
+
+import (
+	"testing"
+
+	"durability/internal/analysis/analysistest"
+	"durability/internal/analysis/substream"
+)
+
+func TestSubstream(t *testing.T) {
+	analysistest.Run(t, "testdata/src", substream.Analyzer,
+		"internal/stream/bad",
+		"internal/stream/clean",
+	)
+}

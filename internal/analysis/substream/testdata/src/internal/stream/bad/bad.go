@@ -1,0 +1,33 @@
+// Package bad reproduces the PR 3 bootstrap-collision bug class:
+// identity folded into the seed argument by arithmetic.
+package bad
+
+import "rng"
+
+// Bootstrap is the exact shipped bug: rng.NewStream(seed^id, 1<<62)
+// collides every (seed, id) pair with equal seed^id, so two distinct
+// subscriptions share one bootstrap sequence.
+func Bootstrap(seed, id uint64) *rng.Source {
+	return rng.NewStream(seed^id, 1<<62) // want `substream seed mixes identity with "\^"`
+}
+
+// Offset mixes by addition — same collision class.
+func Offset(seed, id uint64) *rng.Source {
+	return rng.NewStream(seed+id, 1) // want `substream seed mixes identity with "\+"`
+}
+
+// Scaled mixes by multiplication.
+func Scaled(seed uint64, stage int) *rng.Source {
+	return rng.NewStream(seed*uint64(stage), 1) // want `substream seed mixes identity with "\*"`
+}
+
+// XORIndex hides the fold in the index argument: XOR windows overlap.
+func XORIndex(seed, id uint64) *rng.Source {
+	return rng.NewStream(seed, 1<<62^id) // want `substream index folds identity with "\^"`
+}
+
+// Acknowledged shows a justified suppression.
+func Acknowledged(seed, id uint64) *rng.Source {
+	//durlint:ignore substream test-only collision probe, both operands constant at every call site
+	return rng.NewStream(seed+id, 1)
+}

@@ -1,0 +1,28 @@
+// Package clean shows the approved substream constructions: the seed
+// stays pristine and identity lands in the index argument through
+// disjoint shift/mask windows.
+package clean
+
+import "rng"
+
+// PerRoot gives root i substream i — the positional contract.
+func PerRoot(seed uint64, idx int) *rng.Source {
+	return rng.NewStream(seed, uint64(idx))
+}
+
+// Bootstrap reserves a disjoint window above the root indices (the
+// PR 3 fix).
+func Bootstrap(seed, id uint64) *rng.Source {
+	return rng.NewStream(seed, 1<<62|id)
+}
+
+// Staged composes a window from stage and index with shifts — no
+// overlap between stages.
+func Staged(seed uint64, stage, i int) *rng.Source {
+	return rng.NewStream(seed, uint64(stage)<<32|uint64(i))
+}
+
+// ConstMix is constant-only arithmetic: no identity, no collision.
+func ConstMix(seed uint64) *rng.Source {
+	return rng.NewStream(seed, 1<<62+3)
+}

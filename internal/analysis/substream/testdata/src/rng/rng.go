@@ -1,0 +1,11 @@
+// Package rng is a fixture shim with the same constructor shape as the
+// repository's internal/rng.
+package rng
+
+// Source is a stand-in generator.
+type Source struct{ s uint64 }
+
+// NewStream mirrors internal/rng.NewStream's signature.
+func NewStream(seed, stream uint64) *Source {
+	return &Source{s: seed ^ stream}
+}

@@ -40,6 +40,8 @@ type ModelFactory func() (stochastic.Process, map[string]stochastic.Observer, er
 type Registry map[string]ModelFactory
 
 // ShardRequest asks a worker to simulate root paths [RootLo, RootHi).
+//
+//durlint:gobroot
 type ShardRequest struct {
 	Model    string
 	Observer string // observer name; empty selects "value"
@@ -69,6 +71,8 @@ type ShardRequest struct {
 }
 
 // ShardReply carries the shard's counters back to the coordinator.
+//
+//durlint:gobroot
 type ShardReply struct {
 	Result core.ShardResult
 }

@@ -239,6 +239,7 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 		return mc.Result{}, errors.New("core: initial state already satisfies the query")
 	}
 
+	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 	start := time.Now()
 	var res mc.Result
 	agg := newLevelCounters(m)
@@ -259,6 +260,7 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 		res.Hits = int64(agg.hits)
 		res.P = agg.estimate(res.Paths, m, initLevel)
 		if err != nil {
+			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 			res.Elapsed = time.Since(start)
 			return res, err
 		}
@@ -271,11 +273,14 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 		if v, ok := twoLevelVariance(agg, res.Paths, m, initLevel); ok && !g.ForceBootstrap {
 			res.Variance = v
 		} else if res.Steps >= nextVarAt {
+			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 			varStart := time.Now()
 			res.Variance = pool.bootstrapVariance(reps, m, initLevel, bootSrc)
+			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 			res.VarTime += time.Since(varStart)
 			nextVarAt = int64(float64(res.Steps) * varEvery)
 		}
+		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 		res.Elapsed = time.Since(start)
 		if g.Trace != nil {
 			g.Trace(res)
@@ -283,10 +288,13 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 		if g.Stop.Done(res) {
 			if _, ok := twoLevelVariance(agg, res.Paths, m, initLevel); !ok || g.ForceBootstrap {
 				// Refresh the bootstrap so the returned quality is current.
+				//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 				varStart := time.Now()
 				res.Variance = pool.bootstrapVariance(reps, m, initLevel, bootSrc)
+				//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 				res.VarTime += time.Since(varStart)
 			}
+			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}

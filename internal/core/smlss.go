@@ -143,6 +143,7 @@ func (s *SMLSS) run(ctx context.Context, stop mc.StopRule) (mc.Result, []int64, 
 		scale *= float64(s.Ratio)
 	}
 
+	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 	start := time.Now()
 	var res mc.Result
 	var hitsAcc stats.Accumulator // per-root hit counts, for the variance
@@ -167,6 +168,7 @@ func (s *SMLSS) run(ctx context.Context, stop mc.StopRule) (mc.Result, []int64, 
 			res.P = float64(res.Hits) / (float64(res.Paths) * scale)
 			res.Variance = hitsAcc.Variance() / (float64(res.Paths) * scale * scale)
 		}
+		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 		res.Elapsed = time.Since(start)
 		if err != nil {
 			return res, entries, err

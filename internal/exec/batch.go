@@ -77,6 +77,7 @@ func SampleBatch(ctx context.Context, ex Executor, t Task, targets []BatchTarget
 		levels[i] = tg.Level
 	}
 
+	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 	began := time.Now()
 	agg := core.NewCounters(m)
 	var groups []core.Counters
@@ -112,6 +113,7 @@ func SampleBatch(ctx context.Context, ex Executor, t Task, targets []BatchTarget
 			r.Hits = int64(core.PrefixCrossings(agg, m, levels[i]))
 			r.P = core.EstimatePrefixFromCounters(agg, paths, m, levels[i], initLevel)
 			r.Variance = variances[i]
+			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 			r.Elapsed = time.Since(began)
 			if !targets[i].Stop.Done(*r) {
 				done = false
@@ -135,6 +137,7 @@ func finishBatch(results []mc.Result, steps, paths int64, began time.Time) {
 	for i := range results {
 		results[i].Steps = steps
 		results[i].Paths = paths
+		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 		results[i].Elapsed = time.Since(began)
 	}
 }

@@ -96,6 +96,7 @@ func (c *Cluster) alive() []int {
 	var out []int
 	for i := range c.addrs {
 		if !c.deadSince[i].IsZero() {
+			//durlint:ignore detsource dead-worker cool-down bookkeeping, not a sampling path
 			if c.RetryDead < 0 || time.Since(c.deadSince[i]) < c.RetryDead {
 				continue
 			}
@@ -140,6 +141,7 @@ func (c *Cluster) client(ctx context.Context, idx int) (*rpc.Client, error) {
 func (c *Cluster) markDead(idx int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//durlint:ignore detsource dead-worker cool-down bookkeeping, not a sampling path
 	c.deadSince[idx] = time.Now()
 	if c.clients[idx] != nil {
 		c.clients[idx].Close()

@@ -85,6 +85,7 @@ func Sample(ctx context.Context, ex Executor, t Task, opt SampleOptions) (mc.Res
 		return mc.Result{}, errors.New("exec: initial state already satisfies the query")
 	}
 
+	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 	began := time.Now()
 	agg := core.NewCounters(m)
 	var groups []core.Counters
@@ -96,11 +97,13 @@ func Sample(ctx context.Context, ex Executor, t Task, opt SampleOptions) (mc.Res
 	next := int64(0)
 	for {
 		if err := ctx.Err(); err != nil {
+			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 			res.Elapsed = time.Since(began)
 			return res, err
 		}
 		shard, err := ex.RunRoots(ctx, t, next, next+int64(opt.BatchRoots), opt.GroupRoots)
 		if err != nil {
+			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 			res.Elapsed = time.Since(began)
 			return res, err
 		}
@@ -114,6 +117,7 @@ func Sample(ctx context.Context, ex Executor, t Task, opt SampleOptions) (mc.Res
 		res.Hits = int64(agg.Hits)
 		res.P = core.EstimateFromCounters(agg, res.Paths, m, initLevel)
 		res.Variance = core.BootstrapVarianceFromGroups(groups, int64(opt.GroupRoots), m, initLevel, opt.BootstrapReps, bootSrc)
+		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 		res.Elapsed = time.Since(began)
 		if opt.Trace != nil {
 			opt.Trace(res)

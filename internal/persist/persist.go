@@ -489,6 +489,7 @@ func (s *Store) Close() error {
 	if s.wal == nil {
 		return nil
 	}
+	//durlint:ignore locksafe final close: the store mutex serializes all WAL operations by design and nothing else runs after Close
 	err := s.wal.Sync()
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr

@@ -168,6 +168,8 @@ type EngineCounters struct {
 }
 
 // EngineSnapshot is the engine's full serving state at one instant.
+//
+//durlint:gobroot
 type EngineSnapshot struct {
 	Config   ConfigState
 	NextSub  uint64
@@ -184,6 +186,8 @@ type Resolver func(stream, modelID string) (stochastic.Process, map[string]stoch
 // JournalEvent is one logged engine mutation. The concrete types are
 // registered with gob so events round-trip through persist WAL records as
 // interface values.
+//
+//durlint:gobroot
 type JournalEvent interface{ journalEvent() }
 
 // EvRegistered records a stream's creation — or, when the name already
@@ -324,6 +328,10 @@ func (s *Subscription) extract() SubState {
 		Answer:   s.Answer(),
 		Stats:    s.Stats(),
 	}
+	// Wall time is telemetry, not serving state: scrubbing it keeps
+	// checkpoints of identical serving states byte-identical.
+	st.Answer.Result.Elapsed = 0
+	st.Answer.Result.VarTime = 0
 	if s.bootSrc != nil {
 		boot := *s.bootSrc
 		st.Boot = &boot
@@ -545,6 +553,7 @@ func (e *Engine) Subscription(id uint64) (*Subscription, bool) {
 func (e *Engine) Subscriptions() []*Subscription {
 	e.mu.RLock()
 	streams := make([]*liveState, 0, len(e.streams))
+	//durlint:ignore maporder intermediate only; the derived subscription list is sorted by ID below
 	for _, ls := range e.streams {
 		streams = append(streams, ls)
 	}

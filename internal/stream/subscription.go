@@ -341,6 +341,7 @@ func (s *Subscription) store(ans Answer) {
 func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, state stochastic.State, tick int64) (Answer, error) {
 	e := s.engine
 	cfg := e.cfg
+	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 	start := time.Now()
 	ans := Answer{Tick: tick}
 	defer e.refreshes.Add(1)
@@ -357,6 +358,7 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 		// if the state recedes below the threshold, surviving batches
 		// resume contributing (age and drift pruning still apply).
 		ans.Satisfied = true
+		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 		ans.Result = mc.Result{P: 1, Elapsed: time.Since(start)}
 		s.store(ans)
 		return ans, nil
@@ -470,6 +472,7 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 		active = append(active, b)
 		res = s.evaluate(active, m, initLevel)
 	}
+	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
 	res.Elapsed = time.Since(start)
 	ans.Result = res
 	s.store(ans)
