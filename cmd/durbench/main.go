@@ -29,9 +29,26 @@ import (
 	"durability/internal/exec"
 	"durability/internal/mc"
 	"durability/internal/rng"
+	"durability/internal/serve"
 	"durability/internal/stochastic"
 	"durability/internal/stream"
+	"durability/internal/telemetry"
 )
+
+// histogramJSON is a telemetry histogram's deterministic face: bucket
+// bounds and counts. Step counts are pure functions of the seed, so
+// these distributions are comparable across machines and commits, which
+// single per-scenario averages are not — a regression that moves the
+// tail without moving the mean shows up here first.
+type histogramJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+func histJSON(h *telemetry.Histogram) *histogramJSON {
+	snap := h.Snapshot()
+	return &histogramJSON{Bounds: snap.Bounds, Counts: snap.Counts}
+}
 
 // benchReport is one entry of the BENCH_serve.json array.
 type benchReport struct {
@@ -73,6 +90,12 @@ type benchReport struct {
 	// divided by batch steps (batch scenario), or cold-restart steps
 	// divided by recovery steps (recovery scenario).
 	Speedup float64 `json:"speedup"`
+
+	// StepsHistogram is the scenario's per-unit step distribution:
+	// per-tick maintenance steps (stream scenarios), per-threshold
+	// independent-query steps (batch), or the recovery/cold-restart pair
+	// (recovery). Deterministic at the fixed seed.
+	StepsHistogram *histogramJSON `json:"stepsHistogram,omitempty"`
 }
 
 const (
@@ -125,6 +148,7 @@ func main() {
 
 	feed := market.Initial()
 	src := rng.NewStream(2026, 0)
+	tickHist := telemetry.NewHistogram(telemetry.SizeBuckets)
 	var incSteps, coldSteps, freshRoots int64
 	coldRuns := 0
 	for tick := 1; tick <= *ticks; tick++ {
@@ -139,6 +163,7 @@ func main() {
 		ans := refreshes[0].Answer
 		incSteps += ans.FreshSteps + ans.SearchSteps
 		freshRoots += ans.FreshRoots
+		tickHist.Observe(float64(ans.FreshSteps + ans.SearchSteps))
 
 		if tick%*coldEvery != 0 || ans.Satisfied {
 			continue
@@ -166,6 +191,7 @@ func main() {
 		IncrementalStepsPerTick: float64(incSteps) / float64(*ticks),
 		FreshRootsPerTick:       float64(freshRoots) / float64(*ticks),
 		Replans:                 session.StreamStats().Replans,
+		StepsHistogram:          histJSON(tickHist),
 	}
 	local.Speedup = local.ColdStepsPerQuery / local.IncrementalStepsPerTick
 	reports := []benchReport{local}
@@ -207,6 +233,13 @@ func main() {
 	if err := checkRecoveryRegression(base, recovery); err != nil {
 		log.Fatal(err)
 	}
+
+	// Totals sit under the >10% baseline guards above; span attribution
+	// is held to a stricter standard — exact equality at the fixed seed.
+	if err := checkAttribution(ctx, *re, *seed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("durbench: span step attribution exact (plan-search == searchSteps, exec == sampleSteps)")
 
 	blob, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
@@ -262,21 +295,24 @@ func runBatchLadder(ctx context.Context, re float64, seed uint64) (benchReport, 
 	batchSteps := session.Stats().TotalSteps()
 
 	var perQuery int64
+	queryHist := telemetry.NewHistogram(telemetry.SizeBuckets)
 	for _, q := range queries {
 		res, err := durability.Run(ctx, market, q, opts...)
 		if err != nil {
 			return benchReport{}, err
 		}
 		perQuery += res.Steps
+		queryHist.Observe(float64(res.Steps))
 	}
 	return benchReport{
-		Scenario:      fmt.Sprintf("batch-ladder gbm(s0=%.0f) betas=112..130 horizon=%d", s0, horizon),
-		Backend:       "local",
-		RelErr:        re,
-		Thresholds:    thresholds,
-		BatchSteps:    batchSteps,
-		PerQuerySteps: perQuery,
-		Speedup:       float64(perQuery) / float64(batchSteps),
+		Scenario:       fmt.Sprintf("batch-ladder gbm(s0=%.0f) betas=112..130 horizon=%d", s0, horizon),
+		Backend:        "local",
+		RelErr:         re,
+		Thresholds:     thresholds,
+		BatchSteps:     batchSteps,
+		PerQuerySteps:  perQuery,
+		Speedup:        float64(perQuery) / float64(batchSteps),
+		StepsHistogram: histJSON(queryHist),
 	}, nil
 }
 
@@ -365,6 +401,9 @@ func runRecovery(ctx context.Context, re float64, seed uint64) (benchReport, err
 	if recoverySteps <= 0 {
 		recoverySteps = 1 // a fully satisfied restored pool: count the lookup as one step
 	}
+	pairHist := telemetry.NewHistogram(telemetry.SizeBuckets)
+	pairHist.Observe(float64(recoverySteps))
+	pairHist.Observe(float64(coldSteps))
 	return benchReport{
 		Scenario:         fmt.Sprintf("recovery gbm(s0=%.0f) beta=%.0f horizon=%d ticks=%d tail=%d", s0, beta, horizon, recoveryTicks, tailTicks),
 		Backend:          "local",
@@ -372,6 +411,7 @@ func runRecovery(ctx context.Context, re float64, seed uint64) (benchReport, err
 		RecoverySteps:    recoverySteps,
 		ColdRestartSteps: coldSteps,
 		Speedup:          float64(coldSteps) / float64(recoverySteps),
+		StepsHistogram:   histJSON(pairHist),
 	}, nil
 }
 
@@ -418,6 +458,7 @@ func runSharded(ctx context.Context, n, ticks int, re float64, seed uint64) (ben
 
 	feed := market.Initial()
 	src := rng.NewStream(2026, 0)
+	tickHist := telemetry.NewHistogram(telemetry.SizeBuckets)
 	var incSteps, freshRoots int64
 	for tick := 1; tick <= ticks; tick++ {
 		market.Step(feed, tick, src)
@@ -431,6 +472,7 @@ func runSharded(ctx context.Context, n, ticks int, re float64, seed uint64) (ben
 		ans := refreshes[0].Answer
 		incSteps += ans.FreshSteps + ans.SearchSteps
 		freshRoots += ans.FreshRoots
+		tickHist.Observe(float64(ans.FreshSteps + ans.SearchSteps))
 	}
 	return benchReport{
 		Scenario:                fmt.Sprintf("gbm(s0=%.0f) beta=%.0f horizon=%d", s0, beta, horizon),
@@ -440,5 +482,45 @@ func runSharded(ctx context.Context, n, ticks int, re float64, seed uint64) (ben
 		IncrementalStepsPerTick: float64(incSteps) / float64(ticks),
 		FreshRootsPerTick:       float64(freshRoots) / float64(ticks),
 		Replans:                 eng.Stats().Replans,
+		StepsHistogram:          histJSON(tickHist),
 	}, nil
+}
+
+// checkAttribution is the step-attribution exactness drill: a traced
+// serve.Server answers a handful of one-shot queries and one batch
+// ladder, then the steps booked on the tracer's plan-search and exec
+// spans are required to equal the server's searchSteps and sampleSteps
+// counters exactly — not within a tolerance. The totals above get a 10%
+// regression allowance because plans legitimately shift; attribution
+// has no such excuse, since both sides count the same events.
+func checkAttribution(ctx context.Context, re float64, seed uint64) error {
+	reg := serve.Registry{
+		"gbm": func() (stochastic.Process, map[string]stochastic.Observer, error) {
+			return &stochastic.GBM{S0: s0, Mu: mu, Sigma: sigma}, map[string]stochastic.Observer{"value": stochastic.ScalarValue}, nil
+		},
+	}
+	tracer := telemetry.NewTracer(nil)
+	srv := serve.NewServer(reg, serve.Config{PoolWorkers: 2, Seed: seed, DefaultRelErr: re, Tracer: tracer})
+	defer srv.Close()
+
+	for _, b := range []float64{120, 126, 130} {
+		if _, err := srv.Do(ctx, serve.Request{Model: "gbm", Beta: b, Horizon: horizon, RelErr: re}); err != nil {
+			return fmt.Errorf("attribution query beta=%.0f: %w", b, err)
+		}
+	}
+	if _, err := srv.DoBatch(ctx, serve.BatchRequest{Model: "gbm", Betas: []float64{112, 118, 124, 130}, Horizon: horizon, RelErr: re}); err != nil {
+		return fmt.Errorf("attribution batch: %w", err)
+	}
+
+	st := srv.Stats()
+	if got, want := tracer.Steps(telemetry.StagePlanSearch), st.SearchSteps; got != want {
+		return fmt.Errorf("durbench: plan-search span steps %d != server searchSteps %d", got, want)
+	}
+	if got, want := tracer.Steps(telemetry.StageExec), st.SampleSteps; got != want {
+		return fmt.Errorf("durbench: exec span steps %d != server sampleSteps %d", got, want)
+	}
+	if tracer.Steps(telemetry.StageExec) == 0 {
+		return fmt.Errorf("durbench: exec spans booked zero steps; attribution is not wired")
+	}
+	return nil
 }

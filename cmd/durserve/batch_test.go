@@ -122,12 +122,16 @@ func TestBatchConcurrentWithQueriesAndTicks(t *testing.T) {
 		u0: 15, premium: 6, claimLam: 0.8, claimLo: 5, claimHi: 10,
 		sigma: 1, s0: 1000,
 	})
+	tel := newTelemetry()
 	srv := serve.NewServer(registry, serve.Config{
 		PoolWorkers: 4, Seed: 1, CoalesceWindow: 10 * time.Millisecond, QueueDepth: 256,
+		Tracer: tel.tracer,
 	})
 	t.Cleanup(srv.Close)
-	hub := newStreamHub(srv, registry, 0.2, 50_000_000, 1, nil, 0)
-	ts := httptest.NewServer(newMux(srv, hub))
+	hub := newStreamHub(srv, registry, 0.2, 50_000_000, 1, nil, 0, tel.engine)
+	tel.bind(srv, hub)
+	tel.setState(stateReady)
+	ts := httptest.NewServer(newMux(srv, hub, tel))
 	t.Cleanup(ts.Close)
 
 	// A live stream so /tick has something to advance.

@@ -3,11 +3,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -61,6 +63,26 @@ func TestCrashRestartProcess(t *testing.T) {
 			t.Fatalf("post-restart tick %d:\n got %s\nwant %s", i+1, got, golden[i])
 		}
 	}
+
+	// The restarted instance's /metrics must attest to the recovery: one
+	// recovery performed, and the pre-crash mutations replayed out of the
+	// WAL (the subscription plus crashAfter journaled ticks guarantee a
+	// nonzero count even though the boot checkpoint absorbs some records).
+	metrics := restarted.metrics(t)
+	if !strings.Contains(metrics, "durserve_recoveries_total 1\n") {
+		t.Errorf("post-restart /metrics lacks durserve_recoveries_total 1")
+	}
+	replayed := -1
+	for _, line := range strings.Split(metrics, "\n") {
+		if v, ok := strings.CutPrefix(line, "durserve_wal_records_replayed_total "); ok {
+			if n, err := strconv.Atoi(v); err == nil {
+				replayed = n
+			}
+		}
+	}
+	if replayed <= 0 {
+		t.Errorf("post-restart /metrics reports %d WAL records replayed, want > 0", replayed)
+	}
 }
 
 // durserveProc is one running durserve child process.
@@ -70,7 +92,9 @@ type durserveProc struct {
 }
 
 // startDurserve launches the binary on a fresh loopback port and waits
-// for /healthz. dataDir == "" runs it in-memory.
+// for /readyz — the listener comes up before recovery, so liveness alone
+// (/healthz) would let a test query race the WAL replay and bounce off
+// the 503 readiness gate. dataDir == "" runs it in-memory.
 func startDurserve(t *testing.T, bin, dataDir string) *durserveProc {
 	t.Helper()
 	addr := freeAddr(t)
@@ -86,18 +110,30 @@ func startDurserve(t *testing.T, bin, dataDir string) *durserveProc {
 	}
 	p := &durserveProc{cmd: cmd, base: "http://" + addr}
 	t.Cleanup(p.stop)
+	sawLive := false
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(p.base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return p
+		// Liveness first: /healthz must answer 200 even before readiness,
+		// or a recovering instance would look dead to its orchestrator.
+		if !sawLive {
+			resp, err := http.Get(p.base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				sawLive = resp.StatusCode == http.StatusOK
+			}
+		}
+		if sawLive {
+			resp, err := http.Get(p.base + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return p
+				}
 			}
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	t.Fatalf("durserve on %s never became healthy", addr)
+	t.Fatalf("durserve on %s never became ready", addr)
 	return nil
 }
 
@@ -148,6 +184,21 @@ func (p *durserveProc) tick(t *testing.T) string {
 		t.Fatalf("tick status %d, response %+v", resp.StatusCode, tk)
 	}
 	blob, err := json.Marshal(tk.Refreshes[0].Answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// metrics scrapes the process's GET /metrics exposition.
+func (p *durserveProc) metrics(t *testing.T) string {
+	t.Helper()
+	resp, err := http.Get(p.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -101,6 +101,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8077", "HTTP listen address")
+		opsAddr    = flag.String("ops-addr", "", "separate operations listener for /metrics, /healthz, /readyz and /debug/pprof (empty = no ops listener; /metrics and /readyz still serve on -addr, pprof does not)")
 		pool       = flag.Int("pool", 0, "concurrent queries (0 = GOMAXPROCS)")
 		queueDepth = flag.Int("queue", 64, "admission queue depth")
 		simWorkers = flag.Int("sim-workers", 1, "simulation workers per query")
@@ -163,9 +164,11 @@ func main() {
 		return
 	}
 
+	tel := newTelemetry()
 	var backend exec.Executor
 	if *workers != "" {
 		cl := exec.NewCluster(strings.Split(*workers, ",")...)
+		cl.Metrics = tel.workers
 		defer cl.Close()
 		backend = cl
 		log.Printf("durserve: distributing g-MLSS simulation across %s", *workers)
@@ -185,18 +188,45 @@ func main() {
 		Executor:        backend,
 		ExecBatchRoots:  *batchRoots,
 		CoalesceWindow:  *coalesce,
+		Tracer:          tel.tracer,
 	})
 	defer srv.Close()
-	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed, backend, *topUpRoots)
+	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed, backend, *topUpRoots, tel.engine)
+	tel.bind(srv, hub)
+
+	// The listener comes up before recovery: a restarting daemon is
+	// immediately live (healthz, readyz, metrics) while the serving
+	// endpoints stay gated 503 until the WAL is replayed.
+	httpSrv := &http.Server{Addr: *addr, Handler: tel.gate(newMux(srv, hub, tel))}
+	go func() {
+		log.Printf("durserve: listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("durserve: %v", err)
+		}
+	}()
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsSrv = &http.Server{Addr: *opsAddr, Handler: tel.opsMux()}
+		go func() {
+			log.Printf("durserve: ops endpoints (metrics, pprof) on %s", *opsAddr)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("durserve: ops listener: %v", err)
+			}
+		}()
+	}
+
 	if *dataDir != "" {
+		tel.setState(stateReplaying)
 		store, err := persist.Open(*dataDir, persist.Options{MaxWALBytes: *ckptBytes, MaxWALAge: *ckptAge})
 		if err != nil {
 			log.Fatalf("durserve: %v", err)
 		}
+		began := time.Now()
 		replayed, err := hub.attachStore(store)
 		if err != nil {
 			log.Fatalf("durserve: recovering %s: %v", *dataDir, err)
 		}
+		tel.observeRecovery(int64(replayed), time.Since(began))
 		st := hub.stats()
 		log.Printf("durserve: recovered %d subscriptions across %d streams from %s (%d WAL events replayed)",
 			st.Subscriptions, st.Engine.Streams, *dataDir, replayed)
@@ -219,6 +249,7 @@ func main() {
 			}
 		}()
 	}
+	tel.setState(stateReady)
 	if *tick > 0 {
 		ticker := time.NewTicker(*tick)
 		defer ticker.Stop()
@@ -228,14 +259,6 @@ func main() {
 			}
 		}()
 	}
-
-	httpSrv := &http.Server{Addr: *addr, Handler: newMux(srv, hub)}
-	go func() {
-		log.Printf("durserve: listening on %s", *addr)
-		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("durserve: %v", err)
-		}
-	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -256,6 +279,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("durserve: shutdown: %v", err)
+	}
+	if opsSrv != nil {
+		if err := opsSrv.Shutdown(ctx); err != nil {
+			log.Printf("durserve: ops shutdown: %v", err)
+		}
 	}
 }
 
@@ -290,7 +318,7 @@ func queryStatus(err error) int {
 
 // newMux wires the serving endpoints; it is separated from main so tests
 // can drive the handlers through httptest.
-func newMux(srv *serve.Server, hub *streamHub) *http.ServeMux {
+func newMux(srv *serve.Server, hub *streamHub, tel *telemetrySet) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.Request
@@ -321,10 +349,12 @@ func newMux(srv *serve.Server, hub *streamHub) *http.ServeMux {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, srv.Stats())
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.Handle("GET /metrics", tel.registry.Handler())
+	// Liveness vs readiness: /healthz answers 200 whenever the process
+	// serves HTTP at all; /readyz answers 200 only once recovery has
+	// finished and the serving endpoints accept requests.
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", tel.handleReadyz)
 
 	// Standing queries: register, long-poll, advance, deregister.
 	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {

@@ -24,10 +24,13 @@ func testServerHub(t *testing.T) (*httptest.Server, *streamHub) {
 		u0: 15, premium: 6, claimLam: 0.8, claimLo: 5, claimHi: 10,
 		sigma: 1, s0: 1000,
 	})
-	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1})
+	tel := newTelemetry()
+	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Tracer: tel.tracer})
 	t.Cleanup(srv.Close)
-	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0)
-	ts := httptest.NewServer(newMux(srv, hub))
+	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0, tel.engine)
+	tel.bind(srv, hub)
+	tel.setState(stateReady)
+	ts := httptest.NewServer(newMux(srv, hub, tel))
 	t.Cleanup(ts.Close)
 	return ts, hub
 }

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"durability/internal/serve"
+	"durability/internal/telemetry"
+)
+
+// Readiness states, in lifecycle order. The daemon starts serving its
+// listener immediately but gates the serving endpoints until recovery
+// finishes, so a restarted instance is reachable (probes see progress)
+// without answering queries from a half-replayed state.
+const (
+	stateStarting  = "starting"
+	stateReplaying = "replaying-wal"
+	stateReady     = "ready"
+)
+
+// telemetrySet bundles the daemon's observability: the metric registry
+// behind GET /metrics, the lifecycle-span tracer, the standing-query
+// engine metrics, the per-worker shard attribution and the readiness
+// state machine. Everything in here is telemetry — none of it is
+// reachable from checkpoints, answers or any other deterministic state.
+type telemetrySet struct {
+	registry *telemetry.Registry
+	tracer   *telemetry.Tracer
+	engine   *telemetry.EngineMetrics
+	workers  *telemetry.WorkerMetrics
+
+	state atomic.Value // readiness: starting → replaying-wal → ready
+
+	recoveries      *telemetry.Counter
+	walReplayed     *telemetry.Counter
+	recoverySeconds *telemetry.Histogram
+}
+
+// lifecycleStages is every span stage the serving path can book.
+// newTelemetry pre-creates all of them so the exposed metric set is a
+// function of the build, not of which code paths traffic happened to
+// exercise — the golden identical-metric-set test depends on this.
+var lifecycleStages = []string{
+	telemetry.StageAdmission,
+	telemetry.StagePlanCache,
+	telemetry.StagePlanSearch,
+	telemetry.StageExec,
+	telemetry.StageMerge,
+	telemetry.StageAnswer,
+	telemetry.StageQuery,
+	telemetry.StageBatch,
+	telemetry.StageRefresh,
+}
+
+func newTelemetry() *telemetrySet {
+	reg := telemetry.NewRegistry()
+	t := &telemetrySet{registry: reg}
+	t.state.Store(stateStarting)
+
+	// The tracer's stage histograms live in the registry, so each stage
+	// surfaces as one labeled series of a single family.
+	t.tracer = telemetry.NewTracer(func(stage string) *telemetry.Histogram {
+		return reg.Histogram("durserve_stage_duration_seconds",
+			"Wall time per query-lifecycle stage span.",
+			telemetry.DurationBuckets, telemetry.Label{Name: "stage", Value: stage})
+	})
+	for _, stage := range lifecycleStages {
+		agg := t.tracer.Stage(stage)
+		l := telemetry.Label{Name: "stage", Value: stage}
+		reg.CounterFunc("durserve_stage_spans_total",
+			"Spans ended per query-lifecycle stage.", agg.Spans, l)
+		reg.CounterFunc("durserve_stage_steps_total",
+			"Simulator invocations attributed per query-lifecycle stage; plan-search sums to the server's searchSteps, exec to its sampleSteps.",
+			agg.Steps, l)
+	}
+
+	t.engine = telemetry.NewEngineMetrics()
+	reg.RegisterHistogram("durserve_tick_duration_seconds",
+		"Wall time per standing-query engine update.", t.engine.TickSeconds)
+	reg.RegisterHistogram("durserve_refresh_duration_seconds",
+		"Wall time per subscription refresh.", t.engine.RefreshSeconds)
+	reg.RegisterHistogram("durserve_tick_refreshed_subscriptions",
+		"Subscriptions refreshed per engine update.", t.engine.RefreshedPerTick)
+	reg.RegisterHistogram("durserve_tick_topup_roots",
+		"Fresh root paths simulated per engine update.", t.engine.TopUpRootsPerTick)
+	reg.CounterFunc("durserve_stream_revivals_total",
+		"Dormant root batches revived by the live state drifting back within tolerance.",
+		t.engine.Revivals)
+
+	// Per-worker series appear lazily as the cluster backend first calls
+	// each address; a local (or in-memory) daemon exposes none.
+	t.workers = telemetry.NewWorkerMetrics(func(addr string, ws *telemetry.WorkerStats) {
+		l := telemetry.Label{Name: "worker", Value: addr}
+		reg.CounterFunc("durserve_worker_calls_total",
+			"Shard chunk calls dispatched per worker.", ws.Calls, l)
+		reg.CounterFunc("durserve_worker_errors_total",
+			"Shard chunk calls that failed per worker.", ws.Errors, l)
+		reg.CounterFunc("durserve_worker_steps_total",
+			"Simulator invocations performed per worker.", ws.Steps, l)
+		reg.CounterFunc("durserve_worker_roots_total",
+			"Root paths simulated per worker.", ws.Roots, l)
+		reg.CounterFunc("durserve_worker_busy_nanoseconds_total",
+			"Worker-reported cumulative simulation time per worker.", ws.WorkerNanos, l)
+		reg.RegisterHistogram("durserve_worker_chunk_seconds",
+			"Coordinator-observed chunk round-trip time per worker.", ws.Chunk, l)
+		reg.RegisterHistogram("durserve_worker_sim_seconds",
+			"Worker-reported per-chunk simulation time.", ws.Remote, l)
+	})
+
+	t.recoveries = reg.Counter("durserve_recoveries_total",
+		"Recoveries performed from the checkpoint + write-ahead log store.")
+	t.walReplayed = reg.Counter("durserve_wal_records_replayed_total",
+		"Write-ahead log records replayed during recovery.")
+	t.recoverySeconds = reg.Histogram("durserve_recovery_duration_seconds",
+		"Wall time per recovery (checkpoint restore + WAL replay).",
+		telemetry.DurationBuckets)
+	reg.GaugeFunc("durserve_ready",
+		"1 once recovery has finished and the serving endpoints accept requests.",
+		func() float64 {
+			if t.readyState() == stateReady {
+				return 1
+			}
+			return 0
+		})
+	return t
+}
+
+// bind exposes the server's and hub's own counters as metric series.
+// These are function-backed reads of the same atomics /stats reports —
+// no double bookkeeping, and /metrics can never drift from /stats.
+func (t *telemetrySet) bind(srv *serve.Server, hub *streamHub) {
+	reg := t.registry
+	counter := func(name, help string, fn func(serve.Stats) int64) {
+		reg.CounterFunc(name, help, func() int64 { return fn(srv.Stats()) })
+	}
+	gauge := func(name, help string, fn func(serve.Stats) float64) {
+		reg.GaugeFunc(name, help, func() float64 { return fn(srv.Stats()) })
+	}
+	counter("durserve_queries_served_total", "Queries answered successfully.",
+		func(s serve.Stats) int64 { return s.QueriesServed })
+	counter("durserve_query_errors_total", "Queries that failed.",
+		func(s serve.Stats) int64 { return s.Errors })
+	counter("durserve_queries_rejected_total", "Queries shed by admission control or expired in queue.",
+		func(s serve.Stats) int64 { return s.Rejected })
+	gauge("durserve_inflight_queries", "Queries currently executing.",
+		func(s serve.Stats) float64 { return float64(s.InFlight) })
+	gauge("durserve_queue_depth", "Queries waiting in the admission queue.",
+		func(s serve.Stats) float64 { return float64(s.QueueDepth) })
+	counter("durserve_batch_runs_total", "Shared splitting runs answering batches.",
+		func(s serve.Stats) int64 { return s.BatchRuns })
+	counter("durserve_batch_callers_total", "Batch requests answered.",
+		func(s serve.Stats) int64 { return s.BatchCallers })
+	counter("durserve_batch_coalesced_total", "Batch requests that shared another request's run.",
+		func(s serve.Stats) int64 { return s.BatchCoalesced })
+	counter("durserve_batch_thresholds_total", "Thresholds answered across all batch runs.",
+		func(s serve.Stats) int64 { return s.BatchThresholds })
+	counter("durserve_sample_steps_total", "Simulator invocations spent sampling.",
+		func(s serve.Stats) int64 { return s.SampleSteps })
+	counter("durserve_search_steps_total", "Simulator invocations spent on level-plan searches.",
+		func(s serve.Stats) int64 { return s.SearchSteps })
+	gauge("durserve_plan_cache_entries", "Completed plans resident in the cache.",
+		func(s serve.Stats) float64 { return float64(s.PlanEntries) })
+	counter("durserve_plan_cache_hits_total", "Plan resolutions served from the cache.",
+		func(s serve.Stats) int64 { return s.PlanHits })
+	counter("durserve_plan_cache_misses_total", "Plan resolutions that paid a level search.",
+		func(s serve.Stats) int64 { return s.PlanMisses })
+	counter("durserve_plan_cache_evictions_total", "Plans evicted by capacity.",
+		func(s serve.Stats) int64 { return s.PlanEvictions })
+	counter("durserve_plan_cache_invalidated_total", "Plans dropped by invalidation.",
+		func(s serve.Stats) int64 { return s.PlanInvalidated })
+
+	engineStats := func(fn func(streamStats) int64) func() int64 {
+		return func() int64 { return fn(hub.stats()) }
+	}
+	reg.GaugeFunc("durserve_streams", "Live states the standing-query engine maintains.",
+		func() float64 { return float64(hub.stats().Engine.Streams) })
+	reg.GaugeFunc("durserve_subscriptions", "Standing queries currently registered.",
+		func() float64 { return float64(hub.stats().Subscriptions) })
+	reg.CounterFunc("durserve_stream_ticks_total", "State updates the engine processed.",
+		engineStats(func(s streamStats) int64 { return s.Engine.Ticks }))
+	reg.CounterFunc("durserve_stream_refreshes_total", "Subscription refreshes performed.",
+		engineStats(func(s streamStats) int64 { return s.Engine.Refreshes }))
+	reg.CounterFunc("durserve_stream_fresh_roots_total", "Root trees simulated by refresh top-ups.",
+		engineStats(func(s streamStats) int64 { return s.Engine.FreshRoots }))
+	reg.CounterFunc("durserve_stream_fresh_steps_total", "Simulator invocations spent on fresh roots.",
+		engineStats(func(s streamStats) int64 { return s.Engine.FreshSteps }))
+	reg.CounterFunc("durserve_stream_search_steps_total", "Simulator invocations refreshes spent on plan searches.",
+		engineStats(func(s streamStats) int64 { return s.Engine.SearchSteps }))
+	reg.CounterFunc("durserve_stream_replans_total", "Refreshes that crossed a drift bucket and re-resolved their plan.",
+		engineStats(func(s streamStats) int64 { return s.Engine.Replans }))
+	reg.CounterFunc("durserve_stream_dropped_roots_total", "Root trees discarded by drift, age or replanning.",
+		engineStats(func(s streamStats) int64 { return s.Engine.DroppedRoots }))
+}
+
+func (t *telemetrySet) readyState() string {
+	return t.state.Load().(string)
+}
+
+func (t *telemetrySet) setState(s string) {
+	t.state.Store(s)
+}
+
+// observeRecovery books one completed recovery.
+func (t *telemetrySet) observeRecovery(replayed int64, d time.Duration) {
+	t.recoveries.Inc()
+	t.walReplayed.Add(replayed)
+	t.recoverySeconds.ObserveDuration(d)
+}
+
+// handleReadyz reports the readiness state: 200 once recovery finished,
+// 503 with the current state while starting or replaying the WAL — the
+// split from /healthz lets orchestrators keep a recovering instance
+// alive (live) without routing traffic to it (not ready).
+func (t *telemetrySet) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := t.readyState()
+	if state == stateReady {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintln(w, state)
+}
+
+// gate 503s the serving endpoints until the daemon is ready; the health
+// and observability endpoints always pass, so probes and scrapers can
+// watch recovery progress instead of being locked out by it.
+func (t *telemetrySet) gate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/readyz", "/metrics":
+			next.ServeHTTP(w, r)
+			return
+		}
+		if state := t.readyState(); state != stateReady {
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("not ready: %s", state))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// opsMux is the operations listener (-ops-addr): metrics, health,
+// readiness and the pprof profiling surface, kept off the serving
+// address so profiling endpoints are never exposed where queries are.
+func (t *telemetrySet) opsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", t.registry.Handler())
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", t.handleReadyz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}

@@ -24,18 +24,27 @@ func durableServer(t *testing.T, dir string) (*httptest.Server, *streamHub) {
 		u0: 15, premium: 6, claimLam: 0.8, claimLo: 5, claimHi: 10,
 		sigma: 1, s0: 1000,
 	})
-	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1})
+	tel := newTelemetry()
+	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Tracer: tel.tracer})
 	t.Cleanup(srv.Close)
-	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0)
+	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0, tel.engine)
+	tel.bind(srv, hub)
 	store, err := persist.Open(dir, persist.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	if _, err := hub.attachStore(store); err != nil {
+	// Mirror main's readiness and recovery-metric sequence, so tests can
+	// assert on the post-recovery /metrics surface.
+	tel.setState(stateReplaying)
+	began := time.Now()
+	replayed, err := hub.attachStore(store)
+	if err != nil {
 		t.Fatalf("recovering %s: %v", dir, err)
 	}
-	ts := httptest.NewServer(newMux(srv, hub))
+	tel.observeRecovery(int64(replayed), time.Since(began))
+	tel.setState(stateReady)
+	ts := httptest.NewServer(newMux(srv, hub, tel))
 	t.Cleanup(ts.Close)
 	return ts, hub
 }

@@ -29,16 +29,26 @@ func shardedServer(t *testing.T, nWorkers int) (*httptest.Server, *httptest.Serv
 	backend := exec.NewCluster(addrs...)
 	t.Cleanup(backend.Close)
 
-	shardedSrv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Executor: backend})
+	// The sharded stack carries full telemetry, worker attribution
+	// included: the equality assertions below then double as proof that
+	// instrumentation never touches the numerics.
+	shardedTel := newTelemetry()
+	backend.Metrics = shardedTel.workers
+	shardedSrv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Executor: backend, Tracer: shardedTel.tracer})
 	t.Cleanup(shardedSrv.Close)
-	shardedHub := newStreamHub(shardedSrv, registry, 0.15, 50_000_000, 1, backend, 0)
-	sharded := httptest.NewServer(newMux(shardedSrv, shardedHub))
+	shardedHub := newStreamHub(shardedSrv, registry, 0.15, 50_000_000, 1, backend, 0, shardedTel.engine)
+	shardedTel.bind(shardedSrv, shardedHub)
+	shardedTel.setState(stateReady)
+	sharded := httptest.NewServer(newMux(shardedSrv, shardedHub, shardedTel))
 	t.Cleanup(sharded.Close)
 
-	localSrv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Executor: exec.Local{}})
+	localTel := newTelemetry()
+	localSrv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Executor: exec.Local{}, Tracer: localTel.tracer})
 	t.Cleanup(localSrv.Close)
-	localHub := newStreamHub(localSrv, registry, 0.15, 50_000_000, 1, exec.Local{}, 0)
-	local := httptest.NewServer(newMux(localSrv, localHub))
+	localHub := newStreamHub(localSrv, registry, 0.15, 50_000_000, 1, exec.Local{}, 0, localTel.engine)
+	localTel.bind(localSrv, localHub)
+	localTel.setState(stateReady)
+	local := httptest.NewServer(newMux(localSrv, localHub, localTel))
 	t.Cleanup(local.Close)
 	return sharded, local
 }

@@ -19,6 +19,7 @@ import (
 	"durability/internal/serve"
 	"durability/internal/stochastic"
 	"durability/internal/stream"
+	"durability/internal/telemetry"
 )
 
 // streamHub fronts the standing-query engine of internal/stream for the
@@ -73,7 +74,7 @@ type feed struct {
 	lsn   int64 // last journaled mutation applied to this feed
 }
 
-func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr float64, maxBudget int64, seed uint64, backend exec.Executor, topUpRoots int) *streamHub {
+func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr float64, maxBudget int64, seed uint64, backend exec.Executor, topUpRoots int, metrics *telemetry.EngineMetrics) *streamHub {
 	if defaultRelErr <= 0 {
 		defaultRelErr = 0.10
 	}
@@ -84,7 +85,7 @@ func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr floa
 		seed = 1
 	}
 	return &streamHub{
-		engine:        stream.NewEngine(stream.Config{Runner: srv.Runner(), Exec: backend, TopUpRoots: topUpRoots}),
+		engine:        stream.NewEngine(stream.Config{Runner: srv.Runner(), Exec: backend, TopUpRoots: topUpRoots, Metrics: metrics}),
 		runner:        srv.Runner(),
 		registry:      registry,
 		defaultRelErr: defaultRelErr,

@@ -16,9 +16,13 @@
 //     merge order scheduling-dependent. Pure signal waits
 //     (case <-ctx.Done(), case <-ch with no binding) stay legal.
 //
-// Timing telemetry that never feeds sampled values is the expected
-// suppression case: annotate the line with
-// //durlint:ignore detsource <reason>.
+// Timing telemetry that never feeds sampled values is not an exception
+// to suppress but a seam to route through: internal/telemetry exposes
+// Now and Since as the one sanctioned wall-clock sink, and its import
+// path deliberately falls outside the deterministic set, so deterministic
+// packages may call telemetry.Now freely while every raw time.Now keeps
+// failing the build. This keeps "who reads the clock" greppable at a
+// single package boundary instead of scattered across ignore comments.
 package detsource
 
 import (
@@ -65,7 +69,7 @@ func run(pass *analysis.Pass) error {
 				switch obj.Pkg().Path() {
 				case "time":
 					if _, isFunc := obj.(*types.Func); isFunc && wallClockFuncs[n.Sel.Name] {
-						pass.Reportf(n.Pos(), "deterministic package reads the wall clock via time.%s", n.Sel.Name)
+						pass.Reportf(n.Pos(), "deterministic package reads the wall clock via time.%s; route timing through internal/telemetry (Now/Since), the sanctioned clock seam", n.Sel.Name)
 					}
 				case "math/rand", "math/rand/v2":
 					pass.Reportf(n.Pos(), "deterministic package uses %s.%s; use internal/rng, the seeded substream substrate", obj.Pkg().Path(), n.Sel.Name)

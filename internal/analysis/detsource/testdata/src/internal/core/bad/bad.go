@@ -36,10 +36,3 @@ func MergeRace(a, b chan int) int {
 	}
 	return total
 }
-
-// Suppressed shows the sanctioned escape hatch: telemetry that never
-// feeds sampled values.
-func Suppressed() time.Time {
-	//durlint:ignore detsource timing telemetry only, never feeds sampled values
-	return time.Now()
-}

@@ -1,0 +1,12 @@
+// Package telemetry mirrors the real internal/telemetry clock seam: its
+// import path is deliberately outside detsource's deterministic set, so
+// deterministic fixtures may route timing through it.
+package telemetry
+
+import "time"
+
+// Now reads the wall clock through the sanctioned seam.
+func Now() time.Time { return time.Now() }
+
+// Since reports time elapsed through the sanctioned seam.
+func Since(t time.Time) time.Duration { return time.Since(t) }

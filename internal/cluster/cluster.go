@@ -28,6 +28,7 @@ import (
 	"durability/internal/core"
 	"durability/internal/mc"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 )
 
 // ModelFactory rebuilds a model and its named observers on a worker. The
@@ -75,6 +76,10 @@ type ShardRequest struct {
 //durlint:gobroot
 type ShardReply struct {
 	Result core.ShardResult
+	// WorkerNanos is the worker's own measured simulation wall time.
+	// Telemetry only: it rides back beside the counters for per-shard
+	// attribution and never feeds the deterministic result.
+	WorkerNanos int64
 }
 
 // Worker is the rpc service running on each machine.
@@ -127,6 +132,7 @@ func (w *Worker) Run(req ShardRequest, reply *ShardReply) error {
 		Seed:    req.Seed,
 		Workers: w.workers,
 	}
+	began := telemetry.Now()
 	var res core.ShardResult
 	if req.GroupRoots > 0 {
 		res, err = g.RunRootsBy(context.Background(), req.RootLo, req.RootHi, req.GroupRoots)
@@ -141,6 +147,7 @@ func (w *Worker) Run(req ShardRequest, reply *ShardReply) error {
 		return err
 	}
 	reply.Result = res
+	reply.WorkerNanos = int64(telemetry.Since(began))
 	return nil
 }
 

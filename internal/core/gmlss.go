@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"durability/internal/mc"
 	"durability/internal/rng"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 )
 
 // levelCounters is the sufficient statistic of a set of root-path trees
@@ -239,8 +239,7 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 		return mc.Result{}, errors.New("core: initial state already satisfies the query")
 	}
 
-	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-	start := time.Now()
+	start := telemetry.Now()
 	var res mc.Result
 	agg := newLevelCounters(m)
 	pool := newRootPool(m)
@@ -260,8 +259,7 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 		res.Hits = int64(agg.hits)
 		res.P = agg.estimate(res.Paths, m, initLevel)
 		if err != nil {
-			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-			res.Elapsed = time.Since(start)
+			res.Elapsed = telemetry.Since(start)
 			return res, err
 		}
 
@@ -273,29 +271,23 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 		if v, ok := twoLevelVariance(agg, res.Paths, m, initLevel); ok && !g.ForceBootstrap {
 			res.Variance = v
 		} else if res.Steps >= nextVarAt {
-			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-			varStart := time.Now()
+			varStart := telemetry.Now()
 			res.Variance = pool.bootstrapVariance(reps, m, initLevel, bootSrc)
-			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-			res.VarTime += time.Since(varStart)
+			res.VarTime += telemetry.Since(varStart)
 			nextVarAt = int64(float64(res.Steps) * varEvery)
 		}
-		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-		res.Elapsed = time.Since(start)
+		res.Elapsed = telemetry.Since(start)
 		if g.Trace != nil {
 			g.Trace(res)
 		}
 		if g.Stop.Done(res) {
 			if _, ok := twoLevelVariance(agg, res.Paths, m, initLevel); !ok || g.ForceBootstrap {
 				// Refresh the bootstrap so the returned quality is current.
-				//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-				varStart := time.Now()
+				varStart := telemetry.Now()
 				res.Variance = pool.bootstrapVariance(reps, m, initLevel, bootSrc)
-				//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-				res.VarTime += time.Since(varStart)
+				res.VarTime += telemetry.Since(varStart)
 			}
-			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-			res.Elapsed = time.Since(start)
+			res.Elapsed = telemetry.Since(start)
 			return res, nil
 		}
 	}

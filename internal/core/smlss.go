@@ -4,12 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"durability/internal/mc"
 	"durability/internal/rng"
 	"durability/internal/stats"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 )
 
 // SMLSS is the simple Multi-Level Splitting sampler of §3. A root path
@@ -143,8 +143,7 @@ func (s *SMLSS) run(ctx context.Context, stop mc.StopRule) (mc.Result, []int64, 
 		scale *= float64(s.Ratio)
 	}
 
-	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-	start := time.Now()
+	start := telemetry.Now()
 	var res mc.Result
 	var hitsAcc stats.Accumulator // per-root hit counts, for the variance
 	entries := make([]int64, m+1)
@@ -168,8 +167,7 @@ func (s *SMLSS) run(ctx context.Context, stop mc.StopRule) (mc.Result, []int64, 
 			res.P = float64(res.Hits) / (float64(res.Paths) * scale)
 			res.Variance = hitsAcc.Variance() / (float64(res.Paths) * scale * scale)
 		}
-		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-		res.Elapsed = time.Since(start)
+		res.Elapsed = telemetry.Since(start)
 		if err != nil {
 			return res, entries, err
 		}

@@ -9,6 +9,7 @@ import (
 	"durability/internal/core"
 	"durability/internal/mc"
 	"durability/internal/rng"
+	"durability/internal/telemetry"
 )
 
 // BatchTarget is one threshold of a batch, identified by the plan level
@@ -77,8 +78,7 @@ func SampleBatch(ctx context.Context, ex Executor, t Task, targets []BatchTarget
 		levels[i] = tg.Level
 	}
 
-	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-	began := time.Now()
+	began := telemetry.Now()
 	agg := core.NewCounters(m)
 	var groups []core.Counters
 	results := make([]mc.Result, len(targets))
@@ -98,6 +98,7 @@ func SampleBatch(ctx context.Context, ex Executor, t Task, targets []BatchTarget
 			return results, err
 		}
 		next += int64(opt.BatchRoots)
+		mergeBegan := telemetry.Now()
 		for _, g := range shard.Groups {
 			agg.Add(g)
 			groups = append(groups, g)
@@ -113,12 +114,12 @@ func SampleBatch(ctx context.Context, ex Executor, t Task, targets []BatchTarget
 			r.Hits = int64(core.PrefixCrossings(agg, m, levels[i]))
 			r.P = core.EstimatePrefixFromCounters(agg, paths, m, levels[i], initLevel)
 			r.Variance = variances[i]
-			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-			r.Elapsed = time.Since(began)
+			r.Elapsed = telemetry.Since(began)
 			if !targets[i].Stop.Done(*r) {
 				done = false
 			}
 		}
+		opt.Tracer.Observe(telemetry.StageMerge, telemetry.Since(mergeBegan), 0)
 		if opt.Trace != nil {
 			// One run, one trace: the last target's running result (the
 			// serve layer orders targets ascending, so this is the top —
@@ -137,7 +138,6 @@ func finishBatch(results []mc.Result, steps, paths int64, began time.Time) {
 	for i := range results {
 		results[i].Steps = steps
 		results[i].Paths = paths
-		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-		results[i].Elapsed = time.Since(began)
+		results[i].Elapsed = telemetry.Since(began)
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"durability/internal/cluster"
 	"durability/internal/core"
+	"durability/internal/telemetry"
 )
 
 // Default fault-handling knobs for a Cluster.
@@ -55,6 +56,11 @@ type Cluster struct {
 	DialTimeout time.Duration
 	RetryDead   time.Duration
 
+	// Metrics, when non-nil, receives per-worker shard attribution: one
+	// Record per chunk call, keyed by worker address. Telemetry only —
+	// it never influences placement, retries or the merged result.
+	Metrics *telemetry.WorkerMetrics
+
 	mu        sync.Mutex
 	clients   []*rpc.Client
 	deadSince []time.Time // zero = in rotation
@@ -96,8 +102,7 @@ func (c *Cluster) alive() []int {
 	var out []int
 	for i := range c.addrs {
 		if !c.deadSince[i].IsZero() {
-			//durlint:ignore detsource dead-worker cool-down bookkeeping, not a sampling path
-			if c.RetryDead < 0 || time.Since(c.deadSince[i]) < c.RetryDead {
+			if c.RetryDead < 0 || telemetry.Since(c.deadSince[i]) < c.RetryDead {
 				continue
 			}
 			c.deadSince[i] = time.Time{} // cool-down over: back in rotation
@@ -141,8 +146,7 @@ func (c *Cluster) client(ctx context.Context, idx int) (*rpc.Client, error) {
 func (c *Cluster) markDead(idx int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	//durlint:ignore detsource dead-worker cool-down bookkeeping, not a sampling path
-	c.deadSince[idx] = time.Now()
+	c.deadSince[idx] = telemetry.Now()
 	if c.clients[idx] != nil {
 		c.clients[idx].Close()
 		c.clients[idx] = nil
@@ -179,7 +183,13 @@ func isRequestError(err error) bool {
 // worker. The context bounds the whole call: a worker that hangs rather
 // than crashes is cut off (its connection closed) as soon as ctx ends,
 // so a stuck machine cannot pin a serving slot forever.
-func (c *Cluster) call(ctx context.Context, idx int, req cluster.ShardRequest) (core.ShardResult, error) {
+func (c *Cluster) call(ctx context.Context, idx int, req cluster.ShardRequest) (res core.ShardResult, err error) {
+	began := telemetry.Now()
+	var workerNanos int64
+	defer func() {
+		c.Metrics.Worker(c.addrs[idx]).Record(
+			telemetry.Since(began), workerNanos, res.Steps, req.RootHi-req.RootLo, err)
+	}()
 	cl, err := c.client(ctx, idx)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -199,6 +209,7 @@ func (c *Cluster) call(ctx context.Context, idx int, req cluster.ShardRequest) (
 			}
 			return core.ShardResult{}, done.Error
 		}
+		workerNanos = reply.WorkerNanos
 		return reply.Result, nil
 	case <-ctx.Done():
 		// Our deadline, not necessarily the worker's fault: detach from

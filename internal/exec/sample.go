@@ -3,11 +3,11 @@ package exec
 import (
 	"context"
 	"errors"
-	"time"
 
 	"durability/internal/core"
 	"durability/internal/mc"
 	"durability/internal/rng"
+	"durability/internal/telemetry"
 )
 
 // SampleOptions tunes the estimator loop of Sample.
@@ -26,6 +26,9 @@ type SampleOptions struct {
 	BootstrapReps int
 	// Trace, when set, observes the running estimate after every round.
 	Trace func(mc.Result)
+	// Tracer, when set, books one merge span per synchronization round
+	// (counter merge + estimate + bootstrap variance). Telemetry only.
+	Tracer *telemetry.Tracer
 }
 
 func (o SampleOptions) withDefaults() SampleOptions {
@@ -85,8 +88,7 @@ func Sample(ctx context.Context, ex Executor, t Task, opt SampleOptions) (mc.Res
 		return mc.Result{}, errors.New("exec: initial state already satisfies the query")
 	}
 
-	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-	began := time.Now()
+	began := telemetry.Now()
 	agg := core.NewCounters(m)
 	var groups []core.Counters
 	var res mc.Result
@@ -97,17 +99,16 @@ func Sample(ctx context.Context, ex Executor, t Task, opt SampleOptions) (mc.Res
 	next := int64(0)
 	for {
 		if err := ctx.Err(); err != nil {
-			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-			res.Elapsed = time.Since(began)
+			res.Elapsed = telemetry.Since(began)
 			return res, err
 		}
 		shard, err := ex.RunRoots(ctx, t, next, next+int64(opt.BatchRoots), opt.GroupRoots)
 		if err != nil {
-			//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-			res.Elapsed = time.Since(began)
+			res.Elapsed = telemetry.Since(began)
 			return res, err
 		}
 		next += int64(opt.BatchRoots)
+		mergeBegan := telemetry.Now()
 		for _, g := range shard.Groups {
 			agg.Add(g)
 			groups = append(groups, g)
@@ -117,8 +118,8 @@ func Sample(ctx context.Context, ex Executor, t Task, opt SampleOptions) (mc.Res
 		res.Hits = int64(agg.Hits)
 		res.P = core.EstimateFromCounters(agg, res.Paths, m, initLevel)
 		res.Variance = core.BootstrapVarianceFromGroups(groups, int64(opt.GroupRoots), m, initLevel, opt.BootstrapReps, bootSrc)
-		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-		res.Elapsed = time.Since(began)
+		opt.Tracer.Observe(telemetry.StageMerge, telemetry.Since(mergeBegan), 0)
+		res.Elapsed = telemetry.Since(began)
 		if opt.Trace != nil {
 			opt.Trace(res)
 		}

@@ -13,6 +13,7 @@ import (
 	"durability/internal/mc"
 	"durability/internal/opt"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 )
 
 // DefaultRatioCap bounds the per-level splitting ratio a covering plan may
@@ -186,8 +187,10 @@ func (r *Runner) RunBatch(ctx context.Context, s BatchSpec) ([]mc.Result, BatchM
 		meta BatchMeta
 	)
 	if r.Cache == nil {
+		began := telemetry.Now()
 		p, steps, err := s.coverSearchFunc(betaMax, required, s.Seed)(ctx)
 		meta.SearchSteps = steps
+		r.Trace.Observe(telemetry.StagePlanSearch, telemetry.Since(began), steps)
 		if err != nil {
 			return nil, meta, err
 		}
@@ -195,8 +198,16 @@ func (r *Runner) RunBatch(ctx context.Context, s BatchSpec) ([]mc.Result, BatchM
 	} else {
 		key := r.Cache.Key(s.ModelID, s.ObserverID, betaMax, s.Horizon, s.Ratio, fmt.Sprintf("cover(%d)", s.ratioCap()), 0)
 		key.Set = ratioSetTag(required)
+		began := telemetry.Now()
 		p, steps, hit, err := r.Cache.GetOrSearch(ctx, key, s.coverSearchFunc(r.Cache.RepresentativeBeta(betaMax), required, planSeed(key)))
 		meta.SearchSteps = steps
+		// Same exactness convention as ResolvePlan: only the searching
+		// caller carries steps, so stage steps sum to the cache counter.
+		stage := telemetry.StagePlanSearch
+		if steps == 0 {
+			stage = telemetry.StagePlanCache
+		}
+		r.Trace.Observe(stage, telemetry.Since(began), steps)
 		if err != nil {
 			return nil, meta, err
 		}
@@ -220,6 +231,7 @@ func (r *Runner) RunBatch(ctx context.Context, s BatchSpec) ([]mc.Result, BatchM
 	if ex == nil {
 		ex = exec.Local{}
 	}
+	sp := r.Trace.Start(telemetry.StageExec)
 	distinctRes, err := exec.SampleBatch(ctx, ex, exec.Task{
 		Proc:       s.Proc,
 		Obs:        s.Obs,
@@ -232,10 +244,14 @@ func (r *Runner) RunBatch(ctx context.Context, s BatchSpec) ([]mc.Result, BatchM
 		Ratios:     plan.Ratios,
 		Seed:       s.Seed,
 		SimWorkers: s.SimWorkers,
-	}, targets, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots})
+	}, targets, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots, Tracer: r.Trace})
 	if len(distinctRes) > 0 {
 		meta.SharedSteps = distinctRes[0].Steps
 	}
+	// The shared run's steps are the exact quantity answerBatch books into
+	// the server's sampleSteps counter, failed runs included.
+	sp.AddSteps(meta.SharedSteps)
+	sp.End()
 	if err != nil {
 		return nil, meta, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"durability/internal/mc"
+	"durability/internal/telemetry"
 )
 
 // BatchRequest is one threshold-lattice query as a front end submits it:
@@ -200,7 +201,7 @@ func (s *Server) gatherAndEnqueue(g *batchGather) {
 		g.deliverError(ErrClosed)
 		return
 	}
-	j := &job{batch: g}
+	j := &job{batch: g, admit: s.cfg.Tracer.Start(telemetry.StageAdmission)}
 	select {
 	case s.queue <- j:
 		s.stats.queueDepth.Add(1)
@@ -297,6 +298,8 @@ func (s *Server) executeBatch(g *batchGather) {
 // callers are deduplicated by RunBatch itself; results align with the
 // concatenation order.
 func (s *Server) answerBatch(ctx context.Context, key batchKey, calls []*batchCall) error {
+	bspan := s.cfg.Tracer.Start(telemetry.StageBatch)
+	defer bspan.End()
 	var betas []float64
 	for _, c := range calls {
 		betas = append(betas, c.betas...)
@@ -318,6 +321,8 @@ func (s *Server) answerBatch(ctx context.Context, key batchKey, calls []*batchCa
 	s.stats.batchThresholds.Add(int64(meta.Thresholds))
 	s.stats.served.Add(int64(len(calls))) // a batch caller is a served query
 
+	aspan := s.cfg.Tracer.Start(telemetry.StageAnswer)
+	defer aspan.End()
 	byBeta := make(map[float64]int, len(betas))
 	for i, b := range betas {
 		if _, ok := byBeta[b]; !ok {

@@ -11,6 +11,7 @@ import (
 	"durability/internal/mc"
 	"durability/internal/opt"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 )
 
 // Method selects the sampling algorithm, mirroring the public API's enum.
@@ -137,6 +138,12 @@ type Runner struct {
 	// schedule (the batch size is part of the deterministic numerics),
 	// so compare runs only at equal settings.
 	ExecBatchRoots int
+
+	// Trace, when non-nil, receives lifecycle spans: plan-cache /
+	// plan-search around plan resolution and exec around sampling, with
+	// step counts attributed so each stage's steps sum exactly to the
+	// serving totals. Telemetry only — spans never alter execution.
+	Trace *telemetry.Tracer
 }
 
 // searchTag names the plan-search strategy for cache keying, so greedy and
@@ -194,14 +201,26 @@ func (r *Runner) ResolvePlan(ctx context.Context, s *Spec) (core.Plan, Meta, err
 		return s.Plan, Meta{Plan: s.Plan}, nil
 	}
 	if r.Cache == nil {
+		sp := r.Trace.Start(telemetry.StagePlanSearch)
 		plan, steps, err := s.searchFunc(s.Beta, s.Seed)(ctx)
+		sp.AddSteps(steps)
+		sp.End()
 		if err != nil {
 			return core.Plan{}, Meta{SearchSteps: steps}, err
 		}
 		return plan, Meta{Plan: plan, SearchSteps: steps}, nil
 	}
 	key := s.planKey(r.Cache)
+	began := telemetry.Now()
 	plan, steps, hit, err := r.Cache.GetOrSearch(ctx, key, s.searchFunc(r.Cache.RepresentativeBeta(s.Beta), planSeed(key)))
+	// Exactly the searching caller carries steps > 0 (hits and waiters get
+	// 0), so stage steps sum to the cache's SearchSteps with no double
+	// counting; a hit or a coalesced wait books a plan-cache span instead.
+	stage := telemetry.StagePlanSearch
+	if steps == 0 {
+		stage = telemetry.StagePlanCache
+	}
+	r.Trace.Observe(stage, telemetry.Since(began), steps)
 	if err != nil {
 		return core.Plan{}, Meta{SearchSteps: steps}, err
 	}
@@ -239,7 +258,10 @@ func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
 			Workers: s.SimWorkers,
 			Trace:   s.Trace,
 		}
+		sp := r.Trace.Start(telemetry.StageExec)
 		res, err := srs.Run(ctx)
+		sp.AddSteps(res.Steps)
+		sp.End()
 		return res, Meta{}, err
 	}
 
@@ -249,6 +271,10 @@ func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
 		return mc.Result{Steps: meta.SearchSteps}, meta, err
 	}
 
+	// The exec span carries the sampler's own steps — res.Steps before the
+	// search bill is folded in below — so stage steps sum exactly to the
+	// server's sampleSteps counter, which books the same difference.
+	sp := r.Trace.Start(telemetry.StageExec)
 	var res mc.Result
 	if s.Method == SMLSS {
 		sampler := &core.SMLSS{
@@ -268,7 +294,7 @@ func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
 			Ratio:      s.Ratio,
 			Seed:       s.Seed,
 			SimWorkers: s.SimWorkers,
-		}, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots})
+		}, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots, Tracer: r.Trace})
 	} else {
 		sampler := &core.GMLSS{
 			Proc: s.Proc, Query: cq, Plan: plan, Ratio: s.Ratio,
@@ -276,6 +302,8 @@ func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
 		}
 		res, err = sampler.Run(ctx)
 	}
+	sp.AddSteps(res.Steps)
+	sp.End()
 	res.Steps += meta.SearchSteps // search cost is part of this query's bill
 	return res, meta, err
 }

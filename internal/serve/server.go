@@ -11,6 +11,7 @@ import (
 	"durability/internal/exec"
 	"durability/internal/mc"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 )
 
 // ModelFactory rebuilds a model and its named observers, reusing the
@@ -105,6 +106,12 @@ type Config struct {
 	// horizon can overshoot MaxBudget by a whole round; front ends exposed
 	// to untrusted bodies should set a ceiling.
 	MaxHorizon int
+
+	// Tracer, when non-nil, receives query-lifecycle spans (admission,
+	// plan-cache/plan-search, exec, merge, answer, and the end-to-end
+	// query/batch envelopes). Telemetry only — a nil tracer serves
+	// identically.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +169,9 @@ type job struct {
 	req   Request
 	reply chan outcome
 	batch *batchGather
+	// admit times the admission wait (enqueue to pool-worker pickup). A
+	// shed or never-admitted job simply never ends its span.
+	admit *telemetry.Span
 }
 
 type outcome struct {
@@ -200,7 +210,7 @@ func NewServer(registry Registry, cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		registry: registry,
-		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth, WithCacheCapacity(cap)), Exec: cfg.Executor, ExecBatchRoots: cfg.ExecBatchRoots},
+		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth, WithCacheCapacity(cap)), Exec: cfg.Executor, ExecBatchRoots: cfg.ExecBatchRoots, Trace: cfg.Tracer},
 		models:   make(map[string]*builtModel),
 		pending:  make(map[batchKey]*batchGather),
 		queue:    make(chan *job, cfg.QueueDepth),
@@ -211,6 +221,7 @@ func NewServer(registry Registry, cfg Config) *Server {
 			defer s.wg.Done()
 			for j := range s.queue {
 				s.stats.queueDepth.Add(-1)
+				j.admit.End()
 				if j.batch != nil {
 					s.executeBatch(j.batch)
 					continue
@@ -247,7 +258,7 @@ func (s *Server) Runner() *Runner { return s.runner }
 // and a context that expires while the query waits or runs returns the
 // context's error.
 func (s *Server) Do(ctx context.Context, req Request) (Response, error) {
-	j := &job{ctx: ctx, req: req, reply: make(chan outcome, 1)}
+	j := &job{ctx: ctx, req: req, reply: make(chan outcome, 1), admit: s.cfg.Tracer.Start(telemetry.StageAdmission)}
 	// The enqueue must happen under the same lock as the closed check:
 	// Close closes s.queue, and a send racing that close would panic. The
 	// send is non-blocking, so the critical section stays short.
@@ -385,6 +396,8 @@ func (s *Server) spec(req Request) (Spec, error) {
 
 // execute runs one admitted query on a pool worker.
 func (s *Server) execute(ctx context.Context, req Request) (Response, error) {
+	qspan := s.cfg.Tracer.Start(telemetry.StageQuery)
+	defer qspan.End()
 	if err := ctx.Err(); err != nil {
 		// Expired while queued: count as shed load, not as a query served.
 		s.stats.rejected.Add(1)
@@ -414,6 +427,8 @@ func (s *Server) execute(ctx context.Context, req Request) (Response, error) {
 	}
 	s.stats.served.Add(1)
 
+	aspan := s.cfg.Tracer.Start(telemetry.StageAnswer)
+	defer aspan.End()
 	ci := res.CI(0.95)
 	return Response{
 		P:           res.P,

@@ -328,10 +328,6 @@ func (s *Subscription) extract() SubState {
 		Answer:   s.Answer(),
 		Stats:    s.Stats(),
 	}
-	// Wall time is telemetry, not serving state: scrubbing it keeps
-	// checkpoints of identical serving states byte-identical.
-	st.Answer.Result.Elapsed = 0
-	st.Answer.Result.VarTime = 0
 	if s.bootSrc != nil {
 		boot := *s.bootSrc
 		st.Boot = &boot

@@ -57,6 +57,7 @@ import (
 	"durability/internal/exec"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 )
 
 // Defaults for Config fields left zero.
@@ -126,6 +127,12 @@ type Config struct {
 	// RefreshWorkers bounds how many subscriptions of one stream are
 	// refreshed concurrently per update (default GOMAXPROCS).
 	RefreshWorkers int
+
+	// Metrics, when non-nil, receives per-tick refresh telemetry (tick and
+	// refresh durations, subscriptions refreshed and roots topped up per
+	// tick, dormant revivals, drift re-searches). Telemetry only: nothing
+	// read from it ever feeds maintenance decisions or answers.
+	Metrics *telemetry.EngineMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -373,7 +380,14 @@ func (e *Engine) Update(ctx context.Context, name string, st stochastic.State) (
 		ls.lsn = lsn
 	}
 	e.ticks.Add(1)
-	return e.refreshLocked(ctx, ls), nil
+	began := telemetry.Now()
+	out := e.refreshLocked(ctx, ls)
+	var topUp int64
+	for _, r := range out {
+		topUp += r.Answer.FreshRoots
+	}
+	e.cfg.Metrics.ObserveTick(telemetry.Since(began), int64(len(out)), topUp)
+	return out, nil
 }
 
 // refreshLocked refreshes every subscription of ls against its current

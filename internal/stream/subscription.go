@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"durability/internal/core"
 	"durability/internal/exec"
@@ -13,6 +12,7 @@ import (
 	"durability/internal/rng"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 	"sync"
 )
 
@@ -96,7 +96,9 @@ func (s SubSpec) withDefaults() (SubSpec, error) {
 type Answer struct {
 	// Result is the estimate over the current root pool. Paths and Steps
 	// describe the whole surviving pool (the cost embodied in the
-	// answer), not this refresh; Elapsed is this refresh's wall time.
+	// answer), not this refresh. Result carries no wall time: refresh
+	// durations live in the engine's telemetry (Config.Metrics), never on
+	// the answer, so checkpointed state is deterministic by construction.
 	Result mc.Result
 	// Tick is the stream tick the answer corresponds to.
 	Tick int64
@@ -170,6 +172,12 @@ type batch struct {
 	steps     int64
 	agg       core.Counters
 	groups    []core.Counters
+
+	// active marks the batch as contributing to the latest answer. It is
+	// in-memory telemetry bookkeeping only (revival detection) and is
+	// deliberately absent from the persisted BatchState: restored batches
+	// start dormant and the first refresh recomputes contribution.
+	active bool
 }
 
 // SubStats is lifetime cost accounting for one subscription.
@@ -341,8 +349,7 @@ func (s *Subscription) store(ans Answer) {
 func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, state stochastic.State, tick int64) (Answer, error) {
 	e := s.engine
 	cfg := e.cfg
-	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-	start := time.Now()
+	began := telemetry.Now()
 	ans := Answer{Tick: tick}
 	defer e.refreshes.Add(1)
 
@@ -358,9 +365,9 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 		// if the state recedes below the threshold, surviving batches
 		// resume contributing (age and drift pruning still apply).
 		ans.Satisfied = true
-		//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-		ans.Result = mc.Result{P: 1, Elapsed: time.Since(start)}
+		ans.Result = mc.Result{P: 1}
 		s.store(ans)
+		cfg.Metrics.ObserveRefresh(telemetry.Since(began), 0, false)
 		return ans, nil
 	}
 
@@ -410,13 +417,21 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 	// split under the current plan, start from the current level, and its
 	// start value is within the drift tolerance of the new state.
 	tol := s.spec.driftTol(cfg)
+	var revived int64
 	active := make([]*batch, 0, len(s.batches)+1)
 	for _, b := range s.batches {
 		ans.PoolRoots += b.roots
-		if b.initLevel == initLevel && math.Abs(b.f0-f0) <= tol && b.plan.Equal(s.plan) {
+		contributing := b.initLevel == initLevel && math.Abs(b.f0-f0) <= tol && b.plan.Equal(s.plan)
+		if contributing {
 			active = append(active, b)
 			ans.SurvivedRoots += b.roots
+			if !b.active {
+				// A dormant batch the state drifted back to — the revisit
+				// case the pool retains dormant batches for.
+				revived++
+			}
 		}
+		b.active = contributing
 	}
 
 	// Top up with fresh root trees from the new state until the quality
@@ -467,15 +482,15 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 			tick: tick, f0: f0, initLevel: initLevel, plan: s.plan,
 			roots: shard.Roots, steps: shard.Steps,
 			agg: shard.Agg, groups: shard.Groups,
+			active: true,
 		}
 		s.batches = append(s.batches, b)
 		active = append(active, b)
 		res = s.evaluate(active, m, initLevel)
 	}
-	//durlint:ignore detsource wall-clock telemetry (Elapsed/VarTime), never feeds sampled values
-	res.Elapsed = time.Since(start)
 	ans.Result = res
 	s.store(ans)
+	cfg.Metrics.ObserveRefresh(telemetry.Since(began), revived, ans.Replanned)
 	return ans, err
 }
 

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets is the default upper-bound ladder for latency
+// histograms, in seconds: 100µs doubling up to ~52s. Durations above the
+// last bound land in the implicit +Inf overflow bucket.
+var DurationBuckets = ExpBuckets(1e-4, 2, 20)
+
+// SizeBuckets is the default ladder for size/step-count histograms:
+// powers of four from 1 to ~4.2M.
+var SizeBuckets = ExpBuckets(1, 4, 12)
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram is a lock-free fixed-bucket histogram: one atomic counter
+// per bucket plus an atomic sum, so the query hot path pays two atomic
+// adds per observation and scrapes never block observers. Like the
+// g-MLSS level counters, histograms with equal bounds are mergeable by
+// plain addition, so per-shard histograms fold into fleet totals.
+//
+// Bucket i counts observations v with bounds[i-1] < v <= bounds[i]
+// (Prometheus "le" semantics); one extra overflow bucket catches
+// v > bounds[len-1]. A nil *Histogram ignores observations, so optional
+// telemetry needs no call-site nil checks.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Merge folds o's counts into h. Bounds must match exactly — merging is
+// only meaningful between histograms of one family, the same contract
+// the g-MLSS counter merge has on plan shape.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("telemetry: merging histograms with %d vs %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if b != o.bounds[i] {
+			return fmt.Errorf("telemetry: merging histograms with different bound %d: %v vs %v", i, b, o.bounds[i])
+		}
+	}
+	var n uint64
+	for i := range o.counts {
+		c := o.counts[i].Load()
+		h.counts[i].Add(c)
+		n += c
+	}
+	h.count.Add(n)
+	add := math.Float64frombits(o.sumBits.Load())
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + add)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, the unit
+// quantiles are computed over (so p50 and p99 of one report come from
+// one consistent view).
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; the overflow bucket is implicit
+	Counts []uint64  // per-bucket counts, len(Bounds)+1
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the current counts. Concurrent observers may land
+// between bucket reads; each bucket is individually consistent, which is
+// all quantile estimation needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket the rank falls in — the same estimate
+// Prometheus's histogram_quantile computes. Ranks landing in the
+// overflow bucket report the last finite bound (the best lower bound
+// available); an empty histogram reports NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

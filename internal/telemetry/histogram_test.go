@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 4, 5)
+	want := []float64{1, 4, 16, 64, 256}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHistogramBucketing pins the "le" semantics: a value equal to a
+// bound lands in that bound's bucket, values above every bound land in
+// the overflow.
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.0001, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 2} // (..1], (1..10], (10..100], overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count: got %d, want 8", s.Count)
+	}
+}
+
+// TestQuantileExact checks quantiles against an exactly known
+// distribution: 100 observations spread uniformly in (0, 100], one per
+// unit, over unit-aligned buckets — every quantile is computable by
+// hand.
+func TestQuantileExact(t *testing.T) {
+	bounds := make([]float64, 10) // 10, 20, ... 100
+	for i := range bounds {
+		bounds[i] = float64(10 * (i + 1))
+	}
+	h := NewHistogram(bounds)
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	s := h.Snapshot()
+	// rank = q*100; within each 10-wide bucket of 10 observations the
+	// interpolation is linear, so pXX = XX exactly.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50},
+		{0.95, 95},
+		{0.99, 99},
+		{1.00, 100},
+		{0.10, 10},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := s.Quantile(0.5); got != 50 {
+		t.Errorf("repeated quantile changed: %v", got)
+	}
+	if s.Sum != 5050 {
+		t.Errorf("sum: got %v, want 5050", s.Sum)
+	}
+}
+
+func TestQuantileEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile: got %v, want NaN", got)
+	}
+	h.Observe(50) // overflow only
+	if got := h.Snapshot().Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only quantile: got %v, want last bound 2", got)
+	}
+}
+
+// TestMergeMatchesCombined verifies the g-MLSS-style merge law: two
+// histograms merged equal one histogram fed both observation sets.
+func TestMergeMatchesCombined(t *testing.T) {
+	bounds := ExpBuckets(1, 2, 8)
+	a, b, both := NewHistogram(bounds), NewHistogram(bounds), NewHistogram(bounds)
+	for v := 1; v <= 60; v++ {
+		x := float64(v) * 1.7
+		if v%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+		both.Observe(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Snapshot(), both.Snapshot()
+	for i := range sa.Counts {
+		if sa.Counts[i] != sb.Counts[i] {
+			t.Errorf("bucket %d: merged %d, combined %d", i, sa.Counts[i], sb.Counts[i])
+		}
+	}
+	if sa.Count != sb.Count || math.Abs(sa.Sum-sb.Sum) > 1e-9 {
+		t.Errorf("merged count/sum %d/%v, combined %d/%v", sa.Count, sa.Sum, sb.Count, sb.Sum)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if ga, gb := sa.Quantile(q), sb.Quantile(q); ga != gb {
+			t.Errorf("q=%v: merged %v, combined %v", q, ga, gb)
+		}
+	}
+}
+
+func TestMergeRejectsMismatchedBounds(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 3})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched bounds succeeded")
+	}
+	c := NewHistogram([]float64{1})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge of different bucket counts succeeded")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// run under -race this is the lock-freedom proof, and the final count
+// must be exact regardless.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1e-4, 2, 10))
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g*per+i) * 1e-5)
+				if i%100 == 0 {
+					h.Snapshot().Quantile(0.99) // concurrent scrapes
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != goroutines*per {
+		t.Fatalf("count: got %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestNilHistogramSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if err := h.Merge(NewHistogram([]float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot count %d", s.Count)
+	}
+}

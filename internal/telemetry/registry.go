@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Call sites pass labels in a fixed
+// order; the registry sorts them canonically for exposition, so the
+// rendered series identity is independent of call-site order.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotonically increasing metric backed by one atomic.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// series is one label combination of a family.
+type series struct {
+	labels    []Label // sorted by name
+	counter   *Counter
+	counterFn func() int64
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family is one metric name: a help string, a type, and its series.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration is get-or-create keyed on
+// (name, labels), so hot paths may re-register idempotently and
+// per-worker series can appear lazily as workers are first used.
+//
+// Convention the golden tests lean on: families measuring wall time
+// carry "_seconds" in their name; every other family's values are pure
+// functions of the request history, so two identically driven servers
+// render them byte-identically.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// register finds or creates the series for (name, labels), enforcing
+// one type and help string per family.
+func (r *Registry) register(name, help, typ string, labels []Label) *series {
+	labels = sortLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it if needed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, "counter", labels)
+	if s.counter == nil && s.counterFn == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// CounterFunc exposes an existing monotone counter (a serving-layer
+// atomic, typically) as a counter series without double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	s := r.register(name, help, "counter", labels)
+	s.counterFn = fn
+	s.counter = nil
+}
+
+// GaugeFunc exposes a point-in-time reading as a gauge series.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, "gauge", labels)
+	s.gaugeFn = fn
+}
+
+// Histogram returns the histogram for (name, labels), creating it with
+// the given bounds if needed.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.register(name, help, "histogram", labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// RegisterHistogram adopts an existing histogram as a series, so
+// subsystems that own their histograms (the tracer, the stream engine
+// metrics) surface them without copying.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	s := r.register(name, help, "histogram", labels)
+	s.hist = h
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// renderLabels renders a label set, appending extra (used for "le")
+// last.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name and series sorted by label set, so two
+// registries holding identical values render byte-identical documents.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.typ {
+			case "counter":
+				v := s.counter.Value()
+				if s.counterFn != nil {
+					v = s.counterFn()
+				}
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, renderLabels(s.labels), v)
+			case "gauge":
+				v := 0.0
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, renderLabels(s.labels), formatFloat(v))
+			case "histogram":
+				snap := s.hist.Snapshot()
+				cum := uint64(0)
+				for i, b := range snap.Bounds {
+					cum += snap.Counts[i]
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, Label{"le", formatFloat(b)}), cum)
+				}
+				if len(snap.Counts) > 0 {
+					cum += snap.Counts[len(snap.Counts)-1]
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, Label{"le", "+Inf"}), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, renderLabels(s.labels), formatFloat(snap.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, renderLabels(s.labels), cum)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as a GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The write failed mid-body; nothing useful left to send.
+			return
+		}
+	})
+}

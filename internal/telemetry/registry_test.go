@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_queries_total", "Queries served.").Add(3)
+	r.CounterFunc("test_steps_total", "Steps.", func() int64 { return 42 })
+	r.GaugeFunc("test_depth", "Queue depth.", func() float64 { return 1.5 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1}, Label{"stage", "exec"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(7)
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_queries_total Queries served.\n# TYPE test_queries_total counter\ntest_queries_total 3\n",
+		"test_steps_total 42\n",
+		"# TYPE test_depth gauge\ntest_depth 1.5\n",
+		`test_latency_seconds_bucket{stage="exec",le="0.1"} 1`,
+		`test_latency_seconds_bucket{stage="exec",le="1"} 2`,
+		`test_latency_seconds_bucket{stage="exec",le="+Inf"} 3`,
+		`test_latency_seconds_sum{stage="exec"} 7.55`,
+		`test_latency_seconds_count{stage="exec"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryDeterministicOrder pins the byte-identity property the
+// golden /metrics test depends on: registration order must not leak
+// into the rendered document.
+func TestRegistryDeterministicOrder(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, "c").Inc()
+		}
+		r.Histogram("hist_seconds", "h", []float64{1}, Label{"worker", "b"}).Observe(0.5)
+		r.Histogram("hist_seconds", "h", []float64{1}, Label{"worker", "a"}).Observe(0.5)
+		return render(t, r)
+	}
+	a := build([]string{"zz_total", "aa_total", "mm_total"})
+	b := build([]string{"mm_total", "zz_total", "aa_total"})
+	if a != b {
+		t.Fatalf("registration order leaked into exposition:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Index(a, "aa_total") > strings.Index(a, "zz_total") {
+		t.Fatalf("families not sorted:\n%s", a)
+	}
+	if strings.Index(a, `worker="a"`) > strings.Index(a, `worker="b"`) {
+		t.Fatalf("series not sorted by labels:\n%s", a)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("same_total", "c", Label{"k", "v"})
+	c2 := r.Counter("same_total", "c", Label{"k", "v"})
+	if c1 != c2 {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	h1 := r.Histogram("same_seconds", "h", []float64{1})
+	h2 := r.Histogram("same_seconds", "h", []float64{1})
+	if h1 != h2 {
+		t.Fatal("same (name, labels) returned distinct histograms")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "c", Label{"v", `a"b\c` + "\n"}).Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `esc_total{v="a\"b\\c\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestTracerStages(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Start(StageExec)
+	sp.AddSteps(100)
+	sp.AddSteps(23)
+	sp.End()
+	tr.Start(StageExec).End()
+
+	st := tr.Stage(StageExec)
+	if st.Spans() != 2 || st.Steps() != 123 {
+		t.Fatalf("spans %d steps %d, want 2/123", st.Spans(), st.Steps())
+	}
+	if got := st.Seconds().Count; got != 2 {
+		t.Fatalf("histogram count %d, want 2", got)
+	}
+	if names := tr.StageNames(); len(names) != 1 || names[0] != StageExec {
+		t.Fatalf("stage names %v", names)
+	}
+	if tr.Steps("absent") != 0 {
+		t.Fatal("absent stage reported steps")
+	}
+}
+
+// TestNilTracerSafe: every instrumented call site runs with telemetry
+// disabled too, so nil tracers, spans and metric bundles must be no-ops.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.AddSteps(1)
+	sp.End()
+	if tr.Stage("x") != nil || tr.Steps("x") != 0 || tr.StageNames() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	var em *EngineMetrics
+	em.ObserveTick(time.Second, 1, 1)
+	em.ObserveRefresh(time.Second, 1, true)
+	if em.Revivals() != 0 || em.DriftSearches() != 0 {
+		t.Fatal("nil engine metrics not inert")
+	}
+	var wm *WorkerMetrics
+	ws := wm.Worker("addr")
+	ws.Record(time.Second, 1, 1, 1, nil)
+	if ws.Calls() != 0 {
+		t.Fatal("nil worker stats not inert")
+	}
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter not inert")
+	}
+}
+
+func TestWorkerMetrics(t *testing.T) {
+	var created []string
+	wm := NewWorkerMetrics(func(addr string, ws *WorkerStats) { created = append(created, addr) })
+	a := wm.Worker("w1")
+	a.Record(10*time.Millisecond, int64(5*time.Millisecond), 1000, 64, nil)
+	a.Record(20*time.Millisecond, 0, 0, 0, errors.New("dead worker"))
+	if wm.Worker("w1") != a {
+		t.Fatal("same address returned distinct stats")
+	}
+	wm.Worker("w2")
+	if len(created) != 2 || created[0] != "w1" || created[1] != "w2" {
+		t.Fatalf("onNew calls %v", created)
+	}
+	if a.Calls() != 2 || a.Errors() != 1 || a.Steps() != 1000 || a.Roots() != 64 {
+		t.Fatalf("stats calls=%d errs=%d steps=%d roots=%d", a.Calls(), a.Errors(), a.Steps(), a.Roots())
+	}
+	if a.WorkerNanos() != int64(5*time.Millisecond) {
+		t.Fatalf("worker nanos %d", a.WorkerNanos())
+	}
+	if got := a.Remote.Snapshot().Count; got != 1 {
+		t.Fatalf("remote histogram count %d, want 1 (failed call has no worker time)", got)
+	}
+}
