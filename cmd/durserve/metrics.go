@@ -78,6 +78,9 @@ func newTelemetry() *telemetrySet {
 	}
 
 	t.engine = telemetry.NewEngineMetrics()
+	// Refreshes book StageRefresh spans on the same tracer, so the stage
+	// family covers standing-query maintenance, not just one-shot serving.
+	t.engine.Trace = t.tracer
 	reg.RegisterHistogram("durserve_tick_duration_seconds",
 		"Wall time per standing-query engine update.", t.engine.TickSeconds)
 	reg.RegisterHistogram("durserve_refresh_duration_seconds",

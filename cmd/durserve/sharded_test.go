@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"durability/internal/cluster"
@@ -95,5 +96,22 @@ func TestShardedDaemonMatchesLocal(t *testing.T) {
 			t.Fatalf("tick %d: sharded answer (P=%v, fresh=%d, survived=%d) differs from local (P=%v, fresh=%d, survived=%d)",
 				i+1, sa.P, sa.FreshSteps, sa.SurvivedRoots, la.P, la.FreshSteps, la.SurvivedRoots)
 		}
+	}
+
+	// The sharded daemon's scrape carries the per-worker attribution
+	// series, registered lazily as each worker address took its first
+	// call — the local daemon exposes none of them.
+	body := string(getBytes(t, sharded, "/metrics"))
+	for _, want := range []string{
+		"durserve_worker_calls_total{worker=",
+		"durserve_worker_roots_total{worker=",
+		"durserve_worker_chunk_seconds_bucket{",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("sharded /metrics missing %q", want)
+		}
+	}
+	if localBody := string(getBytes(t, local, "/metrics")); strings.Contains(localBody, "durserve_worker_") {
+		t.Error("local /metrics exposes per-worker series without a cluster backend")
 	}
 }

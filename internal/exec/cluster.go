@@ -187,8 +187,13 @@ func (c *Cluster) call(ctx context.Context, idx int, req cluster.ShardRequest) (
 	began := telemetry.Now()
 	var workerNanos int64
 	defer func() {
+		// res is the zero ShardResult on failure, so a failed attempt books
+		// the call, the error and its round-trip, but no roots or steps —
+		// the per-worker work series count only simulation the worker
+		// actually performed, and a retried chunk's work lands once, on the
+		// worker that completed it.
 		c.Metrics.Worker(c.addrs[idx]).Record(
-			telemetry.Since(began), workerNanos, res.Steps, req.RootHi-req.RootLo, err)
+			telemetry.Since(began), workerNanos, res.Steps, res.Roots, err)
 	}()
 	cl, err := c.client(ctx, idx)
 	if err != nil {

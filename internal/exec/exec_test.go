@@ -11,6 +11,7 @@ import (
 	"durability/internal/core"
 	"durability/internal/mc"
 	"durability/internal/stochastic"
+	"durability/internal/telemetry"
 )
 
 func chainRegistry() cluster.Registry {
@@ -206,10 +207,15 @@ func TestClusterBackendAllWorkersDead(t *testing.T) {
 }
 
 // An unreachable address fails the dial, which is retried like a dead
-// worker; with a healthy peer present the query still completes.
+// worker; with a healthy peer present the query still completes. The
+// attached worker metrics must attribute the simulated work to the
+// worker that performed it: the unreachable address books its failed
+// calls but zero roots and steps, never the chunk ranges it was
+// assigned and could not run.
 func TestClusterBackendUndialableWorker(t *testing.T) {
 	healthy := startWorkers(t, chainRegistry(), 1)
 	backend := NewCluster("127.0.0.1:1", healthy[0])
+	backend.Metrics = telemetry.NewWorkerMetrics(nil)
 	defer backend.Close()
 	res, err := Sample(context.Background(), backend, chainTask(), SampleOptions{Stop: mc.Budget{Steps: 100_000}})
 	if err != nil {
@@ -217,6 +223,17 @@ func TestClusterBackendUndialableWorker(t *testing.T) {
 	}
 	if res.Paths == 0 {
 		t.Fatalf("no work accounted: %+v", res)
+	}
+	dead := backend.Metrics.Worker("127.0.0.1:1")
+	live := backend.Metrics.Worker(healthy[0])
+	if dead.Calls() == 0 || dead.Errors() != dead.Calls() {
+		t.Errorf("unreachable worker calls=%d errors=%d, want every call an error", dead.Calls(), dead.Errors())
+	}
+	if dead.Roots() != 0 || dead.Steps() != 0 {
+		t.Errorf("unreachable worker booked roots=%d steps=%d, want 0/0 (it performed no work)", dead.Roots(), dead.Steps())
+	}
+	if live.Roots() == 0 || live.Steps() == 0 || live.Errors() != 0 {
+		t.Errorf("healthy worker roots=%d steps=%d errors=%d, want all the work and no errors", live.Roots(), live.Steps(), live.Errors())
 	}
 }
 

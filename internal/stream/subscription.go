@@ -367,7 +367,7 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 		ans.Satisfied = true
 		ans.Result = mc.Result{P: 1}
 		s.store(ans)
-		cfg.Metrics.ObserveRefresh(telemetry.Since(began), 0, false)
+		cfg.Metrics.ObserveRefresh(telemetry.Since(began), 0, 0)
 		return ans, nil
 	}
 
@@ -490,7 +490,7 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 	}
 	ans.Result = res
 	s.store(ans)
-	cfg.Metrics.ObserveRefresh(telemetry.Since(began), revived, ans.Replanned)
+	cfg.Metrics.ObserveRefresh(telemetry.Since(began), ans.FreshSteps, revived)
 	return ans, err
 }
 

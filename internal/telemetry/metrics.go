@@ -9,18 +9,21 @@ import (
 // EngineMetrics is the per-tick refresh telemetry of the standing-query
 // engine (internal/stream): how many subscriptions a tick refreshed,
 // how many fresh roots it topped up, how long ticks and individual
-// refreshes took, and the two maintenance events invisible in lifetime
+// refreshes took, and the maintenance event invisible in lifetime
 // counters — dormant batches reviving when the state drifts back to
-// them, and drift-bucket crossings that re-resolved a plan. A nil
-// *EngineMetrics ignores every call.
+// them. A nil *EngineMetrics ignores every call.
 type EngineMetrics struct {
 	TickSeconds       *Histogram // wall time per engine update
 	RefreshSeconds    *Histogram // wall time per subscription refresh
 	RefreshedPerTick  *Histogram // subscriptions refreshed per tick
 	TopUpRootsPerTick *Histogram // fresh roots simulated per tick
 
-	revivals      atomic.Int64
-	driftSearches atomic.Int64
+	// Trace, when non-nil, additionally books each refresh as a
+	// StageRefresh span, so the lifecycle stage taxonomy covers
+	// standing-query maintenance alongside the one-shot stages.
+	Trace *Tracer
+
+	revivals atomic.Int64
 }
 
 // NewEngineMetrics builds the bundle with default buckets.
@@ -44,18 +47,19 @@ func (m *EngineMetrics) ObserveTick(d time.Duration, refreshed, topUpRoots int64
 	m.TopUpRootsPerTick.Observe(float64(topUpRoots))
 }
 
-// ObserveRefresh records one subscription refresh: its wall time, how
-// many dormant batches the new state revived, and whether a drift-bucket
-// crossing re-resolved the plan.
-func (m *EngineMetrics) ObserveRefresh(d time.Duration, revived int64, replanned bool) {
+// ObserveRefresh records one subscription refresh: its wall time, the
+// fresh simulator steps its top-up paid, and how many dormant batches
+// the new state revived. The refresh span carries only the fresh steps:
+// refresh plan resolution goes through the shared runner, which already
+// attributes search steps to plan-search spans, so every step lands on
+// exactly one non-envelope stage.
+func (m *EngineMetrics) ObserveRefresh(d time.Duration, freshSteps, revived int64) {
 	if m == nil {
 		return
 	}
 	m.RefreshSeconds.ObserveDuration(d)
 	m.revivals.Add(revived)
-	if replanned {
-		m.driftSearches.Add(1)
-	}
+	m.Trace.Observe(StageRefresh, d, freshSteps)
 }
 
 // Revivals reports dormant batches revived by the state drifting back.
@@ -64,14 +68,6 @@ func (m *EngineMetrics) Revivals() int64 {
 		return 0
 	}
 	return m.revivals.Load()
-}
-
-// DriftSearches reports drift-bucket crossings that re-resolved a plan.
-func (m *EngineMetrics) DriftSearches() int64 {
-	if m == nil {
-		return 0
-	}
-	return m.driftSearches.Load()
 }
 
 // WorkerStats is the per-worker shard attribution of a cluster backend:
@@ -89,9 +85,11 @@ type WorkerStats struct {
 	Remote *Histogram   // worker-reported simulation seconds
 }
 
-// Record folds one chunk call into the stats. workerNanos is the
-// worker's own measurement shipped back with the shard counters (0 when
-// the call failed before a reply).
+// Record folds one chunk call into the stats. workerNanos, steps and
+// roots come from the worker's reply, so they are 0 when the call
+// failed before one: an errored (or later retried) attempt books the
+// call, the error and its round-trip, but no work the worker never
+// performed.
 func (w *WorkerStats) Record(d time.Duration, workerNanos, steps, roots int64, err error) {
 	if w == nil {
 		return

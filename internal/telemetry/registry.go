@@ -97,8 +97,12 @@ func sortLabels(labels []Label) []Label {
 }
 
 // register finds or creates the series for (name, labels), enforcing
-// one type and help string per family.
-func (r *Registry) register(name, help, typ string, labels []Label) *series {
+// one type and help string per family, then runs init on it — still
+// under the registry lock, so series-field writes are ordered against
+// the snapshot WritePrometheus takes. Registration happens on serving
+// hot paths (per-worker series appear on a worker's first call), so
+// nothing outside this lock may touch the family maps or series fields.
+func (r *Registry) register(name, help, typ string, labels []Label, init func(*series)) {
 	labels = sortLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -115,48 +119,53 @@ func (r *Registry) register(name, help, typ string, labels []Label) *series {
 		s = &series{labels: labels}
 		f.series[key] = s
 	}
-	return s
+	init(s)
 }
 
 // Counter returns the counter for (name, labels), creating it if needed.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.register(name, help, "counter", labels)
-	if s.counter == nil && s.counterFn == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	var c *Counter
+	r.register(name, help, "counter", labels, func(s *series) {
+		if s.counter == nil && s.counterFn == nil {
+			s.counter = &Counter{}
+		}
+		c = s.counter
+	})
+	return c
 }
 
 // CounterFunc exposes an existing monotone counter (a serving-layer
 // atomic, typically) as a counter series without double bookkeeping.
 func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
-	s := r.register(name, help, "counter", labels)
-	s.counterFn = fn
-	s.counter = nil
+	r.register(name, help, "counter", labels, func(s *series) {
+		s.counterFn = fn
+		s.counter = nil
+	})
 }
 
 // GaugeFunc exposes a point-in-time reading as a gauge series.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	s := r.register(name, help, "gauge", labels)
-	s.gaugeFn = fn
+	r.register(name, help, "gauge", labels, func(s *series) { s.gaugeFn = fn })
 }
 
 // Histogram returns the histogram for (name, labels), creating it with
 // the given bounds if needed.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
-	s := r.register(name, help, "histogram", labels)
-	if s.hist == nil {
-		s.hist = NewHistogram(bounds)
-	}
-	return s.hist
+	var h *Histogram
+	r.register(name, help, "histogram", labels, func(s *series) {
+		if s.hist == nil {
+			s.hist = NewHistogram(bounds)
+		}
+		h = s.hist
+	})
+	return h
 }
 
 // RegisterHistogram adopts an existing histogram as a series, so
 // subsystems that own their histograms (the tracer, the stream engine
 // metrics) surface them without copying.
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
-	s := r.register(name, help, "histogram", labels)
-	s.hist = h
+	r.register(name, help, "histogram", labels, func(s *series) { s.hist = h })
 }
 
 func escapeLabelValue(v string) string {
@@ -198,15 +207,37 @@ func formatFloat(v float64) string {
 // families sorted by name and series sorted by label set, so two
 // registries holding identical values render byte-identical documents.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot everything structural under the lock: register() inserts
+	// into the family maps from serving hot paths (a cluster worker's
+	// series appear on its first call), so iterating the live maps while
+	// rendering would be a fatal concurrent map iteration. Each series
+	// struct is copied too, since re-registration may swap its backing
+	// fn. Values are then read outside the lock — counters and histogram
+	// buckets are atomics, and registered fns only read subsystem state,
+	// never the registry.
+	type famView struct {
+		name, help, typ string
+		series          []series
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
+	fams := make([]famView, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fv := famView{name: f.name, help: f.help, typ: f.typ, series: make([]series, 0, len(keys))}
+		for _, k := range keys {
+			fv.series = append(fv.series, *f.series[k])
+		}
+		fams = append(fams, fv)
 	}
 	r.mu.Unlock()
 
@@ -214,13 +245,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range fams {
 		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			s := f.series[k]
+		for _, s := range f.series {
 			switch f.typ {
 			case "counter":
 				v := s.counter.Value()

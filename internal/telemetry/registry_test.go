@@ -2,7 +2,10 @@ package telemetry
 
 import (
 	"errors"
+	"io"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -127,8 +130,8 @@ func TestNilTracerSafe(t *testing.T) {
 	}
 	var em *EngineMetrics
 	em.ObserveTick(time.Second, 1, 1)
-	em.ObserveRefresh(time.Second, 1, true)
-	if em.Revivals() != 0 || em.DriftSearches() != 0 {
+	em.ObserveRefresh(time.Second, 1, 1)
+	if em.Revivals() != 0 {
 		t.Fatal("nil engine metrics not inert")
 	}
 	var wm *WorkerMetrics
@@ -142,6 +145,62 @@ func TestNilTracerSafe(t *testing.T) {
 	c.Inc()
 	if c.Value() != 0 {
 		t.Fatal("nil counter not inert")
+	}
+}
+
+// TestRegistryScrapeConcurrentWithLazyRegistration pins the crash the
+// serving path can otherwise hit: per-worker series register lazily on
+// a worker's first call, so a scrape rendering the family maps while
+// registration inserts into them must not race (it was a fatal
+// concurrent map iteration before WritePrometheus snapshotted under
+// the lock). Run under -race.
+func TestRegistryScrapeConcurrentWithLazyRegistration(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		l := Label{"worker", strconv.Itoa(i)}
+		r.CounterFunc("lazy_calls_total", "c", func() int64 { return 1 }, l)
+		r.Counter("lazy_roots_total", "c", l).Inc()
+		r.GaugeFunc("lazy_depth", "g", func() float64 { return 0 }, l)
+		r.Histogram("lazy_chunk_seconds", "h", []float64{1}, l).Observe(0.5)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEngineMetricsRefreshSpans: a refresh books one StageRefresh span
+// carrying its fresh top-up steps on the wired tracer.
+func TestEngineMetricsRefreshSpans(t *testing.T) {
+	tr := NewTracer(nil)
+	em := NewEngineMetrics()
+	em.Trace = tr
+	em.ObserveRefresh(time.Second, 40, 1)
+	em.ObserveRefresh(time.Second, 2, 0)
+	st := tr.Stage(StageRefresh)
+	if st.Spans() != 2 || st.Steps() != 42 {
+		t.Fatalf("refresh spans %d steps %d, want 2/42", st.Spans(), st.Steps())
+	}
+	if em.Revivals() != 1 {
+		t.Fatalf("revivals %d, want 1", em.Revivals())
+	}
+	if got := st.Seconds().Count; got != 2 {
+		t.Fatalf("refresh histogram count %d, want 2", got)
 	}
 }
 
