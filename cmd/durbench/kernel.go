@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"durability/internal/core"
+	"durability/internal/mc"
+	"durability/internal/stochastic"
+)
+
+// The kernel benchmark: every built-in model run cold through GMLSS down
+// the scalar recursion (stochastic.ScalarOnly hides the bulk interface)
+// and down the vectorized kernel, at the same seed and step budget. The
+// two paths are bit-for-bit equal by contract, so the run doubles as a
+// divergence tripwire; the numbers that differ are cost, not answers:
+// ns/step and steps/sec (wall-clock, informational across machines) and
+// allocs/root (deterministic, guarded against the committed
+// BENCH_kernel.json under the same >10% budget as the serve scenarios).
+//
+// BootstrapReps is held at 1: per-batch bootstrap resampling is
+// estimator bookkeeping both paths share (~25% of a default run), and a
+// kernel benchmark should measure the kernel.
+
+// kernelScenario is one built-in model under a fixed splitting config.
+type kernelScenario struct {
+	name    string
+	proc    stochastic.Process
+	obs     stochastic.Observer
+	beta    float64
+	levels  []float64
+	horizon int
+}
+
+func kernelScenarios() ([]kernelScenario, error) {
+	regime, err := stochastic.NewRegimeSwitching(0,
+		[][]float64{{0.95, 0.05}, {0.2, 0.8}},
+		[]float64{0.01, 0.3}, []float64{0.5, 2.0}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []kernelScenario{
+		{name: "gbm", proc: &stochastic.GBM{S0: 100, Mu: 0.002, Sigma: 0.08},
+			obs: stochastic.ScalarValue, beta: 200, levels: []float64{0.6, 0.75, 0.9}, horizon: 50},
+		{name: "walk", proc: &stochastic.RandomWalk{Start: 5, Drift: 0.2, Sigma: 2},
+			obs: stochastic.ScalarValue, beta: 20, levels: []float64{0.35, 0.5, 0.65, 0.8}, horizon: 60},
+		{name: "ar", proc: stochastic.NewAR([]float64{0.6, 0.3}, 1.5, 1),
+			obs: stochastic.ARValue, beta: 10, levels: []float64{0.3, 0.5, 0.7, 0.9}, horizon: 50},
+		{name: "cpp", proc: &stochastic.CompoundPoisson{
+			U0: 10, Premium: 1, ClaimRate: 0.8, ClaimLo: 0, ClaimHi: 2,
+			ImpulseProb: 0.05, ImpulseSize: 4, ImpulseAfter: 3},
+			obs: stochastic.ScalarValue, beta: 25, levels: []float64{0.5, 0.65, 0.8}, horizon: 60},
+		{name: "chain", proc: stochastic.BirthDeathChain(12, 0.45, 2),
+			obs: stochastic.ChainIndex, beta: 9, levels: []float64{4.0 / 9, 6.0 / 9, 8.0 / 9}, horizon: 80},
+		{name: "regime", proc: regime,
+			obs: stochastic.RegimeValue, beta: 15, levels: []float64{0.25, 0.5, 0.75}, horizon: 50},
+		{name: "queue", proc: &stochastic.TandemQueue{
+			ArrivalRate: 0.5, ServiceRate1: 0.5, ServiceRate2: 0.5,
+			ImpulseProb: 0.1, ImpulseSize: 3, ImpulseAfter: 2},
+			obs: stochastic.Queue2Len, beta: 8, levels: []float64{0.25, 0.5, 0.75}, horizon: 60},
+	}, nil
+}
+
+func (sc kernelScenario) gmlss(proc stochastic.Process, budget int64) (*core.GMLSS, error) {
+	plan, err := core.NewPlan(sc.levels...)
+	if err != nil {
+		return nil, err
+	}
+	return &core.GMLSS{
+		Proc:          proc,
+		Query:         core.Query{Value: core.ThresholdValue(sc.obs, sc.beta), Horizon: sc.horizon},
+		Plan:          plan,
+		Ratio:         3,
+		Stop:          mc.Budget{Steps: budget},
+		Seed:          41,
+		Workers:       1,
+		Batch:         512,
+		BootstrapReps: 1,
+	}, nil
+}
+
+// kernelReport is one entry of the BENCH_kernel.json array.
+type kernelReport struct {
+	Model string `json:"model"`
+	Roots int64  `json:"roots"`
+	Steps int64  `json:"steps"` // deterministic; equal on both paths by contract
+
+	ScalarNsPerStep   float64 `json:"scalarNsPerStep"`
+	BulkNsPerStep     float64 `json:"bulkNsPerStep"`
+	ScalarStepsPerSec float64 `json:"scalarStepsPerSec"`
+	BulkStepsPerSec   float64 `json:"bulkStepsPerSec"`
+
+	// Allocations per completed root, measured over a whole cold run.
+	// The scalar path pays O(splits) per root (one Clone per spill plus
+	// boxed states); the bulk path amortizes pooled lane state to O(1).
+	ScalarAllocsPerRoot float64 `json:"scalarAllocsPerRoot"`
+	BulkAllocsPerRoot   float64 `json:"bulkAllocsPerRoot"`
+
+	// Speedup is scalar ns/step over bulk ns/step. Step cost is
+	// math-bound (exp / Box-Muller normals are most of a step on the
+	// built-in models), so this headline is structurally modest next to
+	// the allocs/root collapse.
+	Speedup float64 `json:"speedup"`
+}
+
+// timedRun measures one cold GMLSS run: wall time, steps, roots, and
+// total heap allocations. Mallocs deltas are exact counts, so the
+// allocation numbers are deterministic where wall time is not.
+func timedRun(ctx context.Context, g *core.GMLSS) (elapsed time.Duration, res mc.Result, allocs uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err = g.Run(ctx)
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, res, after.Mallocs - before.Mallocs, err
+}
+
+// runKernelBench produces the BENCH_kernel.json array. Each path runs
+// reps times and keeps the fastest wall clock; allocations come from the
+// last run (they are identical across runs).
+func runKernelBench(ctx context.Context, budget int64, reps int) ([]kernelReport, error) {
+	scenarios, err := kernelScenarios()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kernelReport, 0, len(scenarios))
+	for _, sc := range scenarios {
+		bulk, err := sc.gmlss(sc.proc, budget)
+		if err != nil {
+			return nil, err
+		}
+		scalar, err := sc.gmlss(stochastic.ScalarOnly(sc.proc), budget)
+		if err != nil {
+			return nil, err
+		}
+
+		var bulkRes, scalarRes mc.Result
+		var bulkNs, scalarNs float64
+		var bulkAllocs, scalarAllocs uint64
+		for i := 0; i < reps; i++ {
+			el, res, al, err := timedRun(ctx, bulk)
+			if err != nil {
+				return nil, fmt.Errorf("kernel %s bulk: %w", sc.name, err)
+			}
+			if ns := float64(el.Nanoseconds()); i == 0 || ns < bulkNs {
+				bulkNs = ns
+			}
+			bulkRes, bulkAllocs = res, al
+
+			el, res, al, err = timedRun(ctx, scalar)
+			if err != nil {
+				return nil, fmt.Errorf("kernel %s scalar: %w", sc.name, err)
+			}
+			if ns := float64(el.Nanoseconds()); i == 0 || ns < scalarNs {
+				scalarNs = ns
+			}
+			scalarRes, scalarAllocs = res, al
+		}
+
+		// The divergence tripwire: the two paths must produce the same
+		// answer, not just similar costs.
+		if scalarRes.P != bulkRes.P || scalarRes.Steps != bulkRes.Steps ||
+			scalarRes.Paths != bulkRes.Paths || scalarRes.Hits != bulkRes.Hits {
+			return nil, fmt.Errorf("kernel %s: bulk diverged from scalar: P %v vs %v, steps %d vs %d, roots %d vs %d, hits %d vs %d",
+				sc.name, bulkRes.P, scalarRes.P, bulkRes.Steps, scalarRes.Steps,
+				bulkRes.Paths, scalarRes.Paths, bulkRes.Hits, scalarRes.Hits)
+		}
+
+		r := kernelReport{
+			Model:               sc.name,
+			Roots:               bulkRes.Paths,
+			Steps:               bulkRes.Steps,
+			ScalarNsPerStep:     scalarNs / float64(bulkRes.Steps),
+			BulkNsPerStep:       bulkNs / float64(bulkRes.Steps),
+			ScalarAllocsPerRoot: float64(scalarAllocs) / float64(bulkRes.Paths),
+			BulkAllocsPerRoot:   float64(bulkAllocs) / float64(bulkRes.Paths),
+		}
+		r.ScalarStepsPerSec = 1e9 / r.ScalarNsPerStep
+		r.BulkStepsPerSec = 1e9 / r.BulkNsPerStep
+		r.Speedup = r.ScalarNsPerStep / r.BulkNsPerStep
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// loadKernelBaseline reads a committed BENCH_kernel.json, with the same
+// missing-file-guards-nothing contract as loadBaseline.
+func loadKernelBaseline(path string) ([]kernelReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durbench: reading kernel baseline %s: %w", path, err)
+	}
+	var base []kernelReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("durbench: parsing kernel baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// checkKernelRegression guards the deterministic kernel quantities
+// against the committed baseline: allocs/root on either path may grow at
+// most the guard budget (plus half an allocation of absolute slack — the
+// bulk numbers sit near zero, where a ratio alone is too twitchy).
+// Wall-clock numbers are recorded, not guarded: ns/step is a property of
+// the machine as much as the code.
+func checkKernelRegression(base, fresh []kernelReport) error {
+	byModel := map[string]kernelReport{}
+	for _, old := range base {
+		byModel[old.Model] = old
+	}
+	for _, r := range fresh {
+		old, ok := byModel[r.Model]
+		if !ok {
+			continue
+		}
+		if r.BulkAllocsPerRoot > guardBudget*old.BulkAllocsPerRoot+0.5 {
+			return fmt.Errorf("durbench: kernel %s bulk allocs/root regressed: %.3f vs committed %.3f (>%.0f%% budget)",
+				r.Model, r.BulkAllocsPerRoot, old.BulkAllocsPerRoot, 100*(guardBudget-1))
+		}
+		if r.ScalarAllocsPerRoot > guardBudget*old.ScalarAllocsPerRoot+0.5 {
+			return fmt.Errorf("durbench: kernel %s scalar allocs/root regressed: %.3f vs committed %.3f (>%.0f%% budget)",
+				r.Model, r.ScalarAllocsPerRoot, old.ScalarAllocsPerRoot, 100*(guardBudget-1))
+		}
+	}
+	return nil
+}

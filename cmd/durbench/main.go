@@ -115,6 +115,11 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "base random seed")
 		workers   = flag.Int("workers", 2, "in-process shard workers for the sharded scenario (0 = skip)")
 		baseline  = flag.String("baseline", "", "committed BENCH_serve.json to guard against: fail if the batch scenario's steps regress >10%")
+
+		kernelOut      = flag.String("kernel-out", "", "write the kernel benchmark (scalar vs bulk per model) to this path (empty = skip)")
+		kernelBaseline = flag.String("kernel-baseline", "", "committed BENCH_kernel.json to guard against: fail if allocs/root regress >10%")
+		kernelBudget   = flag.Int64("kernel-budget", 1_000_000, "step budget per kernel scenario run")
+		kernelReps     = flag.Int("kernel-reps", 2, "timed repetitions per kernel scenario (fastest wins)")
 	)
 	flag.Parse()
 
@@ -232,6 +237,35 @@ func main() {
 	reports = append(reports, recovery)
 	if err := checkRecoveryRegression(base, recovery); err != nil {
 		log.Fatal(err)
+	}
+
+	if *kernelOut != "" {
+		var kernelBase []kernelReport
+		if *kernelBaseline != "" {
+			if kernelBase, err = loadKernelBaseline(*kernelBaseline); err != nil {
+				log.Fatal(err)
+			}
+		}
+		kernel, err := runKernelBench(ctx, *kernelBudget, *kernelReps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := checkKernelRegression(kernelBase, kernel); err != nil {
+			log.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(kernel, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*kernelOut, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range kernel {
+			fmt.Printf("durbench[kernel/%s]: bulk %.1f ns/step (%.2fx vs scalar %.1f), allocs/root %.2f vs scalar %.1f\n",
+				r.Model, r.BulkNsPerStep, r.Speedup, r.ScalarNsPerStep, r.BulkAllocsPerRoot, r.ScalarAllocsPerRoot)
+		}
+		fmt.Printf("durbench: wrote %d kernel scenarios -> %s\n", len(kernel), *kernelOut)
 	}
 
 	// Totals sit under the >10% baseline guards above; span attribution

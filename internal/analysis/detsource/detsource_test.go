@@ -11,6 +11,8 @@ func TestDetsource(t *testing.T) {
 	analysistest.Run(t, "testdata/src", detsource.Analyzer,
 		"internal/core/bad",
 		"internal/core/clean",
+		"internal/stochastic/bad",
+		"internal/stochastic/clean",
 		"outside",
 	)
 }

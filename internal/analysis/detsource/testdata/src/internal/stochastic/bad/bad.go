@@ -1,0 +1,21 @@
+// Package bad exercises detsource inside the model package's import
+// path: internal/stochastic joined the deterministic set when the
+// vectorized kernel made model Step/StepVec bodies part of every
+// sampler's bit-for-bit contract.
+package bad
+
+import (
+	"math/rand" // want `deterministic package imports math/rand`
+	"time"
+)
+
+// JitterStep perturbs a model step with the globally seeded generator —
+// two runs of the same substream would diverge.
+func JitterStep(v float64) float64 {
+	return v + rand.NormFloat64() // want `uses math/rand\.NormFloat64`
+}
+
+// StampedStep folds the wall clock into a state transition.
+func StampedStep(v float64) float64 {
+	return v * float64(time.Now().Unix()) // want `reads the wall clock via time\.Now`
+}

@@ -1,0 +1,28 @@
+// Package clean shows the model-package idioms detsource must accept:
+// all randomness through an injected seeded source, bulk stepping
+// included.
+package clean
+
+// Source stands in for internal/rng.Source: the injected, seeded
+// substrate every model draw must come from.
+type Source struct{ s uint64 }
+
+// Norm is a stand-in deterministic draw.
+func (s *Source) Norm() float64 {
+	s.s = s.s*6364136223846793005 + 1442695040888963407
+	return float64(int64(s.s>>11)) / (1 << 53)
+}
+
+// Step advances one lane from its own source — the scalar contract.
+func Step(v float64, src *Source) float64 {
+	return v + src.Norm()
+}
+
+// StepVec advances the listed lanes, each from its own source — the
+// bulk fast path the kernel drives. Nothing here may consult a clock
+// or a global generator.
+func StepVec(lane []float64, lanes []int, src []*Source) {
+	for _, i := range lanes {
+		lane[i] += src[i].Norm()
+	}
+}

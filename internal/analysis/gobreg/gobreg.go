@@ -151,9 +151,13 @@ type walker struct {
 	root       *gobRoot
 }
 
-// walk traverses the reachable type graph from t.
+// walk traverses the reachable type graph from t. The visited set keys
+// on the full type string (pointers intact): typeKey's pointer
+// stripping would make *T and T collide, so walking *T would mark T
+// seen before ever reaching it and pointer-held structs would silently
+// escape the audit.
 func (w *walker) walk(t types.Type) {
-	key := typeKey(t)
+	key := types.TypeString(t, nil)
 	if w.seen[key] {
 		return
 	}

@@ -26,12 +26,23 @@ type Cursor struct { // want `type gobbad\.Cursor is reachable from gob root Sna
 	pos  int64
 }
 
+// LaneVec is a simulation-kernel state vector — flat lane storage with
+// a spill free list, all unexported. Vecs are transient per-worker
+// scratch and must never be persisted; snapshotting one is exactly the
+// mistake this diagnostic catches.
+type LaneVec struct { // want `type gobbad\.LaneVec is reachable from gob root Snapshot, has unexported fields and no GobEncode/MarshalBinary`
+	lane  []float64
+	spill []float64
+	free  []int
+}
+
 // Snapshot is the durable root.
 //
 //durlint:gobroot
 type Snapshot struct {
 	Tail   []Event
 	Cursor Cursor
+	Hot    *LaneVec
 }
 
 func init() {
@@ -40,3 +51,6 @@ func init() {
 
 // use keeps the unexported field honest.
 func (c *Cursor) Advance() { c.pos++ }
+
+// Step keeps LaneVec's unexported fields honest.
+func (v *LaneVec) Step(i int) { v.lane[i]++ }

@@ -39,6 +39,20 @@ func (c *Cursor) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
+// LaneVec mirrors the simulation kernel's state vectors: unexported
+// flat lane storage, no encoders — and deliberately NOT reachable from
+// any gob root. Transient per-worker scratch rebuilt from the model on
+// every run stays outside the snapshot surface, so the walker must not
+// flag it.
+type LaneVec struct {
+	lane  []float64
+	spill []float64
+	free  []int
+}
+
+// Step keeps LaneVec's unexported fields honest.
+func (v *LaneVec) Step(i int) { v.lane[i]++ }
+
 // Snapshot is the durable root; everything reachable is accounted for.
 //
 //durlint:gobroot

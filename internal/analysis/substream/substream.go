@@ -13,11 +13,13 @@
 // shifts and masks (1<<62|id, uint64(stage)<<32|uint64(i)), which cannot
 // collide across distinct identities.
 //
-// The analyzer reports any call to an rng package's NewStream whose seed
-// (first) argument contains `^`, `+`, `-` or `*` over non-constant
-// operands, and any stream-index argument using `^` (XOR folds are how
-// seeds get mixed by the back door). Constant-only arithmetic
-// (1<<62 | 3) stays legal anywhere.
+// The analyzer reports any call to an rng package's NewStream — or to
+// the in-place Source.SeedStream the pooled simulation-kernel lanes use,
+// which takes the same (seed, stream) pair — whose seed (first) argument
+// contains `^`, `+`, `-` or `*` over non-constant operands, and any
+// stream-index argument using `^` (XOR folds are how seeds get mixed by
+// the back door). Constant-only arithmetic (1<<62 | 3) stays legal
+// anywhere.
 package substream
 
 import (
@@ -38,7 +40,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !isNewStream(pass, call) || len(call.Args) < 2 {
+		if !ok || !isStreamSeeder(pass, call) || len(call.Args) < 2 {
 			return true
 		}
 		if op := mixingOp(pass, call.Args[0], token.XOR, token.ADD, token.SUB, token.MUL); op != token.ILLEGAL {
@@ -56,12 +58,14 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// isNewStream reports whether call invokes a NewStream function of an
-// rng package (the repository's internal/rng or a fixture shim named
-// rng).
-func isNewStream(pass *analysis.Pass, call *ast.CallExpr) bool {
+// isStreamSeeder reports whether call invokes a (seed, stream)
+// substream constructor of an rng package (the repository's
+// internal/rng or a fixture shim named rng): the NewStream function or
+// the equivalent in-place Source.SeedStream method. Both take the same
+// argument pair, so the same mixing rules apply.
+func isStreamSeeder(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "NewStream" {
+	if !ok || (sel.Sel.Name != "NewStream" && sel.Sel.Name != "SeedStream") {
 		return false
 	}
 	obj := pass.ObjectOf(sel.Sel)

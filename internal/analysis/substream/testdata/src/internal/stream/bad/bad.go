@@ -26,6 +26,17 @@ func XORIndex(seed, id uint64) *rng.Source {
 	return rng.NewStream(seed, 1<<62^id) // want `substream index folds identity with "\^"`
 }
 
+// Reseed folds identity into the seed of an in-place re-seed — the
+// pooled-lane variant of the same collision class.
+func Reseed(src *rng.Source, seed, root uint64) {
+	src.SeedStream(seed^root, 0) // want `substream seed mixes identity with "\^"`
+}
+
+// ReseedIndex hides the fold in the in-place call's index argument.
+func ReseedIndex(src *rng.Source, seed, root uint64) {
+	src.SeedStream(seed, 1<<62^root) // want `substream index folds identity with "\^"`
+}
+
 // Acknowledged shows a justified suppression.
 func Acknowledged(seed, id uint64) *rng.Source {
 	//durlint:ignore substream test-only collision probe, both operands constant at every call site

@@ -26,3 +26,10 @@ func Staged(seed uint64, stage, i int) *rng.Source {
 func ConstMix(seed uint64) *rng.Source {
 	return rng.NewStream(seed, 1<<62+3)
 }
+
+// PooledLane re-seeds a pooled per-lane Source the approved way: seed
+// pristine, root identity in the stream index — how the vectorized
+// kernel assigns substreams without per-root allocation.
+func PooledLane(src *rng.Source, seed uint64, root int64) {
+	src.SeedStream(seed, uint64(root))
+}

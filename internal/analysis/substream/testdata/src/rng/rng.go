@@ -9,3 +9,9 @@ type Source struct{ s uint64 }
 func NewStream(seed, stream uint64) *Source {
 	return &Source{s: seed ^ stream}
 }
+
+// SeedStream mirrors internal/rng.Source.SeedStream: the in-place
+// re-seed the pooled kernel lanes use.
+func (s *Source) SeedStream(seed, stream uint64) {
+	s.s = seed ^ stream
+}

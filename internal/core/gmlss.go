@@ -32,12 +32,23 @@ type levelCounters struct {
 	hits float64
 }
 
+// newLevelCounters allocates counters in one flat backing array; the
+// batch drivers go further and carve many roots' counters out of a
+// pooled arena (see counterArena).
 func newLevelCounters(m int) levelCounters {
+	return countersFrom(make([]float64, 4*(m+1)), m)
+}
+
+// countersFrom carves a levelCounters out of a caller-owned backing
+// slice of length 4*(m+1). The subslice capacities are clipped so an
+// append on one section can never bleed into the next.
+func countersFrom(buf []float64, m int) levelCounters {
+	n := m + 1
 	return levelCounters{
-		land: make([]float64, m+1),
-		skip: make([]float64, m+1),
-		mu:   make([]float64, m+1),
-		muSq: make([]float64, m+1),
+		land: buf[0*n : 1*n : 1*n],
+		skip: buf[1*n : 2*n : 2*n],
+		mu:   buf[2*n : 3*n : 3*n],
+		muSq: buf[3*n : 4*n : 4*n],
 	}
 }
 
@@ -111,6 +122,7 @@ type GMLSS struct {
 
 	Workers int             // parallel workers (default 1)
 	Batch   int             // root paths between stop-rule checks (default 128)
+	Lanes   int             // lane-frontier width per worker for bulk models (default 64)
 	Trace   func(mc.Result) // optional per-batch progress callback
 
 	// BootstrapReps is the number of bootstrap replicates used for each
@@ -161,15 +173,6 @@ func (g *GMLSS) ratioAt(j int) int {
 		return g.Ratios[j-1]
 	}
 	return g.Ratio
-}
-
-// runTree simulates root path idx and its whole splitting tree.
-func (g *GMLSS) runTree(idx int64, initLevel int) gmlssRoot {
-	src := rng.NewStream(g.Seed, uint64(idx))
-	out := gmlssRoot{counters: newLevelCounters(g.Plan.M())}
-	st := g.Proc.Initial()
-	g.segment(st, 0, initLevel, src, &out)
-	return out
 }
 
 // segment simulates one path that last landed in level curr at time t0 and
@@ -234,10 +237,12 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 		varEvery = 1.3
 	}
 	m := g.Plan.M()
-	initLevel := g.Plan.LevelOf(g.Query.Value(g.Proc.Initial(), 0))
+	proto := g.Proc.Initial()
+	initLevel := g.Plan.LevelOf(g.Query.Value(proto, 0))
 	if initLevel >= m {
 		return mc.Result{}, errors.New("core: initial state already satisfies the query")
 	}
+	sim := g.newSim(workers, proto, initLevel)
 
 	start := telemetry.Now()
 	var res mc.Result
@@ -247,9 +252,7 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 	var nextVarAt int64
 	for {
 		lo, hi := res.Paths, res.Paths+int64(batch)
-		roots, err := forEachRoot(ctx, workers, lo, hi, func(idx int64) gmlssRoot {
-			return g.runTree(idx, initLevel)
-		})
+		roots, err := sim.runRange(ctx, lo, hi)
 		for _, r := range roots {
 			res.Steps += r.steps
 			agg.add(r.counters)

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+// This file implements the vectorized simulation kernel: instead of
+// recursing through one root-path tree at a time, each worker drives a
+// frontier of lanes — one lane per in-flight root — in lockstep through
+// the model's bulk step (stochastic.BulkProcess.StepVec), amortizing
+// per-step dispatch across the whole frontier and keeping lane state in
+// flat vector storage.
+//
+// The kernel is numerics-preserving by construction. A lane is a whole
+// root: all of a root's randomness comes from its own substream, and
+// the scalar recursion's depth-first order through the splitting tree
+// is replicated exactly by an explicit frame stack, so the draw
+// sequence on each substream — and therefore every floating-point
+// value, in the exact accumulation order — is bit-for-bit identical to
+// the scalar path. Models without a bulk fast path fall back to the
+// scalar recursion unchanged.
+
+// defaultLanes is the lane-frontier width per worker. Wide enough to
+// amortize the per-round bookkeeping, small enough that the frontier's
+// state vectors stay cache-resident for every built-in model.
+const defaultLanes = 64
+
+// kframe is one pending split of the depth-first tree walk: the
+// spilled entrance state plus the offspring accounting the scalar
+// recursion keeps in its call frame. level is the landing level (the
+// level the offspring segments watch from for g-MLSS, or the child
+// watch level for s-MLSS).
+type kframe struct {
+	spill   int // StateVec spill handle of the split entrance state
+	t       int // entrance time; offspring resume at t+1
+	level   int
+	ratio   int
+	done    int // offspring completed so far
+	crossed int // offspring that crossed the next boundary (g-MLSS)
+}
+
+// counterArena carves per-root levelCounters out of one flat backing
+// array, recycled batch to batch. Both drivers fold every root's
+// counters into their aggregates (and the bootstrap pool) before the
+// next batch starts, so the backing can be zeroed and reused: one
+// allocation amortized over the run instead of four per root.
+type counterArena struct {
+	m   int
+	buf []float64
+	cnt []levelCounters
+}
+
+func (a *counterArena) carve(n int) []levelCounters {
+	stride := 4 * (a.m + 1)
+	need := n * stride
+	if cap(a.buf) < need {
+		a.buf = make([]float64, need)
+	} else {
+		a.buf = a.buf[:need]
+		clear(a.buf)
+	}
+	if cap(a.cnt) < n {
+		a.cnt = make([]levelCounters, n)
+	}
+	a.cnt = a.cnt[:n]
+	for i := 0; i < n; i++ {
+		a.cnt[i] = countersFrom(a.buf[i*stride:(i+1)*stride], a.m)
+	}
+	return a.cnt
+}
+
+// entryArena is counterArena's analog for the s-MLSS per-root
+// first-landing counts.
+type entryArena struct {
+	m   int
+	buf []int64
+}
+
+func (a *entryArena) carve(n int) [][]int64 {
+	stride := a.m + 1
+	need := n * stride
+	if cap(a.buf) < need {
+		a.buf = make([]int64, need)
+	} else {
+		a.buf = a.buf[:need]
+		clear(a.buf)
+	}
+	out := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = a.buf[i*stride : (i+1)*stride : (i+1)*stride]
+	}
+	return out
+}
+
+// runLaneChunks mirrors forEachRoot's worker layout and cancellation
+// semantics for the lane kernels: the range [0, n) is cut into one
+// contiguous chunk per worker, each worker advances its chunk with its
+// own kernel, and on cancellation the completed range is the longest
+// contiguous prefix of finished roots — exactly the contract callers
+// already rely on for deterministic resume.
+func runLaneChunks(ctx context.Context, workers int, n int64, chunk func(w int, wlo, whi int64) int64) (int64, error) {
+	if workers <= 1 {
+		completed := chunk(0, 0, n)
+		if err := ctx.Err(); err != nil {
+			return completed, err
+		}
+		return n, nil
+	}
+	per := (n + int64(workers) - 1) / int64(workers)
+	done := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wlo := int64(w) * per
+		whi := wlo + per
+		if whi > n {
+			whi = n
+		}
+		if wlo >= whi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, wlo, whi int64) {
+			defer wg.Done()
+			done[w] = chunk(w, wlo, whi)
+		}(w, wlo, whi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		prefix := n
+		for w := 0; w < workers; w++ {
+			wlo := int64(w) * per
+			whi := wlo + per
+			if whi > n {
+				whi = n
+			}
+			if wlo >= whi {
+				break
+			}
+			if done[w] < whi-wlo {
+				prefix = wlo + done[w]
+				break
+			}
+		}
+		return prefix, err
+	}
+	return n, nil
+}
+
+// laneSet is the per-worker lane plumbing shared by both kernels: the
+// model's state vector with its stable per-lane views, one pooled
+// Source per lane (re-seeded per root, so the per-root substream
+// contract holds without a per-root allocation), the per-lane time
+// cursors and frame stacks, and the root currently simulated by each
+// lane.
+type laneSet struct {
+	vec    stochastic.StateVec
+	views  []stochastic.State
+	srcs   []rng.Source
+	srcPtr []*rng.Source
+	t      []int // time of the step each lane is about to take
+	frames [][]kframe
+	root   []int   // chunk-local index of the root each lane simulates
+	lsteps []int64 // steps taken for the lane's current root, flushed on completion
+
+	active []int
+
+	// chunk-run cursor state
+	base      int64 // global index of the chunk's first root
+	next      int   // next chunk-local root to assign to a freed lane
+	total     int   // roots in the current chunk
+	completed []bool
+}
+
+func (ls *laneSet) init(bulk stochastic.BulkProcess, lanes int) {
+	ls.vec = bulk.NewStateVec(lanes)
+	ls.views = ls.vec.Views()
+	ls.srcs = make([]rng.Source, lanes)
+	ls.srcPtr = make([]*rng.Source, lanes)
+	for i := range ls.srcs {
+		ls.srcPtr[i] = &ls.srcs[i]
+	}
+	ls.t = make([]int, lanes)
+	ls.frames = make([][]kframe, lanes)
+	ls.root = make([]int, lanes)
+	ls.lsteps = make([]int64, lanes)
+	ls.active = make([]int, 0, lanes)
+}
+
+// beginChunk resets the cursor state for a chunk of n roots starting at
+// global index base.
+func (ls *laneSet) beginChunk(base int64, n int) {
+	ls.base = base
+	ls.next = 0
+	ls.total = n
+	if cap(ls.completed) < n {
+		ls.completed = make([]bool, n)
+	} else {
+		ls.completed = ls.completed[:n]
+		for i := range ls.completed {
+			ls.completed[i] = false
+		}
+	}
+	ls.active = ls.active[:0]
+}
+
+// completedPrefix returns the contiguous count of finished roots from
+// the chunk start (total unless the chunk was cancelled mid-flight).
+func (ls *laneSet) completedPrefix() int64 {
+	p := int64(0)
+	for p < int64(ls.total) && ls.completed[p] {
+		p++
+	}
+	return p
+}
+
+// gmlssKernel drives one worker's lane frontier through the g-MLSS
+// tree walk. advance replicates segment's per-step bookkeeping;
+// finishSegment replicates the recursion's unwinding.
+type gmlssKernel struct {
+	laneSet
+	g         *GMLSS
+	bulk      stochastic.BulkProcess
+	proto     stochastic.State
+	initLevel int
+	initB     float64 // Boundary(initLevel+1)
+	m         int
+	value     ValueFunc // Query.Value, cached off the hot loop's pointer chase
+	horizon   int
+
+	curr  []int     // current level per lane
+	nextB []float64 // Boundary(curr+1) per lane, fixed per segment
+	out   []gmlssRoot
+}
+
+func newGMLSSKernel(g *GMLSS, bulk stochastic.BulkProcess, proto stochastic.State, initLevel, lanes int) *gmlssKernel {
+	k := &gmlssKernel{
+		g:         g,
+		bulk:      bulk,
+		proto:     proto,
+		initLevel: initLevel,
+		initB:     g.Plan.Boundary(initLevel + 1),
+		m:         g.Plan.M(),
+		value:     g.Query.Value,
+		horizon:   g.Query.Horizon,
+	}
+	k.laneSet.init(bulk, lanes)
+	k.curr = make([]int, lanes)
+	k.nextB = make([]float64, lanes)
+	return k
+}
+
+// runChunk simulates roots [base, base+len(out)) into out and returns
+// the contiguous count of completed roots from the chunk start.
+func (k *gmlssKernel) runChunk(ctx context.Context, base int64, out []gmlssRoot) int64 {
+	k.out = out
+	k.beginChunk(base, len(out))
+	for i := 0; i < len(k.t) && k.next < k.total; i++ {
+		k.startRoot(i)
+		k.active = append(k.active, i)
+	}
+	for len(k.active) > 0 && ctx.Err() == nil {
+		k.bulk.StepVec(k.vec, k.active, k.t, k.srcPtr)
+		w := 0
+		for _, i := range k.active {
+			// The no-crossing, sub-horizon regime is inlined here: one
+			// observer call, two compares, a time bump. Everything rarer
+			// goes through advance.
+			k.lsteps[i]++
+			t := k.t[i]
+			f := k.value(k.views[i], t)
+			if f < k.nextB[i] && t < k.horizon {
+				k.t[i] = t + 1
+				k.active[w] = i
+				w++
+				continue
+			}
+			if k.advance(i, t, f) {
+				k.active[w] = i
+				w++
+			}
+		}
+		k.active = k.active[:w]
+	}
+	return k.completedPrefix()
+}
+
+// startRoot points lane i at the next unassigned root of the chunk.
+func (k *gmlssKernel) startRoot(i int) {
+	local := k.next
+	k.next++
+	k.root[i] = local
+	k.srcs[i].SeedStream(k.g.Seed, uint64(k.base+int64(local)))
+	k.vec.Load(i, k.proto)
+	k.curr[i] = k.initLevel
+	k.nextB[i] = k.initB
+	k.t[i] = 1
+	k.lsteps[i] = 0
+	k.frames[i] = k.frames[i][:0]
+}
+
+// advance books the cold outcomes of the step lane i just took at time
+// t with observed value f — a boundary crossing or the horizon — and
+// reports whether the lane still has work. runChunk's loop handles the
+// hot no-crossing regime inline; by the caller's filter, reaching here
+// means f >= nextB or t >= horizon.
+func (k *gmlssKernel) advance(i, t int, f float64) bool {
+	if f < k.nextB[i] {
+		return k.finishSegment(i, false)
+	}
+	out := &k.out[k.root[i]]
+	j := k.g.Plan.LevelOf(f)
+	for lvl := k.curr[i] + 1; lvl < j; lvl++ {
+		out.counters.skip[lvl]++
+	}
+	if j == k.m {
+		out.counters.hits++
+		return k.finishSegment(i, true)
+	}
+	out.counters.land[j]++
+	ratio := k.g.ratioAt(j)
+	if t >= k.horizon {
+		// The split lands exactly at the horizon: every offspring's
+		// time loop is empty, so none crosses and no randomness is
+		// drawn. Book the zero advancement fraction directly.
+		out.counters.mu[j] += 0
+		out.counters.muSq[j] += 0
+		return k.finishSegment(i, true)
+	}
+	k.frames[i] = append(k.frames[i], kframe{spill: k.vec.Save(i), t: t, level: j, ratio: ratio})
+	// The first offspring continues in-lane: its state is the entrance
+	// state the lane already holds.
+	k.curr[i] = j
+	k.nextB[i] = k.g.Plan.Boundary(j + 1)
+	k.t[i] = t + 1
+	return true
+}
+
+// finishSegment unwinds the frame stack after lane i's current segment
+// ended (crossed tells whether it crossed its watched boundary),
+// starting the next offspring or resolving finished splits, exactly as
+// the scalar recursion's returns do. When the stack empties the root is
+// complete and the lane takes the next root, if any.
+func (k *gmlssKernel) finishSegment(i int, crossed bool) bool {
+	out := &k.out[k.root[i]]
+	for {
+		stack := k.frames[i]
+		if len(stack) == 0 {
+			out.steps += k.lsteps[i]
+			k.lsteps[i] = 0
+			k.completed[k.root[i]] = true
+			if k.next < k.total {
+				k.startRoot(i)
+				return true
+			}
+			return false
+		}
+		fr := &stack[len(stack)-1]
+		if crossed {
+			fr.crossed++
+		}
+		fr.done++
+		if fr.done < fr.ratio {
+			// Next offspring restarts from the spilled entrance state.
+			k.vec.Restore(i, fr.spill)
+			k.curr[i] = fr.level
+			k.nextB[i] = k.g.Plan.Boundary(fr.level + 1)
+			k.t[i] = fr.t + 1 // fr.t < Horizon by the push condition
+			return true
+		}
+		frac := float64(fr.crossed) / float64(fr.ratio)
+		out.counters.mu[fr.level] += frac
+		out.counters.muSq[fr.level] += frac * frac
+		k.vec.Drop(fr.spill)
+		k.frames[i] = stack[:len(stack)-1]
+		// The finished split's segment itself crossed (it landed): keep
+		// unwinding as a crossing return.
+		crossed = true
+	}
+}
+
+// smlssKernel drives one worker's lane frontier through the s-MLSS
+// tree walk.
+type smlssKernel struct {
+	laneSet
+	s         *SMLSS
+	bulk      stochastic.BulkProcess
+	proto     stochastic.State
+	initWatch int
+	m         int
+	value     ValueFunc
+	horizon   int
+
+	watch []int
+	loB   []float64
+	hiB   []float64
+	out   []smlssRoot
+}
+
+func newSMLSSKernel(s *SMLSS, bulk stochastic.BulkProcess, proto stochastic.State, initLevel, lanes int) *smlssKernel {
+	k := &smlssKernel{
+		s:         s,
+		bulk:      bulk,
+		proto:     proto,
+		initWatch: initLevel + 1,
+		m:         s.Plan.M(),
+		value:     s.Query.Value,
+		horizon:   s.Query.Horizon,
+	}
+	k.laneSet.init(bulk, lanes)
+	k.watch = make([]int, lanes)
+	k.loB = make([]float64, lanes)
+	k.hiB = make([]float64, lanes)
+	return k
+}
+
+func (k *smlssKernel) runChunk(ctx context.Context, base int64, out []smlssRoot) int64 {
+	k.out = out
+	k.beginChunk(base, len(out))
+	for i := 0; i < len(k.t) && k.next < k.total; i++ {
+		k.startRoot(i)
+		k.active = append(k.active, i)
+	}
+	for len(k.active) > 0 && ctx.Err() == nil {
+		k.bulk.StepVec(k.vec, k.active, k.t, k.srcPtr)
+		w := 0
+		for _, i := range k.active {
+			// Inline hot path: the step neither landed in the watched
+			// interval (nor hit the target) nor reached the horizon.
+			k.lsteps[i]++
+			t := k.t[i]
+			f := k.value(k.views[i], t)
+			wl := k.watch[i]
+			if wl == k.m {
+				if f < 1 && t < k.horizon {
+					k.t[i] = t + 1
+					k.active[w] = i
+					w++
+					continue
+				}
+			} else if (f < k.loB[i] || f >= k.hiB[i]) && t < k.horizon {
+				k.t[i] = t + 1
+				k.active[w] = i
+				w++
+				continue
+			}
+			if k.advance(i, t, f) {
+				k.active[w] = i
+				w++
+			}
+		}
+		k.active = k.active[:w]
+	}
+	return k.completedPrefix()
+}
+
+func (k *smlssKernel) startRoot(i int) {
+	local := k.next
+	k.next++
+	k.root[i] = local
+	k.srcs[i].SeedStream(k.s.Seed, uint64(k.base+int64(local)))
+	k.vec.Load(i, k.proto)
+	k.setWatch(i, k.initWatch)
+	k.t[i] = 1
+	k.lsteps[i] = 0
+	k.frames[i] = k.frames[i][:0]
+}
+
+// setWatch points lane i at watch level w and caches its interval.
+func (k *smlssKernel) setWatch(i, w int) {
+	k.watch[i] = w
+	if w < k.m {
+		k.loB[i] = k.s.Plan.Boundary(w)
+		k.hiB[i] = k.s.Plan.Boundary(w + 1)
+	}
+}
+
+// advance books the cold outcomes for lane i at time t with value f: a
+// landing, a target hit, or the horizon. runChunk's loop keeps the hot
+// no-landing regime inline.
+func (k *smlssKernel) advance(i, t int, f float64) bool {
+	w := k.watch[i]
+	if w == k.m {
+		if f >= 1 {
+			out := &k.out[k.root[i]]
+			out.hits++
+			out.entries[k.m]++
+			return k.finishSegment(i)
+		}
+	} else if f >= k.loB[i] && f < k.hiB[i] {
+		out := &k.out[k.root[i]]
+		out.entries[w]++
+		if t >= k.horizon {
+			// Landing at the horizon: every offspring's time loop is
+			// empty, so the whole subtree resolves with no randomness.
+			return k.finishSegment(i)
+		}
+		k.frames[i] = append(k.frames[i], kframe{spill: k.vec.Save(i), t: t, level: w + 1, ratio: k.s.Ratio})
+		k.setWatch(i, w+1)
+		k.t[i] = t + 1
+		return true
+	}
+	if t >= k.horizon {
+		return k.finishSegment(i)
+	}
+	k.t[i] = t + 1
+	return true
+}
+
+func (k *smlssKernel) finishSegment(i int) bool {
+	for {
+		stack := k.frames[i]
+		if len(stack) == 0 {
+			k.out[k.root[i]].steps += k.lsteps[i]
+			k.lsteps[i] = 0
+			k.completed[k.root[i]] = true
+			if k.next < k.total {
+				k.startRoot(i)
+				return true
+			}
+			return false
+		}
+		fr := &stack[len(stack)-1]
+		fr.done++
+		if fr.done < fr.ratio {
+			k.vec.Restore(i, fr.spill)
+			k.setWatch(i, fr.level)
+			k.t[i] = fr.t + 1
+			return true
+		}
+		k.vec.Drop(fr.spill)
+		k.frames[i] = stack[:len(stack)-1]
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"durability/internal/mc"
+	"durability/internal/stochastic"
+)
+
+// Cold-run benchmarks for the simulation kernel: one full GMLSS run per
+// iteration, scalar recursion vs the vectorized bulk path, on the two
+// models the acceptance bar names (GBM and random walk). scripts/profile
+// drives the bulk variants under -cpuprofile/-memprofile; durbench's
+// BENCH_kernel.json covers the cross-model ns/step numbers.
+
+func benchGMLSS(proc stochastic.Process, obs stochastic.Observer, beta float64, plan Plan, horizon int) *GMLSS {
+	return &GMLSS{
+		Proc:          proc,
+		Query:         Query{Value: ThresholdValue(obs, beta), Horizon: horizon},
+		Plan:          plan,
+		Ratio:         3,
+		Stop:          mc.Budget{Steps: 300_000},
+		Seed:          41,
+		Workers:       1,
+		Batch:         512,
+		BootstrapReps: 1,
+	}
+}
+
+func benchModels(b *testing.B) map[string]*GMLSS {
+	b.Helper()
+	return map[string]*GMLSS{
+		"gbm": benchGMLSS(&stochastic.GBM{S0: 100, Mu: 0.002, Sigma: 0.08},
+			stochastic.ScalarValue, 200, MustPlan(0.6, 0.75, 0.9), 50),
+		"walk": benchGMLSS(&stochastic.RandomWalk{Start: 5, Drift: 0.2, Sigma: 2},
+			stochastic.ScalarValue, 20, MustPlan(0.35, 0.5, 0.65, 0.8), 60),
+		"chain": benchGMLSS(stochastic.BirthDeathChain(12, 0.45, 2),
+			stochastic.ChainIndex, 9, MustPlan(4.0/9, 6.0/9, 8.0/9), 80),
+	}
+}
+
+func runColdBench(b *testing.B, g *GMLSS) {
+	ctx := context.Background()
+	var steps int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := g.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Steps
+	}
+	b.StopTimer()
+	if steps > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(steps), "ns/step")
+	}
+}
+
+func BenchmarkGMLSSCold(b *testing.B) {
+	for name, g := range benchModels(b) {
+		b.Run(name+"/scalar", func(b *testing.B) {
+			sg := *g
+			sg.Proc = stochastic.ScalarOnly(g.Proc)
+			runColdBench(b, &sg)
+		})
+		b.Run(name+"/bulk", func(b *testing.B) {
+			runColdBench(b, g)
+		})
+	}
+}

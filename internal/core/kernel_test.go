@@ -1,0 +1,394 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"durability/internal/exact"
+	"durability/internal/mc"
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+// The differential golden suite: every built-in model is run down the
+// vectorized kernel and down the scalar recursion (via
+// stochastic.ScalarOnly) and the results are compared with ==. Bulk and
+// scalar runs must be bit-for-bit identical — same estimates, same
+// variance trajectories, same step counts — at every worker count,
+// under cancellation, and through the sharded driver.
+
+type kernelFixture struct {
+	name    string
+	proc    stochastic.Process
+	obs     stochastic.Observer
+	beta    float64
+	plan    Plan
+	horizon int
+	ratios  []int // optional per-level ratios (exercises ratioAt)
+}
+
+func kernelFixtures(t *testing.T) []kernelFixture {
+	t.Helper()
+	regime, err := stochastic.NewRegimeSwitching(0,
+		[][]float64{{0.95, 0.05}, {0.2, 0.8}},
+		[]float64{0.01, 0.3}, []float64{0.5, 2.0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []kernelFixture{
+		{
+			name: "gbm", proc: &stochastic.GBM{S0: 100, Mu: 0.002, Sigma: 0.08},
+			obs: stochastic.ScalarValue, beta: 200,
+			plan: MustPlan(0.6, 0.75, 0.9), horizon: 50,
+			ratios: []int{2, 3, 2},
+		},
+		{
+			name: "walk", proc: &stochastic.RandomWalk{Start: 5, Drift: 0.2, Sigma: 2},
+			obs: stochastic.ScalarValue, beta: 20,
+			plan: MustPlan(0.35, 0.5, 0.65, 0.8), horizon: 60,
+		},
+		{
+			name: "ar", proc: stochastic.NewAR([]float64{0.6, 0.3}, 1.5, 1),
+			obs: stochastic.ARValue, beta: 10,
+			plan: MustPlan(0.3, 0.5, 0.7, 0.9), horizon: 50,
+		},
+		{
+			// Impulses make the value skip levels between steps, exercising
+			// the skip bookkeeping on the kernel path.
+			name: "cpp", proc: &stochastic.CompoundPoisson{
+				U0: 10, Premium: 1, ClaimRate: 0.8, ClaimLo: 0, ClaimHi: 2,
+				ImpulseProb: 0.05, ImpulseSize: 4, ImpulseAfter: 3,
+			},
+			obs: stochastic.ScalarValue, beta: 25,
+			plan: MustPlan(0.5, 0.65, 0.8), horizon: 60,
+		},
+		{
+			name: "chain", proc: stochastic.BirthDeathChain(12, 0.45, 2),
+			obs: stochastic.ChainIndex, beta: 9,
+			plan: MustPlan(4.0/9, 6.0/9, 8.0/9), horizon: 80,
+		},
+		{
+			name: "regime", proc: regime,
+			obs: stochastic.RegimeValue, beta: 15,
+			plan: MustPlan(0.25, 0.5, 0.75), horizon: 50,
+		},
+		{
+			name: "queue", proc: &stochastic.TandemQueue{
+				ArrivalRate: 0.5, ServiceRate1: 0.5, ServiceRate2: 0.5,
+				ImpulseProb: 0.1, ImpulseSize: 3, ImpulseAfter: 2,
+			},
+			obs: stochastic.Queue2Len, beta: 8,
+			plan: MustPlan(0.25, 0.5, 0.75), horizon: 60,
+		},
+	}
+}
+
+func (fx kernelFixture) gmlss(proc stochastic.Process, workers int) *GMLSS {
+	return &GMLSS{
+		Proc:          proc,
+		Query:         Query{Value: ThresholdValue(fx.obs, fx.beta), Horizon: fx.horizon},
+		Plan:          fx.plan,
+		Ratio:         3,
+		Ratios:        fx.ratios,
+		Stop:          mc.Budget{Steps: 30_000},
+		Seed:          41,
+		Workers:       workers,
+		Batch:         64,
+		BootstrapReps: 25,
+	}
+}
+
+func (fx kernelFixture) smlss(proc stochastic.Process, workers int) *SMLSS {
+	return &SMLSS{
+		Proc:    proc,
+		Query:   Query{Value: ThresholdValue(fx.obs, fx.beta), Horizon: fx.horizon},
+		Plan:    fx.plan,
+		Ratio:   3,
+		Stop:    mc.Budget{Steps: 30_000},
+		Seed:    41,
+		Workers: workers,
+		Batch:   64,
+	}
+}
+
+// stripTimes zeroes the wall-clock fields, the only ones allowed to
+// differ between a bulk and a scalar run.
+func stripTimes(r mc.Result) mc.Result {
+	r.Elapsed, r.VarTime = 0, 0
+	return r
+}
+
+func TestKernelMatchesScalarGMLSS(t *testing.T) {
+	for _, fx := range kernelFixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			if _, ok := fx.proc.(stochastic.BulkProcess); !ok {
+				t.Fatalf("%s does not implement BulkProcess", fx.name)
+			}
+			scalar, err := fx.gmlss(stochastic.ScalarOnly(fx.proc), 1).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scalar.Hits == 0 {
+				t.Fatalf("fixture too rare: no hits in scalar run")
+			}
+			for _, workers := range []int{1, 2, 3} {
+				bulk, err := fx.gmlss(fx.proc, workers).Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := stripTimes(bulk), stripTimes(scalar); got != want {
+					t.Errorf("workers=%d: bulk %+v != scalar %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestKernelMatchesScalarSMLSS(t *testing.T) {
+	for _, fx := range kernelFixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			scalarRes, scalarEntries, err := fx.smlss(stochastic.ScalarOnly(fx.proc), 1).Trial(context.Background(), 30_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 3} {
+				bulkRes, bulkEntries, err := fx.smlss(fx.proc, workers).Trial(context.Background(), 30_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := stripTimes(bulkRes), stripTimes(scalarRes); got != want {
+					t.Errorf("workers=%d: bulk %+v != scalar %+v", workers, got, want)
+				}
+				if !reflect.DeepEqual(bulkEntries, scalarEntries) {
+					t.Errorf("workers=%d: entries %v != %v", workers, bulkEntries, scalarEntries)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelMatchesScalarShards runs the sharded driver down both paths
+// and compares the full ShardResult — counters, groups, and costs — for
+// several shard cuts, including ranges that do not start at zero.
+func TestKernelMatchesScalarShards(t *testing.T) {
+	for _, fx := range kernelFixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			for _, r := range []struct{ lo, hi int64 }{{0, 300}, {137, 402}} {
+				scalar, err := fx.gmlss(stochastic.ScalarOnly(fx.proc), 1).RunRootsBy(context.Background(), r.lo, r.hi, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 3} {
+					bulk, err := fx.gmlss(fx.proc, workers).RunRootsBy(context.Background(), r.lo, r.hi, 64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(bulk, scalar) {
+						t.Errorf("range [%d,%d) workers=%d: bulk shard result differs from scalar", r.lo, r.hi, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelCancelBetweenBatches cancels synchronously from the Trace
+// callback, so both paths observe the cancellation at the same batch
+// boundary: the partial results must still be bit-for-bit equal.
+func TestKernelCancelBetweenBatches(t *testing.T) {
+	fx := kernelFixtures(t)[0]
+	run := func(proc stochastic.Process, workers int) mc.Result {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		g := fx.gmlss(proc, workers)
+		g.Stop = mc.Budget{Steps: math.MaxInt64}
+		g.Trace = func(r mc.Result) {
+			if r.Paths >= 256 {
+				cancel()
+			}
+		}
+		res, err := g.Run(ctx)
+		if err != context.Canceled {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		return res
+	}
+	scalar := run(stochastic.ScalarOnly(fx.proc), 1)
+	for _, workers := range []int{1, 2, 3} {
+		bulk := run(fx.proc, workers)
+		if got, want := stripTimes(bulk), stripTimes(scalar); got != want {
+			t.Errorf("workers=%d: cancelled bulk %+v != scalar %+v", workers, got, want)
+		}
+	}
+}
+
+// TestKernelCancelMidBatch cancels from inside the value function, so
+// the kernel is interrupted with lanes mid-root. Wherever it stops, the
+// returned result must cover a contiguous prefix of root indices whose
+// statistics match an uncancelled scalar run over exactly that prefix.
+func TestKernelCancelMidBatch(t *testing.T) {
+	fx := kernelFixtures(t)[1]
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		g := fx.gmlss(fx.proc, workers)
+		g.Stop = mc.Budget{Steps: math.MaxInt64}
+		// Small batches so several have completed before the cancel lands
+		// mid-flight (the kernel keeps a whole lane frontier of roots
+		// in-progress at once, so a cancel early in the first batch can
+		// legitimately complete zero roots).
+		g.Batch = 16
+		var evals int64
+		inner := g.Query.Value
+		g.Query.Value = func(s stochastic.State, t int) float64 {
+			if atomic.AddInt64(&evals, 1) == 100_000 {
+				cancel()
+			}
+			return inner(s, t)
+		}
+		res, err := g.Run(ctx)
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		if res.Paths == 0 {
+			t.Fatalf("workers=%d: no completed prefix before cancellation", workers)
+		}
+		// Replay the prefix scalar and uncancelled: a single group keeps
+		// the fold order identical to Run's batch folds.
+		ref := fx.gmlss(stochastic.ScalarOnly(fx.proc), 1)
+		shard, err := ref.RunRootsBy(context.Background(), 0, res.Paths, int(res.Paths))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := fx.plan.M()
+		initLevel := fx.plan.LevelOf(g.Query.Value(fx.proc.Initial(), 0))
+		if got, want := res.P, EstimateFromCounters(shard.Agg, res.Paths, m, initLevel); got != want {
+			t.Errorf("workers=%d: prefix estimate %v != scalar replay %v", workers, got, want)
+		}
+		if got, want := res.Hits, int64(shard.Agg.Hits); got != want {
+			t.Errorf("workers=%d: prefix hits %d != scalar replay %d", workers, got, want)
+		}
+		if got, want := res.Steps, shard.Steps; got != want {
+			t.Errorf("workers=%d: prefix steps %d != scalar replay %d", workers, got, want)
+		}
+	}
+}
+
+// TestKernelStatisticalSanity checks the kernel against ground truth:
+// for the birth-death chain the exact hitting probability is computable
+// (internal/exact), and the bulk estimate must land within five
+// standard errors.
+func TestKernelStatisticalSanity(t *testing.T) {
+	fx := kernelFixtures(t)[4] // chain
+	g := fx.gmlss(fx.proc, 2)
+	g.Stop = mc.Budget{Steps: 400_000}
+	res, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.LatticeWalkHit(map[int]float64{+1: 0.45, -1: 0.55}, 2, 9, fx.horizon, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := math.Sqrt(res.Variance)
+	if diff := math.Abs(res.P - want); diff > 5*se {
+		t.Fatalf("estimate %v vs exact %v: |diff| %v > 5*se %v", res.P, want, diff, 5*se)
+	}
+}
+
+// countingInit counts Initial() calls while preserving (or hiding) the
+// bulk fast path, depending on the wrapper used.
+type countingInit struct {
+	stochastic.Process
+	n *atomic.Int64
+}
+
+func (c countingInit) Initial() stochastic.State {
+	c.n.Add(1)
+	return c.Process.Initial()
+}
+
+type countingBulkInit struct {
+	countingInit
+	bulk stochastic.BulkProcess
+}
+
+func (c countingBulkInit) NewStateVec(lanes int) stochastic.StateVec {
+	return c.bulk.NewStateVec(lanes)
+}
+func (c countingBulkInit) StepVec(v stochastic.StateVec, lanes []int, t []int, src []*rng.Source) {
+	c.bulk.StepVec(v, lanes, t, src)
+}
+
+// TestInitialCalledOncePerRun pins the pooled-prototype contract: a run
+// builds the initial state exactly once, however many roots it
+// simulates, on the scalar path and the bulk path alike. Expensive
+// initializers (neural warmup replay) must not re-run per root.
+func TestInitialCalledOncePerRun(t *testing.T) {
+	fx := kernelFixtures(t)[1]
+	t.Run("scalar", func(t *testing.T) {
+		var n atomic.Int64
+		g := fx.gmlss(countingInit{Process: stochastic.ScalarOnly(fx.proc), n: &n}, 2)
+		if _, err := g.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if got := n.Load(); got != 1 {
+			t.Fatalf("scalar path called Initial %d times, want 1", got)
+		}
+	})
+	t.Run("bulk", func(t *testing.T) {
+		var n atomic.Int64
+		bp := fx.proc.(stochastic.BulkProcess)
+		proc := countingBulkInit{countingInit: countingInit{Process: fx.proc, n: &n}, bulk: bp}
+		if _, ok := stochastic.Process(proc).(stochastic.BulkProcess); !ok {
+			t.Fatal("countingBulkInit lost the bulk fast path")
+		}
+		g := fx.gmlss(proc, 2)
+		if _, err := g.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if got := n.Load(); got != 1 {
+			t.Fatalf("bulk path called Initial %d times, want 1", got)
+		}
+	})
+}
+
+// TestNewLevelCountersSingleAlloc pins the flattened counter layout:
+// one backing array, not four.
+func TestNewLevelCountersSingleAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		c := newLevelCounters(6)
+		c.hits++
+	})
+	if allocs > 1 {
+		t.Fatalf("newLevelCounters allocates %v times, want 1", allocs)
+	}
+}
+
+// TestKernelAllocsPerRoot pins the pooling work: a bulk sharded run
+// must allocate O(1), not O(roots) — the arena, the lane vectors and
+// the result slices, amortized over thousands of roots.
+func TestKernelAllocsPerRoot(t *testing.T) {
+	fx := kernelFixtures(t)[1]
+	g := fx.gmlss(fx.proc, 1)
+	ctx := context.Background()
+	const roots = 2000
+	if _, err := g.RunRootsBy(ctx, 0, roots, 512); err != nil {
+		t.Fatal(err) // warm up any lazy globals
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := g.RunRootsBy(ctx, 0, roots, 512); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The budget covers the per-call fixed costs (kernel, lane vectors,
+	// frame-stack and spill growth, arena, bootstrap groups) — roughly
+	// 250 — and must not scale with the 2000 roots: the scalar path's
+	// per-root state would alone cost >= 2 allocations per root.
+	if allocs > 600 {
+		t.Fatalf("bulk path allocates %v times for %d roots, want O(1) per run", allocs, roots)
+	}
+}

@@ -95,7 +95,8 @@ func (g *GMLSS) RunRootsBy(ctx context.Context, lo, hi int64, rootsPerGroup int)
 		rootsPerGroup = 1
 	}
 	m := g.Plan.M()
-	initLevel := g.Plan.LevelOf(g.Query.Value(g.Proc.Initial(), 0))
+	proto := g.Proc.Initial()
+	initLevel := g.Plan.LevelOf(g.Query.Value(proto, 0))
 	if initLevel >= m {
 		return ShardResult{}, errors.New("core: initial state already satisfies the query")
 	}
@@ -103,9 +104,7 @@ func (g *GMLSS) RunRootsBy(ctx context.Context, lo, hi int64, rootsPerGroup int)
 	if workers <= 0 {
 		workers = 1
 	}
-	roots, err := forEachRoot(ctx, workers, lo, hi, func(idx int64) gmlssRoot {
-		return g.runTree(idx, initLevel)
-	})
+	roots, err := g.newSim(workers, proto, initLevel).runRange(ctx, lo, hi)
 	if err != nil {
 		return ShardResult{}, err
 	}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+
+	"durability/internal/rng"
+	"durability/internal/stochastic"
+)
+
+// The sim types own everything the drivers (Run, RunRootsBy, run,
+// LevelEntryCounts) reuse across batches of one run: the initial-state
+// prototype built by a single Proc.Initial() call and cloned per root
+// (expensive initializers — neural warmup replay — run once per run,
+// not once per root), the counter arenas recycled batch to batch, and,
+// when the model implements stochastic.BulkProcess, one vectorized
+// kernel per worker. Models without a bulk fast path run the scalar
+// recursion through forEachRoot exactly as before.
+
+// gmlssSim is the per-run simulation engine for GMLSS.
+type gmlssSim struct {
+	g         *GMLSS
+	workers   int
+	proto     stochastic.State
+	initLevel int
+	bulk      stochastic.BulkProcess // nil: scalar fallback
+	lanes     int
+	arena     counterArena
+	kernels   []*gmlssKernel // one per worker slot, built lazily
+}
+
+func (g *GMLSS) newSim(workers int, proto stochastic.State, initLevel int) *gmlssSim {
+	sim := &gmlssSim{g: g, workers: workers, proto: proto, initLevel: initLevel}
+	sim.arena.m = g.Plan.M()
+	if bp, ok := g.Proc.(stochastic.BulkProcess); ok {
+		sim.bulk = bp
+		sim.lanes = laneCount(g.Lanes)
+		sim.kernels = make([]*gmlssKernel, workers)
+	}
+	return sim
+}
+
+// runRange simulates roots [lo, hi), one gmlssRoot per index. The
+// returned slice's counters alias the sim's arena: callers must fold
+// them before the next runRange call, which every driver does.
+func (sim *gmlssSim) runRange(ctx context.Context, lo, hi int64) ([]gmlssRoot, error) {
+	n := hi - lo
+	counters := sim.arena.carve(int(n))
+	if sim.bulk == nil {
+		return forEachRoot(ctx, sim.workers, lo, hi, func(idx int64) gmlssRoot {
+			r := gmlssRoot{counters: counters[idx-lo]}
+			src := rng.NewStream(sim.g.Seed, uint64(idx))
+			sim.g.segment(sim.proto.Clone(), 0, sim.initLevel, src, &r)
+			return r
+		})
+	}
+	out := make([]gmlssRoot, n)
+	for i := range out {
+		out[i].counters = counters[i]
+	}
+	prefix, err := runLaneChunks(ctx, sim.workers, n, func(w int, wlo, whi int64) int64 {
+		k := sim.kernels[w]
+		if k == nil {
+			k = newGMLSSKernel(sim.g, sim.bulk, sim.proto, sim.initLevel, sim.lanes)
+			sim.kernels[w] = k
+		}
+		return k.runChunk(ctx, lo+wlo, out[wlo:whi])
+	})
+	if err != nil {
+		return out[:prefix], err
+	}
+	return out, nil
+}
+
+// smlssSim is the per-run simulation engine for SMLSS.
+type smlssSim struct {
+	s         *SMLSS
+	workers   int
+	proto     stochastic.State
+	initLevel int
+	bulk      stochastic.BulkProcess
+	lanes     int
+	arena     entryArena
+	kernels   []*smlssKernel
+}
+
+func (s *SMLSS) newSim(workers int, proto stochastic.State, initLevel int) *smlssSim {
+	sim := &smlssSim{s: s, workers: workers, proto: proto, initLevel: initLevel}
+	sim.arena.m = s.Plan.M()
+	if bp, ok := s.Proc.(stochastic.BulkProcess); ok {
+		sim.bulk = bp
+		sim.lanes = laneCount(s.Lanes)
+		sim.kernels = make([]*smlssKernel, workers)
+	}
+	return sim
+}
+
+// runRange simulates roots [lo, hi). The returned roots' entries alias
+// the sim's arena: fold before the next runRange call.
+func (sim *smlssSim) runRange(ctx context.Context, lo, hi int64) ([]smlssRoot, error) {
+	n := hi - lo
+	entries := sim.arena.carve(int(n))
+	if sim.bulk == nil {
+		return forEachRoot(ctx, sim.workers, lo, hi, func(idx int64) smlssRoot {
+			r := smlssRoot{entries: entries[idx-lo]}
+			src := rng.NewStream(sim.s.Seed, uint64(idx))
+			sim.s.segment(sim.proto.Clone(), 0, sim.initLevel+1, src, &r)
+			return r
+		})
+	}
+	out := make([]smlssRoot, n)
+	for i := range out {
+		out[i].entries = entries[i]
+	}
+	prefix, err := runLaneChunks(ctx, sim.workers, n, func(w int, wlo, whi int64) int64 {
+		k := sim.kernels[w]
+		if k == nil {
+			k = newSMLSSKernel(sim.s, sim.bulk, sim.proto, sim.initLevel, sim.lanes)
+			sim.kernels[w] = k
+		}
+		return k.runChunk(ctx, lo+wlo, out[wlo:whi])
+	})
+	if err != nil {
+		return out[:prefix], err
+	}
+	return out, nil
+}
+
+func laneCount(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return defaultLanes
+}

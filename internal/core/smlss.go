@@ -37,6 +37,7 @@ type SMLSS struct {
 
 	Workers int             // parallel workers (default 1)
 	Batch   int             // root paths between stop-rule checks (default 128)
+	Lanes   int             // lane-frontier width per worker for bulk models (default 64)
 	Trace   func(mc.Result) // optional per-batch progress callback
 }
 
@@ -55,15 +56,6 @@ func (s *SMLSS) validate() error {
 		return fmt.Errorf("core: splitting ratio %d must be >= 1", s.Ratio)
 	}
 	return nil
-}
-
-// runTree simulates root path idx and its whole splitting tree.
-func (s *SMLSS) runTree(idx int64, initLevel int) smlssRoot {
-	src := rng.NewStream(s.Seed, uint64(idx))
-	out := smlssRoot{entries: make([]int64, s.Plan.M()+1)}
-	st := s.Proc.Initial()
-	s.segment(st, 0, initLevel+1, src, &out)
-	return out
 }
 
 // segment simulates one path from time t0, watching level L_watch: the
@@ -133,10 +125,12 @@ func (s *SMLSS) run(ctx context.Context, stop mc.StopRule) (mc.Result, []int64, 
 		batch = 128
 	}
 	m := s.Plan.M()
-	initLevel := s.Plan.LevelOf(s.Query.Value(s.Proc.Initial(), 0))
+	proto := s.Proc.Initial()
+	initLevel := s.Plan.LevelOf(s.Query.Value(proto, 0))
 	if initLevel >= m {
 		return mc.Result{}, nil, errors.New("core: initial state already satisfies the query")
 	}
+	sim := s.newSim(workers, proto, initLevel)
 	// Scale factor r^(m-1-initLevel): total leaves per root.
 	scale := 1.0
 	for i := initLevel + 1; i < m; i++ {
@@ -151,9 +145,7 @@ func (s *SMLSS) run(ctx context.Context, stop mc.StopRule) (mc.Result, []int64, 
 	for {
 		lo, hi := next, next+int64(batch)
 		next = hi
-		roots, err := forEachRoot(ctx, workers, lo, hi, func(idx int64) smlssRoot {
-			return s.runTree(idx, initLevel)
-		})
+		roots, err := sim.runRange(ctx, lo, hi)
 		for _, r := range roots {
 			res.Steps += r.steps
 			res.Hits += r.hits
@@ -192,10 +184,9 @@ func (s *SMLSS) LevelEntryCounts(ctx context.Context, nRoots int64) ([]int64, in
 	if workers <= 0 {
 		workers = 1
 	}
-	initLevel := s.Plan.LevelOf(s.Query.Value(s.Proc.Initial(), 0))
-	roots, err := forEachRoot(ctx, workers, 0, nRoots, func(idx int64) smlssRoot {
-		return s.runTree(idx, initLevel)
-	})
+	proto := s.Proc.Initial()
+	initLevel := s.Plan.LevelOf(s.Query.Value(proto, 0))
+	roots, err := s.newSim(workers, proto, initLevel).runRange(ctx, 0, nRoots)
 	counts := make([]int64, s.Plan.M()+1)
 	var steps int64
 	for _, r := range roots {

@@ -54,11 +54,24 @@ func New(seed uint64) *Source {
 // statistically independent; this is how the parallel samplers hand one
 // generator to each worker.
 func NewStream(seed, stream uint64) *Source {
+	var s Source
+	s.SeedStream(seed, stream)
+	return &s
+}
+
+// SeedStream re-seeds s in place to the stream-th substream of seed,
+// leaving it in exactly the state NewStream(seed, stream) returns —
+// cached Box-Muller variate cleared included. The vectorized simulation
+// kernel keeps one pooled Source per lane and re-seeds it per root, so
+// the per-root substream contract holds without a per-root allocation.
+// The substream analyzer (cmd/durlint) applies the same rule here as at
+// NewStream call sites: keep the seed argument pristine and put identity
+// in the stream index.
+func (s *Source) SeedStream(seed, stream uint64) {
 	mix := seed
 	_ = splitmix64(&mix)
 	mix ^= 0x6a09e667f3bcc909 * (stream + 1)
-	s := New(mix)
-	return s
+	s.Reseed(mix)
 }
 
 // Reseed resets the Source to the state derived from seed, discarding any

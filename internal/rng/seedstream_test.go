@@ -1,0 +1,32 @@
+package rng
+
+import "testing"
+
+// TestSeedStreamMatchesNewStream asserts the in-place re-seed leaves a
+// Source in exactly the state NewStream builds, which is what lets the
+// simulation kernel pool one Source per lane across roots.
+func TestSeedStreamMatchesNewStream(t *testing.T) {
+	var pooled Source
+	for stream := uint64(0); stream < 50; stream++ {
+		pooled.SeedStream(1234, stream)
+		fresh := NewStream(1234, stream)
+		for i := 0; i < 100; i++ {
+			if got, want := pooled.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("stream %d draw %d: pooled %x != fresh %x", stream, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSeedStreamClearsNormCache asserts re-seeding discards the cached
+// Box-Muller variate: a pooled lane source must not leak half a
+// transform from the previous root into the next one.
+func TestSeedStreamClearsNormCache(t *testing.T) {
+	var pooled Source
+	pooled.SeedStream(9, 0)
+	pooled.Norm() // leaves the second variate cached
+	pooled.SeedStream(9, 1)
+	if got, want := pooled.Norm(), NewStream(9, 1).Norm(); got != want {
+		t.Fatalf("first Norm after re-seed: pooled %v != fresh %v", got, want)
+	}
+}

@@ -105,3 +105,23 @@ func (a *AR) Step(s State, _ int, src *rng.Source) {
 	as.head = (as.head + 1) % m
 	as.hist[as.head] = v
 }
+
+// NewStateVec implements BulkProcess: lane ring buffers share one flat
+// lanes*m backing array.
+func (a *AR) NewStateVec(lanes int) StateVec { return newARVec(len(a.Phi), lanes) }
+
+// StepVec implements BulkProcess: Step's recurrence per lane, lag terms
+// accumulated in the same order so the sum is bit-identical.
+func (a *AR) StepVec(sv StateVec, lanes []int, _ []int, src []*rng.Source) {
+	av := sv.(*arVec)
+	m := len(a.Phi)
+	for _, l := range lanes {
+		as := &av.lane[l]
+		v := a.Sigma * src[l].Norm()
+		for i := 0; i < m; i++ {
+			v += a.Phi[i] * as.hist[(as.head-i+m)%m]
+		}
+		as.head = (as.head + 1) % m
+		as.hist[as.head] = v
+	}
+}

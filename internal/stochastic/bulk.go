@@ -1,0 +1,93 @@
+package stochastic
+
+import "durability/internal/rng"
+
+// This file defines the optional bulk-stepping contract the vectorized
+// simulation kernel (internal/core) drives: a model that implements
+// BulkProcess advances many independent simulation lanes in one call,
+// amortizing the per-step interface dispatch of Process.Step across a
+// whole batch and keeping every lane's state in flat, preallocated
+// vector storage. The scalar Process interface remains the black-box
+// fallback — a model that does not implement BulkProcess is simulated
+// exactly as before, one Step call at a time.
+//
+// The contract is numerics-preserving by construction: each lane draws
+// from its own rng.Source (the per-root substream the samplers already
+// assign), and StepVec must perform, per lane, the exact floating-point
+// operations Step performs in the exact order. A bulk run is therefore
+// bit-for-bit equal to a scalar run — the repository's standing
+// invariant — and the only thing the fast path changes is how much the
+// hardware charges per step.
+
+// StateVec is a batch of independent simulation lane states held in
+// flat vector storage, plus a spill area for split entrance states.
+// A vec is built by the model that steps it (NewStateVec), so the
+// concrete layout is model-private; samplers drive it only through this
+// interface and through per-lane State views.
+//
+// A StateVec is not safe for concurrent use; the kernel builds one per
+// worker.
+type StateVec interface {
+	// Lanes returns the lane capacity fixed at construction.
+	Lanes() int
+	// Views returns one State per lane, aliasing the vector's storage:
+	// Views()[i] always reflects lane i's current state, with the same
+	// concrete type the model's Initial returns, so observers and value
+	// functions apply unchanged. The slice and its elements are stable
+	// for the life of the vec; callers must not retain a view across
+	// Load/Restore of its lane and must never Clone-and-step one
+	// independently (copy out with Clone first).
+	Views() []State
+	// Load copies the scalar state s into lane i. s must have the
+	// concrete type the model's Initial returns.
+	Load(i int, s State)
+	// Save copies lane i into a pooled spill slot and returns its
+	// handle. Spill slots hold split entrance states; they are reused
+	// through a free list, so a balanced Save/Drop pattern allocates
+	// only at the high-water mark.
+	Save(i int) int
+	// Restore copies spill slot h back into lane i. The slot stays
+	// valid until Drop.
+	Restore(i, h int)
+	// Drop returns spill slot h to the free list.
+	Drop(h int)
+}
+
+// BulkProcess is the optional fast-path extension of Process: a model
+// that can advance many lanes per call. The simulation kernel asks for
+// it with a type assertion and falls back to scalar Step when the
+// assertion fails (black-box models, wrapped models, ScalarOnly).
+type BulkProcess interface {
+	Process
+	// NewStateVec allocates a lane vector for this model.
+	NewStateVec(lanes int) StateVec
+	// StepVec advances each lane listed in lanes from time t[i]-1 to
+	// t[i], drawing lane i's randomness from src[i]. t and src are
+	// indexed by lane id (not by position in lanes). The per-lane
+	// arithmetic and draw sequence must be identical to one Step call
+	// on that lane's state — bulk and scalar runs must agree
+	// bit-for-bit.
+	StepVec(v StateVec, lanes []int, t []int, src []*rng.Source)
+}
+
+// ScalarOnly hides a model's bulk fast path, forcing samplers onto the
+// scalar black-box Process interface. The differential golden tests and
+// the kernel benchmarks use it to run the same model down both paths
+// and assert equality; it is also the escape hatch if a bulk
+// implementation is ever suspect in production.
+func ScalarOnly(p Process) Process { return scalarOnly{p} }
+
+// scalarOnly promotes only Process's methods, so a BulkProcess
+// assertion on it fails even when the wrapped model implements one.
+type scalarOnly struct{ Process }
+
+// Compile-time checks: every built-in model ships a bulk fast path.
+var (
+	_ BulkProcess = (*GBM)(nil)
+	_ BulkProcess = (*RandomWalk)(nil)
+	_ BulkProcess = (*AR)(nil)
+	_ BulkProcess = (*CompoundPoisson)(nil)
+	_ BulkProcess = (*MarkovChain)(nil)
+	_ BulkProcess = (*RegimeSwitching)(nil)
+	_ BulkProcess = (*TandemQueue)(nil)
+)

@@ -1,0 +1,202 @@
+package stochastic
+
+import (
+	"testing"
+
+	"durability/internal/rng"
+)
+
+// bulkModels returns every built-in BulkProcess alongside an observer,
+// for the differential tests below. Parameters are chosen so paths move
+// through interesting dynamics (impulses enabled, multiple regimes).
+func bulkModels(t *testing.T) map[string]struct {
+	proc BulkProcess
+	obs  Observer
+} {
+	t.Helper()
+	regime, err := NewRegimeSwitching(0,
+		[][]float64{{0.95, 0.05}, {0.2, 0.8}},
+		[]float64{0.01, 0.3}, []float64{0.5, 2.0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]struct {
+		proc BulkProcess
+		obs  Observer
+	}{
+		"gbm":    {&GBM{S0: 100, Mu: 0.001, Sigma: 0.05}, ScalarValue},
+		"walk":   {&RandomWalk{Start: 5, Drift: 0.1, Sigma: 2}, ScalarValue},
+		"ar":     {NewAR([]float64{0.6, 0.3}, 1.5, 1), ARValue},
+		"cpp":    {&CompoundPoisson{U0: 10, Premium: 1, ClaimRate: 0.8, ClaimLo: 0, ClaimHi: 2, ImpulseProb: 0.05, ImpulseSize: 4, ImpulseAfter: 3}, ScalarValue},
+		"chain":  {BirthDeathChain(12, 0.45, 2), ChainIndex},
+		"regime": {regime, RegimeValue},
+		"queue":  {&TandemQueue{ArrivalRate: 0.5, ServiceRate1: 0.5, ServiceRate2: 0.5, ImpulseProb: 0.1, ImpulseSize: 3, ImpulseAfter: 2}, Queue2Len},
+	}
+}
+
+// TestStepVecMatchesStep drives several lanes through StepVec and the
+// same substreams through scalar Step, asserting the observed
+// trajectories are bit-for-bit equal. This is the bulk contract at its
+// smallest scope: one lane, one step, one source.
+func TestStepVecMatchesStep(t *testing.T) {
+	const lanes, steps = 7, 64
+	for name, m := range bulkModels(t) {
+		t.Run(name, func(t *testing.T) {
+			vec := m.proc.NewStateVec(lanes)
+			if got := vec.Lanes(); got != lanes {
+				t.Fatalf("Lanes() = %d, want %d", got, lanes)
+			}
+			views := vec.Views()
+			srcs := make([]rng.Source, lanes)
+			srcPtr := make([]*rng.Source, lanes)
+			active := make([]int, lanes)
+			ts := make([]int, lanes)
+			scalarStates := make([]State, lanes)
+			scalarSrc := make([]*rng.Source, lanes)
+			for i := 0; i < lanes; i++ {
+				srcs[i].SeedStream(99, uint64(i))
+				srcPtr[i] = &srcs[i]
+				active[i] = i
+				ts[i] = 1
+				scalarStates[i] = m.proc.Initial()
+				scalarSrc[i] = rng.NewStream(99, uint64(i))
+				vec.Load(i, m.proc.Initial())
+			}
+			for step := 0; step < steps; step++ {
+				m.proc.StepVec(vec, active, ts, srcPtr)
+				for i := 0; i < lanes; i++ {
+					m.proc.Step(scalarStates[i], ts[i], scalarSrc[i])
+					if got, want := m.obs(views[i]), m.obs(scalarStates[i]); got != want {
+						t.Fatalf("lane %d step %d: bulk %v != scalar %v", i, step, got, want)
+					}
+					ts[i]++
+				}
+			}
+		})
+	}
+}
+
+// TestStepVecSparseLanes checks that StepVec touches exactly the listed
+// lanes: unlisted lanes keep their state and draw nothing.
+func TestStepVecSparseLanes(t *testing.T) {
+	for name, m := range bulkModels(t) {
+		t.Run(name, func(t *testing.T) {
+			const lanes = 5
+			vec := m.proc.NewStateVec(lanes)
+			views := vec.Views()
+			srcs := make([]rng.Source, lanes)
+			srcPtr := make([]*rng.Source, lanes)
+			ts := make([]int, lanes)
+			for i := 0; i < lanes; i++ {
+				srcs[i].SeedStream(7, uint64(i))
+				srcPtr[i] = &srcs[i]
+				ts[i] = 1
+				vec.Load(i, m.proc.Initial())
+			}
+			idle := m.obs(views[3])
+			idleSrc := srcs[3]
+			m.proc.StepVec(vec, []int{0, 1, 2, 4}, ts, srcPtr)
+			if got := m.obs(views[3]); got != idle {
+				t.Fatalf("unlisted lane changed: %v -> %v", idle, got)
+			}
+			if srcs[3] != idleSrc {
+				t.Fatal("unlisted lane's source was advanced")
+			}
+		})
+	}
+}
+
+// TestStateVecSaveRestore spills a lane, perturbs it, and restores,
+// asserting the observation round-trips; Drop recycles the slot.
+func TestStateVecSaveRestore(t *testing.T) {
+	for name, m := range bulkModels(t) {
+		t.Run(name, func(t *testing.T) {
+			vec := m.proc.NewStateVec(2)
+			views := vec.Views()
+			src := rng.NewStream(3, 0)
+			vec.Load(0, m.proc.Initial())
+			for s := 0; s < 10; s++ {
+				m.proc.StepVec(vec, []int{0}, []int{s + 1}, []*rng.Source{src})
+			}
+			want := m.obs(views[0])
+			h := vec.Save(0)
+			for s := 10; s < 20; s++ {
+				m.proc.StepVec(vec, []int{0}, []int{s + 1}, []*rng.Source{src})
+			}
+			if m.obs(views[0]) == want {
+				// Not fatal — a path can revisit a value — but every model
+				// here moves with probability 1 under these parameters.
+				t.Logf("state did not move after 10 steps; restore check is vacuous")
+			}
+			vec.Restore(0, h)
+			if got := m.obs(views[0]); got != want {
+				t.Fatalf("restore: got %v, want %v", got, want)
+			}
+			// The slot survives a restore and is reusable after Drop.
+			vec.Restore(1, h)
+			if got := m.obs(views[1]); got != want {
+				t.Fatalf("restore into other lane: got %v, want %v", got, want)
+			}
+			vec.Drop(h)
+			if h2 := vec.Save(0); h2 != h {
+				t.Fatalf("free list did not recycle slot: got %d, want %d", h2, h)
+			}
+		})
+	}
+}
+
+// TestViewsShareConcreteType asserts each view has the model's scalar
+// state type, so observers and value functions apply unchanged.
+func TestViewsShareConcreteType(t *testing.T) {
+	for name, m := range bulkModels(t) {
+		t.Run(name, func(t *testing.T) {
+			vec := m.proc.NewStateVec(1)
+			vec.Load(0, m.proc.Initial())
+			// The observer itself type-asserts; a mismatch panics.
+			_ = m.obs(vec.Views()[0])
+		})
+	}
+}
+
+// TestScalarOnlyHidesBulk asserts the escape hatch works: a wrapped
+// model no longer satisfies BulkProcess but still steps.
+func TestScalarOnlyHidesBulk(t *testing.T) {
+	g := &GBM{S0: 1, Mu: 0, Sigma: 0.1}
+	wrapped := ScalarOnly(g)
+	if _, ok := wrapped.(BulkProcess); ok {
+		t.Fatal("ScalarOnly still satisfies BulkProcess")
+	}
+	st := wrapped.Initial()
+	wrapped.Step(st, 1, rng.New(1))
+	if ScalarValue(st) == g.S0 {
+		t.Fatal("wrapped model did not step")
+	}
+}
+
+// TestPinPreservesBulk asserts pinning keeps the fast path and pins
+// Initial, in both orders of wrapping.
+func TestPinPreservesBulk(t *testing.T) {
+	g := &GBM{S0: 1, Mu: 0, Sigma: 0.1}
+	pinnedProc := Pin(g, &Scalar{V: 42})
+	bp, ok := pinnedProc.(BulkProcess)
+	if !ok {
+		t.Fatal("Pin dropped the bulk fast path")
+	}
+	if got := ScalarValue(pinnedProc.Initial()); got != 42 {
+		t.Fatalf("pinned Initial = %v, want 42", got)
+	}
+	vec := bp.NewStateVec(1)
+	vec.Load(0, pinnedProc.Initial())
+	src := rng.NewStream(5, 0)
+	bp.StepVec(vec, []int{0}, []int{1}, []*rng.Source{src})
+
+	want := pinnedProc.Initial()
+	g.Step(want, 1, rng.NewStream(5, 0))
+	if got := ScalarValue(vec.Views()[0]); got != ScalarValue(want) {
+		t.Fatalf("pinned StepVec = %v, want %v", got, ScalarValue(want))
+	}
+
+	if _, ok := Pin(ScalarOnly(g), &Scalar{V: 1}).(BulkProcess); ok {
+		t.Fatal("Pin of a scalar-only model must not invent a bulk path")
+	}
+}

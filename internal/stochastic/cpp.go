@@ -57,6 +57,27 @@ func (p *CompoundPoisson) Step(s State, t int, src *rng.Source) {
 	}
 }
 
+// NewStateVec implements BulkProcess.
+func (p *CompoundPoisson) NewStateVec(lanes int) StateVec { return newScalarVec(lanes) }
+
+// StepVec implements BulkProcess: Step's draw sequence per lane —
+// Poisson claim count, then one uniform per claim, then the impulse
+// Bernoulli — each lane from its own source.
+func (p *CompoundPoisson) StepVec(v StateVec, lanes []int, t []int, src []*rng.Source) {
+	sv := v.(*scalarVec)
+	for _, i := range lanes {
+		sc := &sv.lane[i]
+		sc.V += p.Premium
+		claims := src[i].Poisson(p.ClaimRate)
+		for c := 0; c < claims; c++ {
+			sc.V -= src[i].Uniform(p.ClaimLo, p.ClaimHi)
+		}
+		if p.ImpulseProb > 0 && t[i] >= p.ImpulseAfter && src[i].Bernoulli(p.ImpulseProb) {
+			sc.V += p.ImpulseSize
+		}
+	}
+}
+
 // MeanDrift returns the expected per-step change of U, a calibration
 // helper: premium minus expected aggregate claims.
 func (p *CompoundPoisson) MeanDrift() float64 {

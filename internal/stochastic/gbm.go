@@ -32,6 +32,19 @@ func (g *GBM) Step(s State, _ int, src *rng.Source) {
 	sc.V *= math.Exp(g.Mu - g.Sigma*g.Sigma/2 + g.Sigma*src.Norm())
 }
 
+// NewStateVec implements BulkProcess.
+func (g *GBM) NewStateVec(lanes int) StateVec { return newScalarVec(lanes) }
+
+// StepVec implements BulkProcess: per lane, the same expression Step
+// evaluates (same association, so the floating-point result is
+// bit-identical), drawn from that lane's own source.
+func (g *GBM) StepVec(v StateVec, lanes []int, _ []int, src []*rng.Source) {
+	sv := v.(*scalarVec)
+	for _, i := range lanes {
+		sv.lane[i].V *= math.Exp(g.Mu - g.Sigma*g.Sigma/2 + g.Sigma*src[i].Norm())
+	}
+}
+
 // SeriesWithRegimes generates a length-n price series from the GBM with
 // occasional volatility regime shifts, giving the neural model richer
 // structure to learn than plain GBM. Used only for training data.

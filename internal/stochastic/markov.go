@@ -80,6 +80,18 @@ func (m *MarkovChain) Step(s State, _ int, src *rng.Source) {
 	cs.I = src.Categorical(m.P[cs.I])
 }
 
+// NewStateVec implements BulkProcess.
+func (m *MarkovChain) NewStateVec(lanes int) StateVec { return newChainVec(lanes) }
+
+// StepVec implements BulkProcess: one categorical transition per lane.
+func (m *MarkovChain) StepVec(v StateVec, lanes []int, _ []int, src []*rng.Source) {
+	cv := v.(*chainVec)
+	for _, i := range lanes {
+		cs := &cv.lane[i]
+		cs.I = src[i].Categorical(m.P[cs.I])
+	}
+}
+
 // Observe returns the model's observation function: Values[i] when Values
 // is set, the state index otherwise.
 func (m *MarkovChain) Observe() Observer {

@@ -15,10 +15,27 @@ func (p pinned) Name() string                         { return p.proc.Name() }
 func (p pinned) Initial() State                       { return p.st.Clone() }
 func (p pinned) Step(s State, t int, src *rng.Source) { p.proc.Step(s, t, src) }
 
+// bulkPinned additionally forwards the bulk fast path, so standing-query
+// refreshes pinned to a live snapshot keep the vectorized kernel.
+type bulkPinned struct {
+	pinned
+	bulk BulkProcess
+}
+
+func (p bulkPinned) NewStateVec(lanes int) StateVec { return p.bulk.NewStateVec(lanes) }
+func (p bulkPinned) StepVec(v StateVec, lanes []int, t []int, src []*rng.Source) {
+	p.bulk.StepVec(v, lanes, t, src)
+}
+
 // Pin returns a Process with proc's dynamics whose Initial state is the
 // given snapshot (cloned on every Initial call). It is how the standing-
 // query engine and the execution backends start simulations from a live
-// state instead of the model's canonical initial state.
+// state instead of the model's canonical initial state. Pinning
+// preserves the bulk fast path: a pinned BulkProcess is still a
+// BulkProcess (only Initial changes, and the kernel reads Initial once).
 func Pin(proc Process, st State) Process {
+	if bp, ok := proc.(BulkProcess); ok {
+		return bulkPinned{pinned: pinned{proc: proc, st: st}, bulk: bp}
+	}
 	return pinned{proc: proc, st: st}
 }

@@ -113,3 +113,43 @@ func (q *TandemQueue) Step(s State, t int, src *rng.Source) {
 		qs.Q2 += q.ImpulseSize
 	}
 }
+
+// NewStateVec implements BulkProcess.
+func (q *TandemQueue) NewStateVec(lanes int) StateVec { return newQueueVec(lanes) }
+
+// StepVec implements BulkProcess: the exact Gillespie loop of Step per
+// lane, each lane drawing its event clocks from its own source.
+func (q *TandemQueue) StepVec(v StateVec, lanes []int, t []int, src []*rng.Source) {
+	qv := v.(*queueVec)
+	for _, i := range lanes {
+		qs := &qv.lane[i]
+		remaining := 1.0
+		for {
+			rate := q.ArrivalRate
+			if qs.Q1 > 0 {
+				rate += q.ServiceRate1
+			}
+			if qs.Q2 > 0 {
+				rate += q.ServiceRate2
+			}
+			dt := src[i].Exp(rate)
+			if dt > remaining {
+				break
+			}
+			remaining -= dt
+			u := src[i].Float64() * rate
+			switch {
+			case u < q.ArrivalRate:
+				qs.Q1++
+			case qs.Q1 > 0 && u < q.ArrivalRate+q.ServiceRate1:
+				qs.Q1--
+				qs.Q2++
+			default:
+				qs.Q2--
+			}
+		}
+		if q.ImpulseProb > 0 && t[i] >= q.ImpulseAfter && src[i].Bernoulli(q.ImpulseProb) {
+			qs.Q2 += q.ImpulseSize
+		}
+	}
+}

@@ -27,3 +27,14 @@ func (w *RandomWalk) Step(s State, _ int, src *rng.Source) {
 	sc := s.(*Scalar)
 	sc.V += w.Drift + w.Sigma*src.Norm()
 }
+
+// NewStateVec implements BulkProcess.
+func (w *RandomWalk) NewStateVec(lanes int) StateVec { return newScalarVec(lanes) }
+
+// StepVec implements BulkProcess: Step's arithmetic per lane.
+func (w *RandomWalk) StepVec(v StateVec, lanes []int, _ []int, src []*rng.Source) {
+	sv := v.(*scalarVec)
+	for _, i := range lanes {
+		sv.lane[i].V += w.Drift + w.Sigma*src[i].Norm()
+	}
+}

@@ -88,6 +88,20 @@ func (r *RegimeSwitching) Step(s State, _ int, src *rng.Source) {
 	rs.V += r.Drift[rs.Regime] + r.Sigma[rs.Regime]*src.Norm()
 }
 
+// NewStateVec implements BulkProcess.
+func (r *RegimeSwitching) NewStateVec(lanes int) StateVec { return newRegimeVec(lanes) }
+
+// StepVec implements BulkProcess: Step's draw order per lane — the
+// regime transition first, then the Gaussian increment.
+func (r *RegimeSwitching) StepVec(v StateVec, lanes []int, _ []int, src []*rng.Source) {
+	rv := v.(*regimeVec)
+	for _, i := range lanes {
+		rs := &rv.lane[i]
+		rs.Regime = src[i].Categorical(r.Switch[rs.Regime])
+		rs.V += r.Drift[rs.Regime] + r.Sigma[rs.Regime]*src[i].Norm()
+	}
+}
+
 // StationaryRegimes returns the stationary distribution of the regime
 // chain by power iteration — a calibration helper for choosing regimes
 // whose rare phase has the intended occupancy.

@@ -1,0 +1,134 @@
+package stochastic
+
+// Lane-vector storage for the built-in models. Every vec follows the
+// same shape: lane states in one flat backing slice (so a batch of
+// lanes is contiguous in memory and per-lane access is an index, not a
+// pointer chase), a parallel []State of per-lane views handed to
+// observers, and a spill slice with a free list for split entrance
+// states. Nothing here is gob-encoded or persisted: vecs are transient
+// per-worker scratch, rebuilt from the model on every run, which is why
+// these types carry no gob registration (see internal/analysis/gobreg —
+// only types reachable from a //durlint:gobroot need it).
+
+// plainVec is the StateVec for models whose state is a plain value
+// struct (no internal slices): Scalar, ChainState, RegimeState,
+// QueueState. S is the state struct; PS is its pointer type, which must
+// implement State.
+type plainVec[S any, PS interface {
+	*S
+	State
+}] struct {
+	lane  []S
+	views []State
+	spill []S
+	free  []int
+}
+
+func newPlainVec[S any, PS interface {
+	*S
+	State
+}](lanes int) *plainVec[S, PS] {
+	v := &plainVec[S, PS]{lane: make([]S, lanes), views: make([]State, lanes)}
+	for i := range v.lane {
+		v.views[i] = PS(&v.lane[i])
+	}
+	return v
+}
+
+func (v *plainVec[S, PS]) Lanes() int     { return len(v.lane) }
+func (v *plainVec[S, PS]) Views() []State { return v.views }
+
+func (v *plainVec[S, PS]) Load(i int, s State) { v.lane[i] = *(s.(PS)) }
+
+func (v *plainVec[S, PS]) Save(i int) int {
+	h := v.alloc()
+	v.spill[h] = v.lane[i]
+	return h
+}
+
+func (v *plainVec[S, PS]) Restore(i, h int) { v.lane[i] = v.spill[h] }
+
+func (v *plainVec[S, PS]) Drop(h int) { v.free = append(v.free, h) }
+
+func (v *plainVec[S, PS]) alloc() int {
+	if n := len(v.free); n > 0 {
+		h := v.free[n-1]
+		v.free = v.free[:n-1]
+		return h
+	}
+	var zero S
+	v.spill = append(v.spill, zero)
+	return len(v.spill) - 1
+}
+
+// Concrete plain vecs. The type aliases keep the model files readable.
+type (
+	scalarVec = plainVec[Scalar, *Scalar]
+	chainVec  = plainVec[ChainState, *ChainState]
+	regimeVec = plainVec[RegimeState, *RegimeState]
+	queueVec  = plainVec[QueueState, *QueueState]
+)
+
+func newScalarVec(lanes int) *scalarVec { return newPlainVec[Scalar, *Scalar](lanes) }
+func newChainVec(lanes int) *chainVec   { return newPlainVec[ChainState, *ChainState](lanes) }
+func newRegimeVec(lanes int) *regimeVec { return newPlainVec[RegimeState, *RegimeState](lanes) }
+func newQueueVec(lanes int) *queueVec   { return newPlainVec[QueueState, *QueueState](lanes) }
+
+// arVec is the StateVec for AR(m): every lane's ring buffer is a
+// window of one flat lanes*m backing array, so lane state is
+// struct-of-arrays contiguous and Load/Save/Restore are memmoves.
+type arVec struct {
+	m     int
+	buf   []float64 // lanes*m flat history backing
+	lane  []ARState // hist of lane i subslices buf[i*m : (i+1)*m]
+	views []State
+	spill []ARState // each slot owns its own m-float history
+	free  []int
+}
+
+func newARVec(m, lanes int) *arVec {
+	v := &arVec{
+		m:     m,
+		buf:   make([]float64, lanes*m),
+		lane:  make([]ARState, lanes),
+		views: make([]State, lanes),
+	}
+	for i := range v.lane {
+		v.lane[i].hist = v.buf[i*m : (i+1)*m : (i+1)*m]
+		v.views[i] = &v.lane[i]
+	}
+	return v
+}
+
+func (v *arVec) Lanes() int     { return len(v.lane) }
+func (v *arVec) Views() []State { return v.views }
+
+func (v *arVec) Load(i int, s State) {
+	as := s.(*ARState)
+	copy(v.lane[i].hist, as.hist)
+	v.lane[i].head = as.head
+}
+
+func (v *arVec) Save(i int) int {
+	h := v.alloc()
+	copy(v.spill[h].hist, v.lane[i].hist)
+	v.spill[h].head = v.lane[i].head
+	return h
+}
+
+func (v *arVec) Restore(i, h int) {
+	copy(v.lane[i].hist, v.spill[h].hist)
+	v.lane[i].head = v.spill[h].head
+}
+
+func (v *arVec) Drop(h int) { v.free = append(v.free, h) }
+
+func (v *arVec) alloc() int {
+	if n := len(v.free); n > 0 {
+		h := v.free[n-1]
+		v.free = v.free[:n-1]
+		return h
+	}
+	v.spill = append(v.spill, ARState{hist: make([]float64, v.m)})
+	return len(v.spill) - 1
+}
