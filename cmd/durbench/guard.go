@@ -48,6 +48,25 @@ func checkBatchRegression(base []benchReport, fresh benchReport) error {
 	return nil
 }
 
+// checkFailoverRegression mirrors checkBatchRegression for the failover
+// scenario's deterministic steps from the drained mirror to the promoted
+// engine's first answer set. The wall-clock readings (FailoverMillis,
+// P99TickMillis) are machine-dependent and deliberately unguarded.
+func checkFailoverRegression(base []benchReport, fresh benchReport) error {
+	for _, old := range base {
+		if old.FailoverSteps <= 0 || old.Scenario != fresh.Scenario {
+			continue
+		}
+		if float64(fresh.FailoverSteps) > guardBudget*float64(old.FailoverSteps) {
+			return fmt.Errorf("durbench: failover scenario regressed: %d steps vs committed %d (+%.1f%%, >%.0f%% budget)",
+				fresh.FailoverSteps, old.FailoverSteps,
+				100*(float64(fresh.FailoverSteps)/float64(old.FailoverSteps)-1), 100*(guardBudget-1))
+		}
+		fmt.Printf("durbench: failover guard ok: %d steps vs committed %d\n", fresh.FailoverSteps, old.FailoverSteps)
+	}
+	return nil
+}
+
 // checkRecoveryRegression mirrors checkBatchRegression for the recovery
 // scenario's deterministic steps-to-first-answer.
 func checkRecoveryRegression(base []benchReport, fresh benchReport) error {

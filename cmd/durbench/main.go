@@ -84,11 +84,25 @@ type benchReport struct {
 	RecoverySteps    int64 `json:"recoverySteps,omitempty"`
 	ColdRestartSteps int64 `json:"coldRestartSteps,omitempty"`
 
+	// Failover path: a sharded engine under subscription load with a warm
+	// WAL follower, crashed and promoted (the failover scenario only).
+	// FailoverSteps — the simulator cost from the drained mirror to the
+	// promoted engine's first full answer set — is deterministic at the
+	// fixed seed and guarded like the batch and recovery scenarios;
+	// FailoverMillis and P99TickMillis are wall-clock readings, recorded
+	// for the trajectory but never guarded.
+	Subscriptions  int     `json:"subscriptions,omitempty"`
+	ShardCount     int     `json:"shardCount,omitempty"`
+	FailoverSteps  int64   `json:"failoverSteps,omitempty"`
+	FailoverMillis float64 `json:"failoverMillis,omitempty"`
+	P99TickMillis  float64 `json:"p99TickMillis,omitempty"`
+
 	// The headline: cold steps per query divided by incremental steps per
 	// tick (stream scenarios; the sharded scenario reuses the local cold
 	// baseline — the cold path is the same either way), per-query steps
-	// divided by batch steps (batch scenario), or cold-restart steps
-	// divided by recovery steps (recovery scenario).
+	// divided by batch steps (batch scenario), cold-restart steps divided
+	// by recovery steps (recovery scenario), or from-scratch rebuild steps
+	// divided by failover steps (failover scenario).
 	Speedup float64 `json:"speedup"`
 
 	// StepsHistogram is the scenario's per-unit step distribution:
@@ -115,6 +129,10 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "base random seed")
 		workers   = flag.Int("workers", 2, "in-process shard workers for the sharded scenario (0 = skip)")
 		baseline  = flag.String("baseline", "", "committed BENCH_serve.json to guard against: fail if the batch scenario's steps regress >10%")
+
+		failoverSubs   = flag.Int("failover-subs", 100_000, "failover scenario: standing subscriptions on the sharded engine (0 = skip the scenario)")
+		failoverShards = flag.Int("failover-shards", 4, "failover scenario: engine shards")
+		failoverTicks  = flag.Int("failover-ticks", 4, "failover scenario: ticks under load before the crash")
 
 		kernelOut      = flag.String("kernel-out", "", "write the kernel benchmark (scalar vs bulk per model) to this path (empty = skip)")
 		kernelBaseline = flag.String("kernel-baseline", "", "committed BENCH_kernel.json to guard against: fail if allocs/root regress >10%")
@@ -239,6 +257,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *failoverSubs > 0 {
+		failover, err := runFailover(ctx, *failoverShards, *failoverSubs, *failoverTicks, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, failover)
+		if err := checkFailoverRegression(base, failover); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *kernelOut != "" {
 		var kernelBase []kernelReport
 		if *kernelBaseline != "" {
@@ -292,6 +321,11 @@ func main() {
 		if r.RecoverySteps > 0 {
 			fmt.Printf("durbench[%s]: recovery warm-start %d steps to first answer (%.1fx vs cold restart %d steps)\n",
 				r.Backend, r.RecoverySteps, r.Speedup, r.ColdRestartSteps)
+			continue
+		}
+		if r.FailoverSteps > 0 {
+			fmt.Printf("durbench[%s]: failover %d subs/%d shards: first answers %.0fms after crash, %d steps (%.1fx vs rebuild), p99 tick %.0fms\n",
+				r.Backend, r.Subscriptions, r.ShardCount, r.FailoverMillis, r.FailoverSteps, r.Speedup, r.P99TickMillis)
 			continue
 		}
 		fmt.Printf("durbench[%s]: incremental %.0f steps/tick (%.1fx vs cold %.0f steps/query)\n",

@@ -128,10 +128,10 @@ func TestBatchConcurrentWithQueriesAndTicks(t *testing.T) {
 		Tracer: tel.tracer,
 	})
 	t.Cleanup(srv.Close)
-	hub := newStreamHub(srv, registry, 0.2, 50_000_000, 1, nil, 0, tel.engine)
+	hub := newStreamHub(srv, registry, 0.2, 50_000_000, 1, nil, 0, tel.engine, 1)
 	tel.bind(srv, hub)
 	tel.setState(stateReady)
-	ts := httptest.NewServer(newMux(srv, hub, tel))
+	ts := httptest.NewServer(newMux(srv, hub, tel, &replicaSet{}))
 	t.Cleanup(ts.Close)
 
 	// A live stream so /tick has something to advance.

@@ -30,8 +30,8 @@ var fuzzTS = sync.OnceValue(func() *httptest.Server {
 		DefaultRelErr: 0.5,
 		MaxHorizon:    2_000,
 	})
-	hub := newStreamHub(srv, registry, 0.5, 50_000, 1, nil, 0, nil)
-	return httptest.NewServer(newMux(srv, hub, newTelemetry()))
+	hub := newStreamHub(srv, registry, 0.5, 50_000, 1, nil, 0, nil, 1)
+	return httptest.NewServer(newMux(srv, hub, newTelemetry(), &replicaSet{}))
 })
 
 // fuzzEndpoint drives one decode surface: whatever the body, the endpoint

@@ -95,6 +95,7 @@ import (
 	"durability/internal/cluster"
 	"durability/internal/exec"
 	"durability/internal/persist"
+	"durability/internal/replicate"
 	"durability/internal/serve"
 )
 
@@ -114,8 +115,13 @@ func main() {
 		planCache  = flag.Int("plan-cache", serve.DefaultPlanCacheCap, "plan-cache capacity (completed plans; < 0 = unlimited)")
 		tick       = flag.Duration("tick", 0, "auto-advance every live stream on this interval (0 = ticks only via POST /tick)")
 		dataDir    = flag.String("data-dir", "", "durable serving state: checkpoint + write-ahead log directory (empty = in-memory only; a restart forgets every subscription)")
-		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "checkpoint when the write-ahead log outgrows this many bytes (0 = 4 MiB default)")
-		ckptAge    = flag.Duration("checkpoint-age", 0, "checkpoint when the write-ahead log has been collecting this long (0 = 5m default)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "checkpoint when a write-ahead log outgrows this many bytes (0 = 4 MiB default)")
+		ckptAge    = flag.Duration("checkpoint-age", 0, "checkpoint when a write-ahead log has been collecting this long (0 = 5m default)")
+		shards     = flag.Int("shards", 1, "standing-query engine shards; subscriptions partition across them by consistent hash and each shard keeps its own checkpoint+WAL lineage under -data-dir")
+		follow     = flag.String("follow", "", "run as a warm follower of the primary durserve at this base URL (e.g. http://primary:8077); requires -data-dir for the mirror, serves once promoted")
+		followPoll = flag.Duration("follow-poll", 200*time.Millisecond, "follower: replication poll interval")
+		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "follower: promote automatically when no manifest fetch succeeds for this long (0 = promote only via POST /promote)")
+		ackWait    = flag.Duration("ack-wait", 5*time.Second, "primary: on SIGTERM, how long to wait for a follower to acknowledge the final checkpoint's LSNs")
 		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "how long a /batch request waits for compatible batches to share its run (0 = never coalesce)")
 		workers    = flag.String("workers", "", "comma-separated shard-worker addresses; g-MLSS simulation is distributed across them")
 		worker     = flag.String("worker", "", "run as a shard worker on this address instead of serving HTTP")
@@ -191,13 +197,71 @@ func main() {
 		Tracer:          tel.tracer,
 	})
 	defer srv.Close()
-	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed, backend, *topUpRoots, tel.engine)
+	// A follower adopts the primary's shard layout instead of trusting
+	// -shards: the engines must partition exactly as the replicated hub
+	// snapshot records, or restore refuses. Discovery happens before the
+	// hub is built because the shard count is baked into its engines.
+	shardCount := *shards
+	var followSource replicate.HTTPSource
+	if *follow != "" {
+		if *dataDir == "" {
+			log.Fatal("durserve: -follow requires -data-dir (the mirror directory)")
+		}
+		followSource = replicate.HTTPSource{Base: strings.TrimRight(*follow, "/")}
+		n, err := discoverShardCount(followSource, 2*time.Minute)
+		if err != nil {
+			log.Fatalf("durserve: discovering primary layout: %v", err)
+		}
+		if n != shardCount {
+			log.Printf("durserve: adopting the primary's %d-shard layout (local -shards %d ignored)", n, shardCount)
+		}
+		shardCount = n
+	}
+	hub := newStreamHub(srv, registry, *defaultRE, *maxBudget, *seed, backend, *topUpRoots, tel.engine, shardCount)
 	tel.bind(srv, hub)
+
+	opts := persist.Options{MaxWALBytes: *ckptBytes, MaxWALAge: *ckptAge}
+	rep := &replicaSet{}
+	var acks *ackTable
+	var hs *hubStores
+	var fr *followerRun
+	// promoteReq carries at most one promotion trigger (lease expiry or
+	// POST /promote) to the main loop, which owns the takeover.
+	promoteReq := make(chan string, 1)
+	requestPromotion := func(reason string) error {
+		select {
+		case promoteReq <- reason:
+		default: // one is already queued; the takeover is single-shot anyway
+		}
+		return nil
+	}
+	if *follow != "" {
+		tel.setState(stateFollowing)
+		fr = startFollower(hub, followSource, *dataDir, opts, *followPoll, *leaseTTL, func() {
+			tel.replica.IncLeaseExpiry()
+			requestPromotion("primary lease expired")
+		})
+		tel.bindFollowerMetrics(fr.follower, storeNames(shardCount))
+		rep.setPromote(requestPromotion)
+		log.Printf("durserve: following %s (%d shards, poll %s, lease %s)", *follow, shardCount, *followPoll, *leaseTTL)
+	} else if *dataDir != "" {
+		// Opening the store set is cheap; the slow part (replay) happens
+		// below, after the listener is up.
+		var err error
+		hs, err = openHubStores(*dataDir, opts, shardCount)
+		if err != nil {
+			log.Fatalf("durserve: %v", err)
+		}
+		acks = newAckTable(tel.replica)
+		rep.enablePrimary(hs, acks)
+		tel.bindAckMetrics(acks, storeNames(shardCount))
+	}
 
 	// The listener comes up before recovery: a restarting daemon is
 	// immediately live (healthz, readyz, metrics) while the serving
-	// endpoints stay gated 503 until the WAL is replayed.
-	httpSrv := &http.Server{Addr: *addr, Handler: tel.gate(newMux(srv, hub, tel))}
+	// endpoints stay gated 503 until the WAL is replayed (or, on a
+	// follower, until promotion).
+	httpSrv := &http.Server{Addr: *addr, Handler: tel.gate(newMux(srv, hub, tel, rep))}
 	go func() {
 		log.Printf("durserve: listening on %s", *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -215,23 +279,22 @@ func main() {
 		}()
 	}
 
-	if *dataDir != "" {
+	if hs != nil {
 		tel.setState(stateReplaying)
-		store, err := persist.Open(*dataDir, persist.Options{MaxWALBytes: *ckptBytes, MaxWALAge: *ckptAge})
-		if err != nil {
-			log.Fatalf("durserve: %v", err)
-		}
 		began := time.Now()
-		replayed, err := hub.attachStore(store)
+		replayed, err := hub.attachStores(hs)
 		if err != nil {
 			log.Fatalf("durserve: recovering %s: %v", *dataDir, err)
 		}
 		tel.observeRecovery(int64(replayed), time.Since(began))
 		st := hub.stats()
-		log.Printf("durserve: recovered %d subscriptions across %d streams from %s (%d WAL events replayed)",
-			st.Subscriptions, st.Engine.Streams, *dataDir, replayed)
-		// The trigger poller turns the store's size/age thresholds into
-		// actual checkpoints; SIGTERM below writes the final one.
+		log.Printf("durserve: recovered %d subscriptions across %d streams and %d shard lineages from %s (%d WAL events replayed)",
+			st.Subscriptions, st.Engine.Streams, shardCount, *dataDir, replayed)
+	}
+	if *dataDir != "" {
+		// The trigger poller turns each store's size/age thresholds into
+		// actual checkpoints; SIGTERM below writes the final one. On a
+		// follower it idles (no stores attached) until promotion.
 		pollDone := make(chan struct{})
 		defer close(pollDone)
 		go func() {
@@ -249,26 +312,59 @@ func main() {
 			}
 		}()
 	}
-	tel.setState(stateReady)
+	if fr == nil {
+		tel.setState(stateReady)
+	}
 	if *tick > 0 {
 		ticker := time.NewTicker(*tick)
 		defer ticker.Stop()
 		go func() {
 			for range ticker.C {
-				hub.autoTick(context.Background())
+				// A follower never ticks its own feeds — ticks arrive
+				// through replication until promotion flips the state.
+				if tel.readyState() == stateReady {
+					hub.autoTick(context.Background())
+				}
 			}
 		}()
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case reason := <-promoteReq:
+			if fr == nil {
+				continue
+			}
+			log.Printf("durserve: promoting: %s", reason)
+			phs, err := fr.promote()
+			if err != nil {
+				log.Fatalf("durserve: promotion failed: %v", err)
+			}
+			hs = phs
+			acks = newAckTable(tel.replica)
+			rep.enablePrimary(hs, acks)
+			tel.bindAckMetrics(acks, storeNames(shardCount))
+			tel.replica.IncPromotion()
+			tel.setState(stateReady)
+			st := hub.stats()
+			log.Printf("durserve: promoted; serving %d subscriptions across %d streams from %s",
+				st.Subscriptions, st.Engine.Streams, *dataDir)
+		}
+	}
 	log.Print("durserve: shutting down")
-	// Order matters: the final checkpoint captures the serving state,
-	// then in-flight long polls resolve with 204 (shutting down) instead
-	// of being dropped mid-wait, then the listener drains.
-	if *dataDir != "" {
-		if err := hub.checkpoint(); err != nil {
+	// Order matters: the final checkpoint captures every lineage and (if
+	// a follower has been acking) waits for it to confirm the final
+	// LSNs, then in-flight long polls resolve with 204 (shutting down)
+	// instead of being dropped mid-wait, then the listener drains.
+	if fr != nil && tel.readyState() == stateFollowing {
+		fr.stop() // never promoted: the mirror on disk is already consistent
+	} else if *dataDir != "" {
+		if err := finalShutdown(hub, acks, *ackWait); err != nil {
 			log.Printf("durserve: final checkpoint: %v", err)
 		} else {
 			log.Printf("durserve: final checkpoint written to %s", *dataDir)
@@ -318,8 +414,14 @@ func queryStatus(err error) int {
 
 // newMux wires the serving endpoints; it is separated from main so tests
 // can drive the handlers through httptest.
-func newMux(srv *serve.Server, hub *streamHub, tel *telemetrySet) *http.ServeMux {
+func newMux(srv *serve.Server, hub *streamHub, tel *telemetrySet, rep *replicaSet) *http.ServeMux {
 	mux := http.NewServeMux()
+	// Replication feed (primary) and promotion trigger (follower). Both
+	// are allowlisted through the readiness gate: a follower accepts
+	// /promote before it is ready, and a primary ships WAL segments even
+	// while a checkpoint poller is mid-replay.
+	mux.Handle("/replicate/", http.HandlerFunc(rep.serveReplicate))
+	mux.HandleFunc("POST /promote", rep.handlePromote)
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.Request
 		if err := decodeJSON(r, &req); err != nil {

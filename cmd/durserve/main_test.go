@@ -27,10 +27,10 @@ func testServerHub(t *testing.T) (*httptest.Server, *streamHub) {
 	tel := newTelemetry()
 	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Tracer: tel.tracer})
 	t.Cleanup(srv.Close)
-	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0, tel.engine)
+	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0, tel.engine, 1)
 	tel.bind(srv, hub)
 	tel.setState(stateReady)
-	ts := httptest.NewServer(newMux(srv, hub, tel))
+	ts := httptest.NewServer(newMux(srv, hub, tel, &replicaSet{}))
 	t.Cleanup(ts.Close)
 	return ts, hub
 }

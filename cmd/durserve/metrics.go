@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 const (
 	stateStarting  = "starting"
 	stateReplaying = "replaying-wal"
+	stateFollowing = "following"
 	stateReady     = "ready"
 )
 
@@ -31,6 +33,7 @@ type telemetrySet struct {
 	tracer   *telemetry.Tracer
 	engine   *telemetry.EngineMetrics
 	workers  *telemetry.WorkerMetrics
+	replica  *telemetry.ReplicaMetrics
 
 	state atomic.Value // readiness: starting → replaying-wal → ready
 
@@ -112,6 +115,14 @@ func newTelemetry() *telemetrySet {
 		reg.RegisterHistogram("durserve_worker_sim_seconds",
 			"Worker-reported per-chunk simulation time.", ws.Remote, l)
 	})
+
+	t.replica = &telemetry.ReplicaMetrics{}
+	reg.CounterFunc("durserve_promotions_total",
+		"Follower promotions performed (lease expiry or POST /promote).", t.replica.Promotions)
+	reg.CounterFunc("durserve_lease_expiries_total",
+		"Primary-lease expiries observed while following.", t.replica.LeaseExpiries)
+	reg.CounterFunc("durserve_follower_ack_rounds_total",
+		"Replication acknowledgement rounds received from a follower.", t.replica.AckRounds)
 
 	t.recoveries = reg.Counter("durserve_recoveries_total",
 		"Recoveries performed from the checkpoint + write-ahead log store.")
@@ -233,7 +244,13 @@ func (t *telemetrySet) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (t *telemetrySet) gate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/healthz", "/readyz", "/metrics":
+		case "/healthz", "/readyz", "/metrics", "/promote":
+			next.ServeHTTP(w, r)
+			return
+		}
+		// A follower serves the replication feed of its own mirror (for
+		// chained followers) and must accept /promote before it is ready.
+		if strings.HasPrefix(r.URL.Path, "/replicate/") {
 			next.ServeHTTP(w, r)
 			return
 		}

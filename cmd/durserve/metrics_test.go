@@ -196,9 +196,9 @@ func TestReadinessGate(t *testing.T) {
 	tel := newTelemetry()
 	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Tracer: tel.tracer})
 	t.Cleanup(srv.Close)
-	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0, tel.engine)
+	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0, tel.engine, 1)
 	tel.bind(srv, hub)
-	ts := httptest.NewServer(tel.gate(newMux(srv, hub, tel)))
+	ts := httptest.NewServer(tel.gate(newMux(srv, hub, tel, &replicaSet{})))
 	t.Cleanup(ts.Close)
 
 	status := func(path string) (int, string) {
@@ -250,7 +250,7 @@ func TestRecoveryMetricsExposed(t *testing.T) {
 	subscribe(t, ts, `{"model":"walk","beta":15,"horizon":100,"re":0.2}`)
 	tickOnce(t, ts, "walk")
 	ts.Close()
-	hub.store.Close()
+	hub.closeStores()
 
 	ts2, _ := durableServer(t, dir)
 	body := string(getBytes(t, ts2, "/metrics"))

@@ -27,24 +27,24 @@ func durableServer(t *testing.T, dir string) (*httptest.Server, *streamHub) {
 	tel := newTelemetry()
 	srv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Tracer: tel.tracer})
 	t.Cleanup(srv.Close)
-	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0, tel.engine)
+	hub := newStreamHub(srv, registry, 0.15, 50_000_000, 1, nil, 0, tel.engine, 1)
 	tel.bind(srv, hub)
-	store, err := persist.Open(dir, persist.Options{})
+	hs, err := openHubStores(dir, persist.Options{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { store.Close() })
+	t.Cleanup(func() { hs.Close() })
 	// Mirror main's readiness and recovery-metric sequence, so tests can
 	// assert on the post-recovery /metrics surface.
 	tel.setState(stateReplaying)
 	began := time.Now()
-	replayed, err := hub.attachStore(store)
+	replayed, err := hub.attachStores(hs)
 	if err != nil {
 		t.Fatalf("recovering %s: %v", dir, err)
 	}
 	tel.observeRecovery(int64(replayed), time.Since(began))
 	tel.setState(stateReady)
-	ts := httptest.NewServer(newMux(srv, hub, tel))
+	ts := httptest.NewServer(newMux(srv, hub, tel, &replicaSet{}))
 	t.Cleanup(ts.Close)
 	return ts, hub
 }
@@ -84,7 +84,8 @@ func goldenAnswers(t *testing.T, ticks int) []answerJSON {
 // A durserve killed without warning (no shutdown, no final checkpoint)
 // and restarted on its -data-dir must serve bit-for-bit the answers an
 // uninterrupted server would — including when the crash tears the last
-// WAL record, in which case the dropped tick is simply served again.
+// shard WAL record, in which case recovery completes the torn tick by
+// recomputing the feed trajectory and republishing the missing update.
 func TestDurserveCrashRestartMatchesUninterrupted(t *testing.T) {
 	const totalTicks, crashAfter = 11, 6
 	golden := goldenAnswers(t, totalTicks)
@@ -109,11 +110,14 @@ func TestDurserveCrashRestartMatchesUninterrupted(t *testing.T) {
 			// handle, but write no checkpoint — the state must come back
 			// from the boot checkpoint plus the WAL alone.
 			ts.Close()
-			hub.store.Close()
+			hub.closeStores()
 
-			resume := crashAfter
 			if tearTail {
-				wals, err := filepath.Glob(filepath.Join(dir, "wal-*"))
+				// Tear the engine shard's newest segment mid-record: the
+				// shard loses the last tick's refresh, but the hub lineage
+				// still holds the feed step, so recovery must catch the
+				// shard up instead of serving from a short state.
+				wals, err := filepath.Glob(filepath.Join(dir, shardStoreName(0), "wal-*"))
 				if err != nil || len(wals) == 0 {
 					t.Fatalf("no wal segments (%v)", err)
 				}
@@ -126,14 +130,13 @@ func TestDurserveCrashRestartMatchesUninterrupted(t *testing.T) {
 				if err := os.Truncate(newest, info.Size()-4); err != nil {
 					t.Fatal(err)
 				}
-				resume = crashAfter - 1 // the torn tick is served again
 			}
 
 			ts2, hub2 := durableServer(t, dir)
 			if got, want := hub2.stats().Subscriptions, 1; got != want {
 				t.Fatalf("recovered %d subscriptions, want %d", got, want)
 			}
-			for i := resume; i < totalTicks; i++ {
+			for i := crashAfter; i < totalTicks; i++ {
 				if got := tickOnce(t, ts2, "walk"); got != golden[i] {
 					t.Fatalf("post-recovery tick %d: %+v != golden %+v", i+1, got, golden[i])
 				}
@@ -151,7 +154,7 @@ func TestDurserveRecoveredHandleServesUpdates(t *testing.T) {
 	sub := subscribe(t, ts, `{"model":"walk","beta":15,"horizon":100,"re":0.2}`)
 	want := tickOnce(t, ts, "walk")
 	ts.Close()
-	hub.store.Close()
+	hub.closeStores()
 
 	ts2, _ := durableServer(t, dir)
 	resp, err := http.Get(ts2.URL + "/updates?id=" + sub.ID + "&since=0&timeoutSec=2")
@@ -186,7 +189,7 @@ func TestDurserveUnsubscribeSurvivesRestart(t *testing.T) {
 		t.Fatalf("unsubscribe status %d", resp.StatusCode)
 	}
 	ts.Close()
-	hub.store.Close()
+	hub.closeStores()
 
 	ts2, hub2 := durableServer(t, dir)
 	if n := hub2.stats().Subscriptions; n != 0 {
@@ -259,7 +262,7 @@ func TestRecoveryReapsHandleLessSubscriptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts.Close()
-	hub.store.Close()
+	hub.closeStores()
 
 	_, hub2 := durableServer(t, dir)
 	st := hub2.stats()

@@ -37,19 +37,19 @@ func shardedServer(t *testing.T, nWorkers int) (*httptest.Server, *httptest.Serv
 	backend.Metrics = shardedTel.workers
 	shardedSrv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Executor: backend, Tracer: shardedTel.tracer})
 	t.Cleanup(shardedSrv.Close)
-	shardedHub := newStreamHub(shardedSrv, registry, 0.15, 50_000_000, 1, backend, 0, shardedTel.engine)
+	shardedHub := newStreamHub(shardedSrv, registry, 0.15, 50_000_000, 1, backend, 0, shardedTel.engine, 1)
 	shardedTel.bind(shardedSrv, shardedHub)
 	shardedTel.setState(stateReady)
-	sharded := httptest.NewServer(newMux(shardedSrv, shardedHub, shardedTel))
+	sharded := httptest.NewServer(newMux(shardedSrv, shardedHub, shardedTel, &replicaSet{}))
 	t.Cleanup(sharded.Close)
 
 	localTel := newTelemetry()
 	localSrv := serve.NewServer(registry, serve.Config{PoolWorkers: 2, Seed: 1, Executor: exec.Local{}, Tracer: localTel.tracer})
 	t.Cleanup(localSrv.Close)
-	localHub := newStreamHub(localSrv, registry, 0.15, 50_000_000, 1, exec.Local{}, 0, localTel.engine)
+	localHub := newStreamHub(localSrv, registry, 0.15, 50_000_000, 1, exec.Local{}, 0, localTel.engine, 1)
 	localTel.bind(localSrv, localHub)
 	localTel.setState(stateReady)
-	local := httptest.NewServer(newMux(localSrv, localHub, localTel))
+	local := httptest.NewServer(newMux(localSrv, localHub, localTel, &replicaSet{}))
 	t.Cleanup(local.Close)
 	return sharded, local
 }

@@ -72,19 +72,24 @@ func TestStatsEncodingByteIdentical(t *testing.T) {
 	}
 }
 
-// latestSnapshot returns the bytes of the newest checkpoint in dir.
-func latestSnapshot(t *testing.T, dir string) []byte {
+// latestSnapshots returns the bytes of the newest checkpoint in each
+// store lineage under dir (hub plus every shard), keyed by store name.
+func latestSnapshots(t *testing.T, dir string) map[string][]byte {
 	t.Helper()
-	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*"))
-	if err != nil || len(snaps) == 0 {
-		t.Fatalf("no snapshots in %s (err %v)", dir, err)
+	out := make(map[string][]byte)
+	for _, name := range storeNames(1) {
+		snaps, err := filepath.Glob(filepath.Join(dir, name, "snap-*"))
+		if err != nil || len(snaps) == 0 {
+			t.Fatalf("no snapshots in %s/%s (err %v)", dir, name, err)
+		}
+		sort.Strings(snaps)
+		blob, err := os.ReadFile(snaps[len(snaps)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = blob
 	}
-	sort.Strings(snaps)
-	blob, err := os.ReadFile(snaps[len(snaps)-1])
-	if err != nil {
-		t.Fatal(err)
-	}
-	return blob
+	return out
 }
 
 // TestCheckpointBytesIdentical is the persistence half of the contract:
@@ -105,8 +110,10 @@ func TestCheckpointBytesIdentical(t *testing.T) {
 	if err := hubB.checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	a, b := latestSnapshot(t, dirA), latestSnapshot(t, dirB)
-	if !bytes.Equal(a, b) {
-		t.Fatalf("checkpoints of identically-driven servers differ (%d vs %d bytes)", len(a), len(b))
+	a, b := latestSnapshots(t, dirA), latestSnapshots(t, dirB)
+	for name, blob := range a {
+		if !bytes.Equal(blob, b[name]) {
+			t.Fatalf("%s checkpoints of identically-driven servers differ (%d vs %d bytes)", name, len(blob), len(b[name]))
+		}
 	}
 }

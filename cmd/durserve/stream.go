@@ -14,7 +14,6 @@ import (
 
 	"durability/internal/exec"
 	"durability/internal/mc"
-	"durability/internal/persist"
 	"durability/internal/rng"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
@@ -29,7 +28,7 @@ import (
 // runner, so standing queries amortize level searches through the same
 // plan cache as one-shot /query requests.
 type streamHub struct {
-	engine   *stream.Engine
+	engine   *stream.ShardedEngine
 	runner   *serve.Runner
 	registry serve.Registry
 
@@ -37,10 +36,12 @@ type streamHub struct {
 	maxBudget     int64
 	seed          uint64
 
-	// Durable serving state (-data-dir): the checkpoint+WAL store, the
-	// checkpoint serializer, and the hub's own last-applied log sequence
-	// number (the engine and each feed track theirs separately).
-	store  *persist.Store
+	// Durable serving state (-data-dir): the hub's own checkpoint+WAL
+	// store (each engine shard journals to its own store — see
+	// hubStores), the checkpoint serializer, and the hub's last-applied
+	// log sequence number (each shard and each feed track theirs
+	// separately).
+	stores *hubStores
 	ckptMu sync.Mutex
 
 	// down closes when the server begins shutting down, resolving every
@@ -52,9 +53,9 @@ type streamHub struct {
 	lsn      int64
 	nextID   int64
 	subs     map[string]*stream.Subscription
+	binds    map[string]uint64 // recovery/follow only: handle binds awaiting resolveBinds
 	feeds    map[string]*feed
-	tickErrs map[string]int64       // auto-tick failures per stream
-	pending  map[string]pendingStep // recovery only: feed steps awaiting their engine update
+	tickErrs map[string]int64 // auto-tick failures per stream
 }
 
 // feed is the live state the hub advances for one stream: the model's own
@@ -74,7 +75,7 @@ type feed struct {
 	lsn   int64 // last journaled mutation applied to this feed
 }
 
-func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr float64, maxBudget int64, seed uint64, backend exec.Executor, topUpRoots int, metrics *telemetry.EngineMetrics) *streamHub {
+func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr float64, maxBudget int64, seed uint64, backend exec.Executor, topUpRoots int, metrics *telemetry.EngineMetrics, shards int) *streamHub {
 	if defaultRelErr <= 0 {
 		defaultRelErr = 0.10
 	}
@@ -84,8 +85,11 @@ func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr floa
 	if seed == 0 {
 		seed = 1
 	}
+	if shards < 1 {
+		shards = 1
+	}
 	return &streamHub{
-		engine:        stream.NewEngine(stream.Config{Runner: srv.Runner(), Exec: backend, TopUpRoots: topUpRoots, Metrics: metrics}),
+		engine:        stream.NewSharded(stream.Config{Runner: srv.Runner(), Exec: backend, TopUpRoots: topUpRoots, Metrics: metrics}, shards, 0),
 		runner:        srv.Runner(),
 		registry:      registry,
 		defaultRelErr: defaultRelErr,
@@ -93,9 +97,9 @@ func newStreamHub(srv *serve.Server, registry serve.Registry, defaultRelErr floa
 		seed:          seed,
 		down:          make(chan struct{}),
 		subs:          make(map[string]*stream.Subscription),
+		binds:         make(map[string]uint64),
 		feeds:         make(map[string]*feed),
 		tickErrs:      make(map[string]int64),
-		pending:       make(map[string]pendingStep),
 	}
 }
 

@@ -1,0 +1,322 @@
+// Package faultfs is a fault-injecting persist.FS: a wrappable file layer
+// that tears writes, shortens reads, fails fsyncs and delays I/O at
+// scripted points, then optionally "kills" the process by failing every
+// subsequent operation. It exists so the crash footprints the store
+// claims to survive — and the failover the replication layer claims to
+// mask — are enumerable in-process instead of depending on subprocess
+// kill -9 timing.
+//
+// A script is a list of Rules. Each rule watches one operation kind,
+// optionally filtered by a path substring, and fires on the Nth matching
+// call. Firing performs the rule's effect:
+//
+//   - a torn write (KeepBytes of the buffer reach the file, then an error),
+//   - a short read (at most MaxBytes returned),
+//   - a plain error (fsync failures, vanished files),
+//   - a delay (slow segment shipping),
+//
+// and, when Kill is set, flips the filesystem into dead mode — every
+// later operation fails with ErrDead, exactly as if the process had been
+// killed between two syscalls. Bytes written before the kill stay on
+// disk, which is the kill -9 contract on a healthy kernel.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"durability/internal/persist"
+)
+
+// Op names one interceptable operation kind.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpWrite    Op = "write"
+	OpRead     Op = "read" // covers File.Read and FS.ReadFile
+	OpSync     Op = "sync"
+	OpRemove   Op = "remove"
+	OpRename   Op = "rename"
+	OpTruncate Op = "truncate"
+)
+
+// ErrInjected is the default error surfaced by a firing rule.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrDead is returned by every operation once the filesystem is dead.
+var ErrDead = errors.New("faultfs: process is dead")
+
+// Rule scripts one fault. Zero Nth means the first matching call.
+type Rule struct {
+	Op   Op
+	Path string // substring of the file path; "" matches every path
+	Nth  int    // fire on the Nth matching call (1-based)
+
+	KeepBytes int           // OpWrite: bytes of the buffer that reach the file before the failure
+	MaxBytes  int           // OpRead: cap on bytes returned (no error) — a short read
+	Delay     time.Duration // sleep before the operation proceeds (then no error unless Err/Kill set)
+	Err       error         // error to return (default ErrInjected; ignored for pure Delay/MaxBytes rules)
+	Kill      bool          // after firing, fail every subsequent operation with ErrDead
+
+	seen  int
+	fired bool
+}
+
+// FS wraps an inner persist.FS with a fault script.
+type FS struct {
+	inner persist.FS
+
+	mu    sync.Mutex
+	rules []*Rule
+	dead  bool
+}
+
+// Wrap builds a fault-injecting filesystem over inner (nil = the real OS).
+func Wrap(inner persist.FS, rules ...*Rule) *FS {
+	if inner == nil {
+		inner = persist.OSFS
+	}
+	return &FS{inner: inner, rules: rules}
+}
+
+// Kill flips the filesystem into dead mode directly (a crash between
+// syscalls, with no torn artifact).
+func (f *FS) Kill() {
+	f.mu.Lock()
+	f.dead = true
+	f.mu.Unlock()
+}
+
+// Dead reports whether a Kill rule (or Kill call) has taken effect.
+func (f *FS) Dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+// Fired reports whether the given rule has fired.
+func (f *FS) Fired(r *Rule) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return r.fired
+}
+
+// check consults the script for one operation. It returns the rule that
+// fired (nil for a clean pass) and whether the filesystem is dead.
+func (f *FS) check(op Op, path string) (*Rule, error) {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return nil, ErrDead
+	}
+	var hit *Rule
+	for _, r := range f.rules {
+		if r.fired || r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		nth := r.Nth
+		if nth <= 0 {
+			nth = 1
+		}
+		if r.seen == nth {
+			r.fired = true
+			hit = r
+			break
+		}
+	}
+	if hit != nil && hit.Kill {
+		f.dead = true
+	}
+	f.mu.Unlock()
+	if hit != nil && hit.Delay > 0 {
+		time.Sleep(hit.Delay)
+	}
+	return hit, nil
+}
+
+// ruleErr resolves the error a firing rule surfaces.
+func ruleErr(r *Rule) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (persist.File, error) {
+	r, err := f.check(OpOpen, name)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil && (r.Err != nil || r.Kill || r.Delay == 0) && r.MaxBytes == 0 {
+		return nil, fmt.Errorf("faultfs: open %s: %w", name, ruleErr(r))
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		return nil, ErrDead
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		return ErrDead
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) Remove(name string) error {
+	r, err := f.check(OpRemove, name)
+	if err != nil {
+		return err
+	}
+	if r != nil && (r.Err != nil || r.Kill || r.Delay == 0) {
+		return fmt.Errorf("faultfs: remove %s: %w", name, ruleErr(r))
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	r, err := f.check(OpRename, oldpath)
+	if err != nil {
+		return err
+	}
+	if r != nil && (r.Err != nil || r.Kill || r.Delay == 0) {
+		return fmt.Errorf("faultfs: rename %s: %w", oldpath, ruleErr(r))
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	r, err := f.check(OpRead, name)
+	if err != nil {
+		return nil, err
+	}
+	blob, rerr := f.inner.ReadFile(name)
+	if r != nil {
+		if r.MaxBytes > 0 {
+			if rerr != nil {
+				return nil, rerr
+			}
+			if len(blob) > r.MaxBytes {
+				blob = blob[:r.MaxBytes]
+			}
+			return blob, nil
+		}
+		if r.Err != nil || r.Kill || r.Delay == 0 {
+			return nil, fmt.Errorf("faultfs: read %s: %w", name, ruleErr(r))
+		}
+	}
+	return blob, rerr
+}
+
+func (f *FS) Stat(name string) (os.FileInfo, error) {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		return nil, ErrDead
+	}
+	return f.inner.Stat(name)
+}
+
+// file intercepts per-handle operations.
+type file struct {
+	fs    *FS
+	inner persist.File
+	name  string
+}
+
+func (h *file) Name() string                       { return h.inner.Name() }
+func (h *file) Stat() (os.FileInfo, error)         { return h.inner.Stat() }
+func (h *file) Seek(o int64, w int) (int64, error) { return h.inner.Seek(o, w) }
+
+// Close always passes through: a dead process's descriptors close anyway.
+func (h *file) Close() error { return h.inner.Close() }
+
+func (h *file) Read(p []byte) (int, error) {
+	r, err := h.fs.check(OpRead, h.name)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil {
+		if r.MaxBytes > 0 {
+			if len(p) > r.MaxBytes {
+				p = p[:r.MaxBytes]
+			}
+			return h.inner.Read(p)
+		}
+		if r.Err != nil || r.Kill || r.Delay == 0 {
+			return 0, fmt.Errorf("faultfs: read %s: %w", h.name, ruleErr(r))
+		}
+	}
+	return h.inner.Read(p)
+}
+
+func (h *file) Write(p []byte) (int, error) {
+	r, err := h.fs.check(OpWrite, h.name)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil {
+		if r.Delay > 0 && r.Err == nil && !r.Kill && r.KeepBytes == 0 {
+			return h.inner.Write(p)
+		}
+		// Torn write: a prefix of the buffer reaches the file, then the
+		// process is gone mid-syscall.
+		keep := r.KeepBytes
+		if keep > len(p) {
+			keep = len(p)
+		}
+		if keep > 0 {
+			if n, werr := h.inner.Write(p[:keep]); werr != nil {
+				return n, werr
+			}
+		}
+		return keep, fmt.Errorf("faultfs: write %s: %w", h.name, ruleErr(r))
+	}
+	return h.inner.Write(p)
+}
+
+func (h *file) Sync() error {
+	r, err := h.fs.check(OpSync, h.name)
+	if err != nil {
+		return err
+	}
+	if r != nil && (r.Err != nil || r.Kill || r.Delay == 0) {
+		return fmt.Errorf("faultfs: sync %s: %w", h.name, ruleErr(r))
+	}
+	return h.inner.Sync()
+}
+
+func (h *file) Truncate(size int64) error {
+	r, err := h.fs.check(OpTruncate, h.name)
+	if err != nil {
+		return err
+	}
+	if r != nil && (r.Err != nil || r.Kill || r.Delay == 0) {
+		return fmt.Errorf("faultfs: truncate %s: %w", h.name, ruleErr(r))
+	}
+	return h.inner.Truncate(size)
+}

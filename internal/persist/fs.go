@@ -1,0 +1,53 @@
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the store relies on. Every byte the store
+// reads or writes flows through this interface, so a test filesystem can
+// script torn writes, short reads and fsync failures at exact points —
+// the crash footprints recovery claims to survive.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	Name() string
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the filesystem seam. The zero-cost default is OSFS; fault
+// injection wraps it (see internal/persist/faultfs).
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	MkdirAll(path string, perm os.FileMode) error
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OSFS is the production filesystem: direct passthrough to the os package.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }

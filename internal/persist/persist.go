@@ -80,6 +80,7 @@ type Options struct {
 	MaxWALBytes int64         // checkpoint trigger: live-segment size (default DefaultMaxWALBytes)
 	MaxWALAge   time.Duration // checkpoint trigger: live-segment age (default DefaultMaxWALAge)
 	Keep        int           // checkpoint generations retained by compaction (default DefaultKeep)
+	FS          FS            // filesystem seam (default OSFS); tests inject faults here
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +93,9 @@ func (o Options) withDefaults() Options {
 	if o.Keep <= 0 {
 		o.Keep = DefaultKeep
 	}
+	if o.FS == nil {
+		o.FS = OSFS
+	}
 	return o
 }
 
@@ -103,13 +107,14 @@ func (o Options) withDefaults() Options {
 type Store struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	mu        sync.Mutex
 	recovered bool
 	seq       uint64 // segment currently appended to
 	snapSeq   uint64 // latest durable snapshot generation (0 = none)
 	nextLSN   int64
-	wal       *os.File
+	wal       File
 	walBytes  int64
 	walSince  time.Time // when the live segment took its first record
 	walDirty  bool      // live segment holds at least one record
@@ -122,10 +127,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("persist: empty data directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	return &Store{dir: dir, opts: opts.withDefaults()}, nil
+	return &Store{dir: dir, opts: opts, fs: opts.FS}, nil
 }
 
 func (s *Store) snapPath(seq uint64) string {
@@ -138,7 +144,7 @@ func (s *Store) walPath(seq uint64) string {
 
 // scan lists the snapshot and segment sequence numbers present on disk.
 func (s *Store) scan() (snaps, wals []uint64, err error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
@@ -186,7 +192,7 @@ func (s *Store) Recover(snap any, prepare func(found bool) error, apply func(lsn
 	// fallback when the newest write never completed its rename or its
 	// payload fails the checksum.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		ok, derr := readSnapshot(s.snapPath(snaps[i]), snap)
+		ok, derr := readSnapshot(s.fs, s.snapPath(snaps[i]), snap)
 		if derr != nil {
 			return false, 0, derr
 		}
@@ -243,7 +249,7 @@ func (s *Store) Recover(snap any, prepare func(found bool) error, apply func(lsn
 // the segment is empty).
 func (s *Store) replaySegment(seq uint64, last bool, apply func(lsn int64, ev any) error) (n int, nextLSN int64, err error) {
 	path := s.walPath(seq)
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	f, err := s.fs.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return 0, 0, fmt.Errorf("persist: %w", err)
 	}
@@ -251,6 +257,17 @@ func (s *Store) replaySegment(seq uint64, last bool, apply func(lsn int64, ev an
 
 	header := make([]byte, len(walMagic)+8)
 	if _, err := io.ReadFull(f, header); err != nil {
+		// A crash during rotation can tear the 16-byte header itself,
+		// leaving a short final segment that never took a record. That is
+		// a normal crash footprint: truncate it to empty and let
+		// openSegmentLocked rewrite the header. A short header anywhere
+		// but the final segment is lost history.
+		if last && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+			if terr := f.Truncate(0); terr != nil {
+				return 0, 0, fmt.Errorf("persist: truncating torn header of %s: %w", path, terr)
+			}
+			return 0, 0, nil
+		}
 		return 0, 0, fmt.Errorf("persist: %s: reading segment header: %w", path, err)
 	}
 	if !bytes.Equal(header[:len(walMagic)], walMagic) {
@@ -310,7 +327,7 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // LSN) the given segment for appending and primes the trigger bookkeeping.
 func (s *Store) openSegmentLocked(seq uint64) error {
 	path := s.walPath(seq)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
@@ -320,6 +337,16 @@ func (s *Store) openSegmentLocked(seq uint64) error {
 		return fmt.Errorf("persist: %w", err)
 	}
 	size := st.Size()
+	if size > 0 && size < int64(len(walMagic)+8) {
+		// A crash tore the header write of a segment that never took a
+		// record (Recover truncates this shape to 0 for the final
+		// segment); start it over rather than appending after garbage.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+		size = 0
+	}
 	if size == 0 {
 		header := make([]byte, len(walMagic)+8)
 		copy(header, walMagic)
@@ -441,7 +468,7 @@ func (s *Store) Checkpoint(assemble func() (any, error)) error {
 		// segments still replay to the live state.
 		return fmt.Errorf("persist: assembling snapshot: %w", err)
 	}
-	if err := writeSnapshot(s.snapPath(newSeq), snap); err != nil {
+	if err := writeSnapshot(s.fs, s.snapPath(newSeq), snap); err != nil {
 		return err
 	}
 
@@ -470,14 +497,14 @@ func (s *Store) compactLocked() {
 	}
 	for _, seq := range snaps {
 		if seq < floor {
-			os.Remove(s.snapPath(seq))
+			s.fs.Remove(s.snapPath(seq))
 		}
 	}
 	for _, seq := range wals {
 		// wal-N holds the events after snap-N; it is dead once a newer
 		// snapshot is durable.
 		if seq < floor && seq < s.snapSeq {
-			os.Remove(s.walPath(seq))
+			s.fs.Remove(s.walPath(seq))
 		}
 	}
 }

@@ -106,7 +106,7 @@ func readRecord(r io.Reader, wantLSN int64) (ev any, status readStatus, err erro
 // payload against anything subtler.
 
 // writeSnapshot atomically publishes a snapshot file.
-func writeSnapshot(path string, snap any) error {
+func writeSnapshot(fsys FS, path string, snap any) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
 		return fmt.Errorf("persist: encoding snapshot %T: %w", snap, err)
@@ -117,7 +117,7 @@ func writeSnapshot(path string, snap any) error {
 	binary.LittleEndian.PutUint64(header[len(snapMagic)+4:], uint64(payload.Len()))
 
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
@@ -131,15 +131,15 @@ func writeSnapshot(path string, snap any) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("persist: writing %s: %w", tmp, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("persist: %w", err)
 	}
 	// Make the rename itself durable.
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+	if dir, err := fsys.OpenFile(filepath.Dir(path), os.O_RDONLY, 0); err == nil {
 		dir.Sync()
 		dir.Close()
 	}
@@ -152,8 +152,8 @@ func writeSnapshot(path string, snap any) error {
 // older generation. A checksum-valid payload that will not decode is a
 // programming error (an unregistered type, a changed snapshot struct) and
 // is reported, not masked.
-func readSnapshot(path string, snap any) (ok bool, err error) {
-	blob, err := os.ReadFile(path)
+func readSnapshot(fsys FS, path string, snap any) (ok bool, err error) {
+	blob, err := fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return false, nil

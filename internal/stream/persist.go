@@ -467,7 +467,7 @@ func (e *Engine) Apply(ctx context.Context, lsn int64, ev JournalEvent, resolve 
 		if !ok {
 			return fmt.Errorf("stream: replaying subscription %d: model %q has no observer %q", ev.ID, ls.modelID, ev.Spec.ObserverID)
 		}
-		if _, err := e.subscribe(ctx, ev.Spec.subSpec(obs), ev.ID, lsn); err != nil {
+		if _, err := e.subscribe(ctx, ev.Spec.subSpec(obs), ev.ID, lsn, true); err != nil {
 			return fmt.Errorf("stream: replaying subscription %d: %w", ev.ID, err)
 		}
 		if next := e.nextSub.Load(); ev.ID > next {

@@ -1,0 +1,274 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"durability/internal/mc"
+	"durability/internal/stochastic"
+)
+
+// canonAnswer strips the fields that are legitimately nondeterministic —
+// wall-clock times, and search-cost attribution (single-flight plan
+// search attributes its steps to whichever concurrent refresh won the
+// race) — so the remainder compares with ==, the PR 5 drill contract.
+func canonAnswer(a Answer) Answer {
+	a.Result.Elapsed, a.Result.VarTime = 0, 0
+	a.SearchSteps = 0
+	a.PlanCached = false
+	return a
+}
+
+// shardedSpec is a cheap standing query for parity drills: budget-capped
+// so every refresh terminates quickly regardless of how unreachable the
+// quality target is.
+func shardedSpec(env chainEnv, seed uint64) SubSpec {
+	return SubSpec{
+		Stream:     "chain",
+		Obs:        stochastic.ChainIndex,
+		ObserverID: "index",
+		Beta:       env.beta,
+		Horizon:    env.horizon,
+		Seed:       seed,
+		Stop:       mc.Any{mc.RETarget{Target: 0.15}, mc.Budget{Steps: 8_000}},
+	}
+}
+
+// chainTrajectory is a fixed 500-tick pseudo-walk below the threshold:
+// drift, revisits and bucket crossings, the shapes that exercise
+// survival pruning, top-up and replanning.
+func chainTrajectory(n int) []int {
+	pattern := []int{0, 1, 2, 1, 2, 3, 4, 3, 2, 1, 0, 1, 2, 3, 2, 1, 2, 3, 4, 5, 4, 3, 2, 1}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)]
+	}
+	return out
+}
+
+// TestShardedMatchesSingleBitForBit is the statistical regression drill
+// the tentpole rests on: a 4-shard engine must answer bit-for-bit like
+// the 1-shard engine across 500 ticks — placement is invisible to
+// answers, because each subscription's randomness derives only from its
+// own (spec, ID) and plan searches are pure functions of their key.
+func TestShardedMatchesSingleBitForBit(t *testing.T) {
+	const ticks = 500
+	const subsUpfront = 6
+	const subsMidway = 2
+	ctx := context.Background()
+	env := newChainEnv()
+
+	single := NewEngine(Config{})
+	sharded := NewSharded(Config{}, 4, 0)
+	if err := single.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	subscribe := func(seed uint64) {
+		t.Helper()
+		if _, err := single.Subscribe(ctx, shardedSpec(env, seed)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Subscribe(ctx, shardedSpec(env, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < subsUpfront; i++ {
+		subscribe(uint64(100 + i))
+	}
+
+	// The subscriptions must actually spread: all on one shard would pass
+	// parity vacuously.
+	used := map[int]bool{}
+	for _, sub := range sharded.Subscriptions() {
+		used[sharded.Ring().Shard("chain", sub.ID())] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("all %d subscriptions landed on one shard; ring not exercised", subsUpfront)
+	}
+
+	trajectory := chainTrajectory(ticks)
+	for k, i := range trajectory {
+		if k == ticks/2 {
+			// Mid-stream subscribes: the shared ID sequence must stay in
+			// lockstep with the single engine's.
+			for j := 0; j < subsMidway; j++ {
+				subscribe(uint64(200 + j))
+			}
+		}
+		st := &stochastic.ChainState{I: i}
+		want, err := single.Update(ctx, "chain", st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.Update(ctx, "chain", st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tick %d: %d refreshes from sharded, %d from single", k, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].SubID != want[j].SubID {
+				t.Fatalf("tick %d: refresh %d is sub %d on sharded, %d on single — merge order broken",
+					k, j, got[j].SubID, want[j].SubID)
+			}
+			if got[j].Err != nil || want[j].Err != nil {
+				t.Fatalf("tick %d sub %d: refresh errors %v / %v", k, want[j].SubID, got[j].Err, want[j].Err)
+			}
+			if canonAnswer(got[j].Answer) != canonAnswer(want[j].Answer) {
+				t.Fatalf("tick %d sub %d: sharded answer %+v != single %+v",
+					k, want[j].SubID, canonAnswer(got[j].Answer), canonAnswer(want[j].Answer))
+			}
+		}
+	}
+
+	sst, wst := sharded.Stats(), single.Stats()
+	if sst.Subscriptions != wst.Subscriptions || sst.Ticks != wst.Ticks {
+		t.Fatalf("sharded stats %+v, single %+v", sst, wst)
+	}
+}
+
+// TestShardedConcurrentSubscribeTick drives subscribes, ticks, closes and
+// stat reads concurrently — the -race half of the CI coverage. Assertions
+// are structural (counts, no errors); determinism under concurrency is
+// the previous test's job.
+func TestShardedConcurrentSubscribeTick(t *testing.T) {
+	ctx := context.Background()
+	env := newChainEnv()
+	sharded := NewSharded(Config{}, 4, 0)
+	if err := sharded.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	const subscribers = 4
+	const perSubscriber = 6
+	const ticks = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, subscribers+2)
+	for g := 0; g < subscribers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubscriber; i++ {
+				sub, err := sharded.Subscribe(ctx, shardedSpec(env, uint64(g*100+i)))
+				if err != nil {
+					errc <- fmt.Errorf("subscriber %d: %w", g, err)
+					return
+				}
+				if i == 0 && g == 0 {
+					sub.Close() // one close races the ticker too
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		trajectory := chainTrajectory(ticks)
+		for _, i := range trajectory {
+			if _, err := sharded.Update(ctx, "chain", &stochastic.ChainState{I: i}); err != nil {
+				errc <- fmt.Errorf("tick: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			sharded.Stats()
+			sharded.Subscriptions()
+			sharded.Tick("chain")
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	want := subscribers*perSubscriber - 1 // one closed
+	if st := sharded.Stats(); st.Subscriptions != want {
+		t.Fatalf("subscriptions = %d, want %d", st.Subscriptions, want)
+	}
+}
+
+// TestShardedCatchUp reconciles a shard that missed ticks (the mid-tick
+// crash footprint: some shard journals took the update, others did not).
+// After CatchUp republishes the missing states, every answer must be
+// bit-for-bit the answers of an engine that never diverged.
+func TestShardedCatchUp(t *testing.T) {
+	ctx := context.Background()
+	env := newChainEnv()
+	trajectory := []int{1, 2, 3, 2}
+
+	control := NewSharded(Config{}, 2, 0)
+	diverged := NewSharded(Config{}, 2, 0)
+	for _, se := range []*ShardedEngine{control, diverged} {
+		if err := se.Register("chain", env.proc, &stochastic.ChainState{I: 0}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := se.Subscribe(ctx, shardedSpec(env, uint64(10+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	states := func(k int64) (stochastic.State, error) {
+		return &stochastic.ChainState{I: trajectory[k-1]}, nil
+	}
+	// Control sees the full trajectory through the wrapper; the diverged
+	// engine loses the last two ticks on shard 1 (its journal "died").
+	for k, i := range trajectory {
+		st := &stochastic.ChainState{I: i}
+		if _, err := control.Update(ctx, "chain", st); err != nil {
+			t.Fatal(err)
+		}
+		if k < len(trajectory)-2 {
+			if _, err := diverged.Update(ctx, "chain", st); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := diverged.Shard(0).Update(ctx, "chain", st); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ticksBefore, _ := diverged.ShardTicks("chain")
+	if ticksBefore[0] != int64(len(trajectory)) || ticksBefore[1] != int64(len(trajectory)-2) {
+		t.Fatalf("setup: shard ticks %v", ticksBefore)
+	}
+
+	if err := diverged.CatchUp(ctx, "chain", int64(len(trajectory)), states); err != nil {
+		t.Fatal(err)
+	}
+	ticksAfter, _ := diverged.ShardTicks("chain")
+	for i, tk := range ticksAfter {
+		if tk != int64(len(trajectory)) {
+			t.Fatalf("shard %d still at tick %d after CatchUp", i, tk)
+		}
+	}
+	want := control.Subscriptions()
+	got := diverged.Subscriptions()
+	if len(got) != len(want) {
+		t.Fatalf("%d subs vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if canonAnswer(got[i].Answer()) != canonAnswer(want[i].Answer()) {
+			t.Fatalf("sub %d: caught-up answer %+v != control %+v",
+				want[i].ID(), canonAnswer(got[i].Answer()), canonAnswer(want[i].Answer()))
+		}
+	}
+
+	// A shard ahead of the target is lineage divergence, not lag.
+	if err := diverged.CatchUp(ctx, "chain", 1, states); err == nil {
+		t.Fatal("CatchUp accepted a target behind a shard's tick")
+	}
+}

@@ -441,20 +441,49 @@ func (e *Engine) Subscribe(ctx context.Context, spec SubSpec) (*Subscription, er
 	if err != nil {
 		return nil, err
 	}
-	return e.subscribe(ctx, spec, 0, 0)
+	return e.subscribe(ctx, spec, 0, 0, false)
 }
 
+// SubscribeAssigned is Subscribe with a caller-assigned ID — the sharded
+// path, where a wrapper owns one ID sequence across several engines so
+// that consistent-hash placement and bit-for-bit parity with a single
+// engine both hold (the ID seeds the subscription's bootstrap substream).
+// The registration is journaled like any live subscribe; the id must be
+// unique across every engine sharing the sequence.
+func (e *Engine) SubscribeAssigned(ctx context.Context, spec SubSpec, id uint64) (*Subscription, error) {
+	if id == 0 {
+		return nil, errors.New("stream: zero subscription id")
+	}
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Keep the internal sequence at or ahead of assigned IDs so a later
+	// plain Subscribe on this engine cannot collide.
+	for {
+		cur := e.nextSub.Load()
+		if cur >= id || e.nextSub.CompareAndSwap(cur, id) {
+			break
+		}
+	}
+	return e.subscribe(ctx, spec, id, 0, false)
+}
+
+// MaxSubID returns the highest subscription ID this engine has assigned
+// or adopted (via SubscribeAssigned, Restore or replay). A sharded
+// wrapper resumes its shared sequence from the max over its shards.
+func (e *Engine) MaxSubID() uint64 { return e.nextSub.Load() }
+
 // subscribe registers a defaulted spec. id == 0 is the live path: a fresh
-// ID is assigned and the registration journaled once the initial refresh
-// succeeds. A nonzero id is the replay path (Apply), which reuses the
-// logged ID and stamps the event's lsn instead of journaling again.
-func (e *Engine) subscribe(ctx context.Context, spec SubSpec, id uint64, lsn int64) (*Subscription, error) {
+// ID is assigned. replay marks the Apply path, which reuses the logged ID
+// and stamps the event's lsn instead of journaling again; live paths
+// journal the registration once the initial refresh succeeds.
+func (e *Engine) subscribe(ctx context.Context, spec SubSpec, id uint64, lsn int64, replay bool) (*Subscription, error) {
 	ls, err := e.stream(spec.Stream)
 	if err != nil {
 		return nil, err
 	}
-	replay := id != 0
-	if !replay {
+	if id == 0 {
 		id = e.nextSub.Add(1)
 	}
 	sub := &Subscription{
