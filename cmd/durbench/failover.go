@@ -249,8 +249,8 @@ func runFailover(ctx context.Context, shards, subs, ticks int, seed uint64) (ben
 		Subscriptions:           subs,
 		ShardCount:              shards,
 		FailoverSteps:           failoverSteps,
-		FailoverMillis:          failoverMillis,
-		P99TickMillis:           percentile(latencies, 0.99),
+		FailoverMillis:          informational(failoverMillis),
+		P99TickMillis:           informational(percentile(latencies, 0.99)),
 		IncrementalStepsPerTick: float64(tickSteps) / float64(ticks),
 		Speedup:                 float64(rebuildSteps) / float64(failoverSteps),
 		StepsHistogram:          latHist,

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"reflect"
+	"strings"
 )
 
 // guardBudget is the tolerated cost growth for the deterministic
@@ -29,57 +31,88 @@ func loadBaseline(path string) ([]benchReport, error) {
 	return base, nil
 }
 
-// checkBatchRegression returns an error when the fresh batch scenario's
-// total steps exceed the matching committed scenario's by more than the
-// guard budget — the CI tripwire for the batch path's cost. A baseline
-// without a matching batch scenario guards nothing.
+// stepCounter resolves one of benchReport's deterministic step counters
+// by its JSON tag. Resolving reflectively is what lets the guard refuse
+// wrong fields by construction rather than by reviewer vigilance: a
+// *wallClock field is informational (machine-dependent wall time) and
+// guarding it would flake on every slow CI runner, so asking for one is
+// an error — not a skip — and the same goes for any field that is not an
+// int64 step count.
+func stepCounter(r benchReport, jsonTag string) (int64, error) {
+	v := reflect.ValueOf(r)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		tag, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if tag != jsonTag {
+			continue
+		}
+		f := v.Field(i)
+		if _, ok := f.Interface().(*wallClock); ok {
+			return 0, fmt.Errorf("durbench: %q is an informational wall-clock reading — refusing to guard it", jsonTag)
+		}
+		if f.Kind() != reflect.Int64 {
+			return 0, fmt.Errorf("durbench: %q is %s, not an int64 step counter — refusing to guard it", jsonTag, f.Kind())
+		}
+		return f.Int(), nil
+	}
+	return 0, fmt.Errorf("durbench: benchReport has no field %q", jsonTag)
+}
+
+// checkStepRegression is the shared >10% tripwire: the fresh scenario's
+// step counter (named by JSON tag) may exceed the matching committed
+// scenario's by at most the guard budget. Matching requires the same
+// scenario name — and, when matchRE is set, the same relative-error
+// target; a baseline without the counter (zero) guards nothing.
+func checkStepRegression(base []benchReport, fresh benchReport, name, jsonTag string, matchRE bool) error {
+	freshSteps, err := stepCounter(fresh, jsonTag)
+	if err != nil {
+		return err
+	}
+	for _, old := range base {
+		oldSteps, err := stepCounter(old, jsonTag)
+		if err != nil {
+			return err
+		}
+		if oldSteps <= 0 || old.Scenario != fresh.Scenario || (matchRE && old.RelErr != fresh.RelErr) {
+			continue
+		}
+		if float64(freshSteps) > guardBudget*float64(oldSteps) {
+			return fmt.Errorf("durbench: %s scenario regressed: %d steps vs committed %d (+%.1f%%, >%.0f%% budget)",
+				name, freshSteps, oldSteps,
+				100*(float64(freshSteps)/float64(oldSteps)-1), 100*(guardBudget-1))
+		}
+		fmt.Printf("durbench: %s guard ok: %d steps vs committed %d\n", name, freshSteps, oldSteps)
+	}
+	return nil
+}
+
+// checkBatchRegression guards the batch scenario's total steps — the CI
+// tripwire for the batch path's cost.
 func checkBatchRegression(base []benchReport, fresh benchReport) error {
-	for _, old := range base {
-		if old.BatchSteps <= 0 || old.Scenario != fresh.Scenario || old.RelErr != fresh.RelErr {
-			continue
-		}
-		if float64(fresh.BatchSteps) > guardBudget*float64(old.BatchSteps) {
-			return fmt.Errorf("durbench: batch scenario regressed: %d steps vs committed %d (+%.1f%%, >%.0f%% budget)",
-				fresh.BatchSteps, old.BatchSteps,
-				100*(float64(fresh.BatchSteps)/float64(old.BatchSteps)-1), 100*(guardBudget-1))
-		}
-		fmt.Printf("durbench: batch guard ok: %d steps vs committed %d\n", fresh.BatchSteps, old.BatchSteps)
-	}
-	return nil
+	return checkStepRegression(base, fresh, "batch", "batchSteps", true)
 }
 
-// checkFailoverRegression mirrors checkBatchRegression for the failover
-// scenario's deterministic steps from the drained mirror to the promoted
-// engine's first answer set. The wall-clock readings (FailoverMillis,
-// P99TickMillis) are machine-dependent and deliberately unguarded.
+// checkFailoverRegression guards the failover scenario's deterministic
+// steps from the drained mirror to the promoted engine's first answer
+// set. The wall-clock readings (failoverMillis, p99TickMillis) are
+// *wallClock fields, which stepCounter refuses by construction.
 func checkFailoverRegression(base []benchReport, fresh benchReport) error {
-	for _, old := range base {
-		if old.FailoverSteps <= 0 || old.Scenario != fresh.Scenario {
-			continue
-		}
-		if float64(fresh.FailoverSteps) > guardBudget*float64(old.FailoverSteps) {
-			return fmt.Errorf("durbench: failover scenario regressed: %d steps vs committed %d (+%.1f%%, >%.0f%% budget)",
-				fresh.FailoverSteps, old.FailoverSteps,
-				100*(float64(fresh.FailoverSteps)/float64(old.FailoverSteps)-1), 100*(guardBudget-1))
-		}
-		fmt.Printf("durbench: failover guard ok: %d steps vs committed %d\n", fresh.FailoverSteps, old.FailoverSteps)
-	}
-	return nil
+	return checkStepRegression(base, fresh, "failover", "failoverSteps", false)
 }
 
-// checkRecoveryRegression mirrors checkBatchRegression for the recovery
-// scenario's deterministic steps-to-first-answer.
+// checkRecoveryRegression guards the recovery scenario's deterministic
+// steps-to-first-answer.
 func checkRecoveryRegression(base []benchReport, fresh benchReport) error {
-	for _, old := range base {
-		if old.RecoverySteps <= 0 || old.Scenario != fresh.Scenario || old.RelErr != fresh.RelErr {
-			continue
-		}
-		if float64(fresh.RecoverySteps) > guardBudget*float64(old.RecoverySteps) {
-			return fmt.Errorf("durbench: recovery scenario regressed: %d steps vs committed %d (+%.1f%%, >%.0f%% budget)",
-				fresh.RecoverySteps, old.RecoverySteps,
-				100*(float64(fresh.RecoverySteps)/float64(old.RecoverySteps)-1), 100*(guardBudget-1))
-		}
-		fmt.Printf("durbench: recovery guard ok: %d steps vs committed %d\n", fresh.RecoverySteps, old.RecoverySteps)
+	return checkStepRegression(base, fresh, "recovery", "recoverySteps", true)
+}
+
+// checkPlanQualityRegression guards both sides of the plan-quality
+// scenario: the searched plan's steps-to-target (the search regressing)
+// and the mis-specified plan's (the sampler's sensitivity to bad plans
+// shifting).
+func checkPlanQualityRegression(base []benchReport, fresh benchReport) error {
+	if err := checkStepRegression(base, fresh, "plan-quality(searched)", "plannedSteps", true); err != nil {
+		return err
 	}
-	return nil
+	return checkStepRegression(base, fresh, "plan-quality(misplanned)", "misplannedSteps", true)
 }

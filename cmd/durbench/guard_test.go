@@ -92,6 +92,31 @@ func TestGuardMatchesScenarioAndTarget(t *testing.T) {
 	}
 }
 
+// TestGuardRefusesInformationalFields pins the refusal: wall-clock
+// readings are typed *wallClock, and asking the guard to compare one is
+// an error — not a silent skip — as is naming any field that is not an
+// int64 step counter. The refusal is structural (the field's type), so
+// no future scenario can accidentally put a machine-dependent number
+// under the regression gate.
+func TestGuardRefusesInformationalFields(t *testing.T) {
+	fresh := benchReport{Scenario: "failover", FailoverSteps: 1, FailoverMillis: informational(12)}
+	if err := checkStepRegression(nil, fresh, "failover", "failoverMillis", false); err == nil || !strings.Contains(err.Error(), "informational") {
+		t.Fatalf("guard agreed to compare a wall-clock field: %v", err)
+	}
+	if err := checkStepRegression(nil, fresh, "failover", "p99TickMillis", false); err == nil || !strings.Contains(err.Error(), "informational") {
+		t.Fatalf("guard agreed to compare p99TickMillis (nil reading must still refuse): %v", err)
+	}
+	if err := checkStepRegression(nil, fresh, "failover", "speedup", false); err == nil {
+		t.Fatal("guard agreed to compare a float field")
+	}
+	if err := checkStepRegression(nil, fresh, "failover", "noSuchField", false); err == nil {
+		t.Fatal("guard agreed to compare a nonexistent field")
+	}
+	if err := checkStepRegression(nil, fresh, "failover", "failoverSteps", false); err != nil {
+		t.Fatalf("guard refused a legitimate step counter: %v", err)
+	}
+}
+
 // TestLoadBaseline pins the loader's contract: missing file guards
 // nothing, malformed file is an error, not a silently skipped guard.
 func TestLoadBaseline(t *testing.T) {

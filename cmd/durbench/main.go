@@ -50,6 +50,20 @@ func histJSON(h *telemetry.Histogram) *histogramJSON {
 	return &histogramJSON{Bounds: snap.Bounds, Counts: snap.Counts}
 }
 
+// wallClock is a machine-dependent wall-time reading. Informational is
+// always true in emitted reports: it marks the number as recorded for
+// the trajectory only, and the guard refuses to compare any field of
+// this type — a wall-clock regression gate would flake on every slow CI
+// runner.
+type wallClock struct {
+	Millis        float64 `json:"millis"`
+	Informational bool    `json:"informational"`
+}
+
+func informational(ms float64) *wallClock {
+	return &wallClock{Millis: ms, Informational: true}
+}
+
 // benchReport is one entry of the BENCH_serve.json array.
 type benchReport struct {
 	Scenario string  `json:"scenario"`
@@ -89,13 +103,23 @@ type benchReport struct {
 	// FailoverSteps — the simulator cost from the drained mirror to the
 	// promoted engine's first full answer set — is deterministic at the
 	// fixed seed and guarded like the batch and recovery scenarios;
-	// FailoverMillis and P99TickMillis are wall-clock readings, recorded
-	// for the trajectory but never guarded.
-	Subscriptions  int     `json:"subscriptions,omitempty"`
-	ShardCount     int     `json:"shardCount,omitempty"`
-	FailoverSteps  int64   `json:"failoverSteps,omitempty"`
-	FailoverMillis float64 `json:"failoverMillis,omitempty"`
-	P99TickMillis  float64 `json:"p99TickMillis,omitempty"`
+	// FailoverMillis and P99TickMillis are wall-clock readings, marked
+	// informational in the JSON so nothing — human or guard — mistakes
+	// them for comparable numbers.
+	Subscriptions  int        `json:"subscriptions,omitempty"`
+	ShardCount     int        `json:"shardCount,omitempty"`
+	FailoverSteps  int64      `json:"failoverSteps,omitempty"`
+	FailoverMillis *wallClock `json:"failoverMillis,omitempty"`
+	P99TickMillis  *wallClock `json:"p99TickMillis,omitempty"`
+
+	// Plan-quality path: the same query answered under the searched level
+	// plan and under a deliberately mis-specified one, steps to the same
+	// relative-error target each (the plan-quality scenario only). Both
+	// are deterministic at the fixed seed and sit under the >10% guard —
+	// PlannedSteps regressing means the search got worse, MisplannedSteps
+	// moving means the sampler's sensitivity to bad plans changed.
+	PlannedSteps    int64 `json:"plannedSteps,omitempty"`
+	MisplannedSteps int64 `json:"misplannedSteps,omitempty"`
 
 	// The headline: cold steps per query divided by incremental steps per
 	// tick (stream scenarios; the sharded scenario reuses the local cold
@@ -257,6 +281,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	planQuality, err := runPlanQuality(ctx, *re, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports = append(reports, planQuality)
+	if err := checkPlanQualityRegression(base, planQuality); err != nil {
+		log.Fatal(err)
+	}
+
 	if *failoverSubs > 0 {
 		failover, err := runFailover(ctx, *failoverShards, *failoverSubs, *failoverTicks, *seed)
 		if err != nil {
@@ -304,6 +337,14 @@ func main() {
 	}
 	fmt.Println("durbench: span step attribution exact (plan-search == searchSteps, exec == sampleSteps)")
 
+	// Same standard for the crossing-statistics ledger: what GET /plans
+	// would report must equal the runs' own counters exactly, and the
+	// cluster backend must book bit-for-bit what the local backend books.
+	if err := checkPlanObservation(ctx, *re, *seed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("durbench: plan-ledger observation exact (booked roots/steps == run counters, local and cluster)")
+
 	blob, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -325,7 +366,12 @@ func main() {
 		}
 		if r.FailoverSteps > 0 {
 			fmt.Printf("durbench[%s]: failover %d subs/%d shards: first answers %.0fms after crash, %d steps (%.1fx vs rebuild), p99 tick %.0fms\n",
-				r.Backend, r.Subscriptions, r.ShardCount, r.FailoverMillis, r.FailoverSteps, r.Speedup, r.P99TickMillis)
+				r.Backend, r.Subscriptions, r.ShardCount, r.FailoverMillis.Millis, r.FailoverSteps, r.Speedup, r.P99TickMillis.Millis)
+			continue
+		}
+		if r.PlannedSteps > 0 {
+			fmt.Printf("durbench[%s]: plan-quality searched plan %d steps vs mis-specified %d (%.1fx penalty)\n",
+				r.Backend, r.PlannedSteps, r.MisplannedSteps, r.Speedup)
 			continue
 		}
 		fmt.Printf("durbench[%s]: incremental %.0f steps/tick (%.1fx vs cold %.0f steps/query)\n",

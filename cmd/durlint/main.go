@@ -1,10 +1,11 @@
 // Command durlint is the repository's invariant checker: a multichecker
-// driving the five internal/analysis passes that statically enforce
+// driving the six internal/analysis passes that statically enforce
 // what the runtime `==` drills can only spot-check — deterministic
 // sources (detsource), collision-free substream construction
 // (substream), sorted map iteration on serialized paths (maporder), a
-// closed gob registration surface (gobreg) and no blocking I/O under
-// locks (locksafe).
+// closed gob registration surface (gobreg), no blocking I/O under
+// locks (locksafe) and Prometheus metric-naming conventions
+// (metricname).
 //
 //	go run ./cmd/durlint ./...            # whole tree, all checks
 //	go run ./cmd/durlint -checks substream,maporder ./internal/...
@@ -32,6 +33,7 @@ import (
 	"durability/internal/analysis/gobreg"
 	"durability/internal/analysis/locksafe"
 	"durability/internal/analysis/maporder"
+	"durability/internal/analysis/metricname"
 	"durability/internal/analysis/substream"
 )
 
@@ -42,6 +44,7 @@ var suite = []*analysis.Analyzer{
 	maporder.Analyzer,
 	gobreg.Analyzer,
 	locksafe.Analyzer,
+	metricname.Analyzer,
 }
 
 func main() {

@@ -95,6 +95,7 @@ import (
 	"durability/internal/cluster"
 	"durability/internal/exec"
 	"durability/internal/persist"
+	"durability/internal/planstats"
 	"durability/internal/replicate"
 	"durability/internal/serve"
 )
@@ -113,6 +114,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "base random seed")
 		bucket     = flag.Float64("bucket", serve.DefaultBetaBucketWidth, "plan-cache threshold bucket width (relative)")
 		planCache  = flag.Int("plan-cache", serve.DefaultPlanCacheCap, "plan-cache capacity (completed plans; < 0 = unlimited)")
+		planDrift  = flag.Float64("plan-drift-threshold", 0.05, "flag a plan on GET /plans and durserve_plan_drift_exceeded_total when its max per-level |observed - assumed| crossing probability exceeds this (report-only; <= 0 disables the verdict)")
 		tick       = flag.Duration("tick", 0, "auto-advance every live stream on this interval (0 = ticks only via POST /tick)")
 		dataDir    = flag.String("data-dir", "", "durable serving state: checkpoint + write-ahead log directory (empty = in-memory only; a restart forgets every subscription)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "checkpoint when a write-ahead log outgrows this many bytes (0 = 4 MiB default)")
@@ -180,6 +182,12 @@ func main() {
 		log.Printf("durserve: distributing g-MLSS simulation across %s", *workers)
 	}
 
+	// The crossing-statistics ledger must exist before the server so every
+	// booked run lands in it; bindPlanLedger also hangs the drift gauges
+	// off the registry before the listener first scrapes.
+	ledger := planstats.NewLedger()
+	tel.bindPlanLedger(ledger, *planDrift)
+
 	srv := serve.NewServer(registry, serve.Config{
 		PoolWorkers:     *pool,
 		QueueDepth:      *queueDepth,
@@ -195,6 +203,7 @@ func main() {
 		ExecBatchRoots:  *batchRoots,
 		CoalesceWindow:  *coalesce,
 		Tracer:          tel.tracer,
+		Ledger:          ledger,
 	})
 	defer srv.Close()
 	// A follower adopts the primary's shard layout instead of trusting
@@ -457,6 +466,9 @@ func newMux(srv *serve.Server, hub *streamHub, tel *telemetrySet, rep *replicaSe
 	// finished and the serving endpoints accept requests.
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /readyz", tel.handleReadyz)
+	// Plan-quality introspection: every cached plan with its assumed vs
+	// observed per-level crossing statistics and drift verdict.
+	mux.HandleFunc("GET /plans", tel.handlePlans)
 
 	// Standing queries: register, long-poll, advance, deregister.
 	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
@@ -495,7 +507,7 @@ func newMux(srv *serve.Server, hub *streamHub, tel *telemetrySet, rep *replicaSe
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, hub.stats())
+		writeJSON(w, http.StatusOK, hub.statsDetailed())
 	})
 	return mux
 }

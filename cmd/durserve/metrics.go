@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"durability/internal/planstats"
+	"durability/internal/replicate"
 	"durability/internal/serve"
 	"durability/internal/telemetry"
 )
@@ -40,6 +42,17 @@ type telemetrySet struct {
 	recoveries      *telemetry.Counter
 	walReplayed     *telemetry.Counter
 	recoverySeconds *telemetry.Histogram
+
+	// Plan-quality introspection sources (see plans.go): the ledger and
+	// threshold installed by bindPlanLedger, the cache installed by bind.
+	// All written once during wiring, before the listener serves.
+	ledger         *planstats.Ledger
+	driftThreshold float64
+	planCache      *serve.PlanCache
+
+	// lagsFn, installed by bindFollowerMetrics, feeds the follower's
+	// structured /readyz body alongside the lag gauges.
+	lagsFn func() map[string]replicate.Lag
 }
 
 // lifecycleStages is every span stage the serving path can book.
@@ -146,6 +159,7 @@ func newTelemetry() *telemetrySet {
 // These are function-backed reads of the same atomics /stats reports —
 // no double bookkeeping, and /metrics can never drift from /stats.
 func (t *telemetrySet) bind(srv *serve.Server, hub *streamHub) {
+	t.planCache = srv.Runner().Cache
 	reg := t.registry
 	counter := func(name, help string, fn func(serve.Stats) int64) {
 		reg.CounterFunc(name, help, func() int64 { return fn(srv.Stats()) })
@@ -224,17 +238,54 @@ func (t *telemetrySet) observeRecovery(replayed int64, d time.Duration) {
 	t.recoverySeconds.ObserveDuration(d)
 }
 
+// readyzLag is one store's replication position in the follower's
+// structured /readyz body.
+type readyzLag struct {
+	Bytes      int64 `json:"bytes"`      // manifest WAL bytes not yet applied
+	Records    int64 `json:"records"`    // records behind the primary's LSN (0 = unknown)
+	AppliedLSN int64 `json:"appliedLSN"` // last LSN applied locally
+	SourceLSN  int64 `json:"sourceLSN"`  // primary's last LSN (0 = unknown)
+	Restored   bool  `json:"restored"`   // lineage restored into the warm engine
+}
+
+// readyzFollower is the follower-state /readyz body: the state plus the
+// per-store replication lag, so orchestration can judge how warm a
+// standby is from the same probe it already polls. Stores is a map, and
+// encoding/json sorts map keys, so the body is deterministic.
+type readyzFollower struct {
+	State  string               `json:"state"`
+	Stores map[string]readyzLag `json:"stores"`
+}
+
 // handleReadyz reports the readiness state: 200 once recovery finished,
 // 503 with the current state while starting or replaying the WAL — the
 // split from /healthz lets orchestrators keep a recovering instance
-// alive (live) without routing traffic to it (not ready).
+// alive (live) without routing traffic to it (not ready). A follower
+// answers structured JSON carrying its per-store replication lag; every
+// other state keeps the bare-text body.
 func (t *telemetrySet) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	state := t.readyState()
+	status := http.StatusServiceUnavailable
 	if state == stateReady {
-		w.WriteHeader(http.StatusOK)
-	} else {
-		w.WriteHeader(http.StatusServiceUnavailable)
+		status = http.StatusOK
 	}
+	if state == stateFollowing && t.lagsFn != nil {
+		lags := t.lagsFn()
+		body := readyzFollower{State: state, Stores: make(map[string]readyzLag, len(lags))}
+		//durlint:ignore maporder keyed map copy; JSON encoding sorts the keys
+		for name, l := range lags {
+			body.Stores[name] = readyzLag{
+				Bytes:      l.Bytes,
+				Records:    l.Records,
+				AppliedLSN: l.AppliedLSN,
+				SourceLSN:  l.SourceLSN,
+				Restored:   l.Restored,
+			}
+		}
+		writeJSON(w, status, body)
+		return
+	}
+	w.WriteHeader(status)
 	fmt.Fprintln(w, state)
 }
 
@@ -244,7 +295,7 @@ func (t *telemetrySet) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (t *telemetrySet) gate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/healthz", "/readyz", "/metrics", "/promote":
+		case "/healthz", "/readyz", "/metrics", "/promote", "/plans":
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -270,6 +321,7 @@ func (t *telemetrySet) opsMux() *http.ServeMux {
 	mux.Handle("GET /metrics", t.registry.Handler())
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /readyz", t.handleReadyz)
+	mux.HandleFunc("GET /plans", t.handlePlans)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

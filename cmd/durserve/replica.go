@@ -378,6 +378,7 @@ func (fr *followerRun) promoteOnce() error {
 // on /metrics: bytes and records behind the primary's manifest, and
 // whether the lineage has restored into the warm engine.
 func (t *telemetrySet) bindFollowerMetrics(f *replicate.Follower, names []string) {
+	t.lagsFn = f.Lags
 	for _, name := range names {
 		name := name
 		l := telemetry.Label{Name: "store", Value: name}

@@ -14,6 +14,7 @@ import (
 
 	"durability/internal/exec"
 	"durability/internal/mc"
+	"durability/internal/planstats"
 	"durability/internal/rng"
 	"durability/internal/serve"
 	"durability/internal/stochastic"
@@ -503,6 +504,37 @@ type streamStats struct {
 	// failing stream no longer stops the sweep, so these are the only
 	// trace it leaves.
 	TickErrors map[string]int64 `json:"tickErrors,omitempty"`
+	// Plans is the per-subscription plan detail, sorted by handle; only
+	// statsDetailed (the GET /streams handler) fills it — the metric
+	// gauges read the cheap stats() and skip it.
+	Plans []subPlanJSON `json:"plans,omitempty"`
+}
+
+// subPlanJSON is one subscription's resolved plan on GET /streams: which
+// drift bucket it stands in, the plan's shape, the plan-cache key the
+// shape lives under, and a crossing-statistics summary from the ledger.
+// Absent entirely while the subscription has no resolved plan yet.
+type subPlanJSON struct {
+	ID          string         `json:"id"`
+	SubID       uint64         `json:"subID"`
+	Stream      string         `json:"stream"`
+	DriftBucket int            `json:"driftBucket"`
+	Boundaries  []float64      `json:"boundaries"`
+	Ratios      []int          `json:"ratios,omitempty"`
+	PlanKey     *planstats.Key `json:"planKey,omitempty"`
+	// Crossing summarizes the ledger entry under PlanKey — shared with
+	// every other query of the same shape, absent until any run booked.
+	Crossing *subCrossingJSON `json:"crossing,omitempty"`
+}
+
+// subCrossingJSON restates the ledger snapshot's run accounting and
+// drift verdict inputs — all pure functions of driven traffic.
+type subCrossingJSON struct {
+	Runs     int64   `json:"runs"`
+	Roots    int64   `json:"roots"`
+	Steps    int64   `json:"steps"`
+	MaxDrift float64 `json:"maxDrift"`
+	Observed bool    `json:"observedAny"`
 }
 
 func (h *streamHub) stats() streamStats {
@@ -517,4 +549,52 @@ func (h *streamHub) stats() streamStats {
 	}
 	h.mu.Unlock()
 	return streamStats{Engine: h.engine.Stats(), Subscriptions: n, TickErrors: tickErrs}
+}
+
+// statsDetailed is stats() plus the per-subscription plan listing. Only
+// the GET /streams handler pays for it; PlanInfo takes each live state's
+// lock, so the subscription slice is collected first and the hub lock
+// released before any plan is read.
+func (h *streamHub) statsDetailed() streamStats {
+	out := h.stats()
+	h.mu.Lock()
+	handles := make([]string, 0, len(h.subs))
+	for id := range h.subs {
+		handles = append(handles, id)
+	}
+	sort.Strings(handles)
+	subs := make([]*stream.Subscription, len(handles))
+	for i, id := range handles {
+		subs[i] = h.subs[id]
+	}
+	h.mu.Unlock()
+	for i, sub := range subs {
+		info, ok := sub.PlanInfo()
+		if !ok {
+			continue
+		}
+		pj := subPlanJSON{
+			ID:          handles[i],
+			SubID:       sub.ID(),
+			Stream:      sub.Stream(),
+			DriftBucket: info.Bucket,
+			Boundaries:  info.Boundaries,
+			Ratios:      info.Ratios,
+		}
+		if info.HaveKey {
+			key := serve.StatsKey(info.Key)
+			pj.PlanKey = &key
+			if snap, ok := h.runner.Ledger.Snapshot(key); ok {
+				pj.Crossing = &subCrossingJSON{
+					Runs:     snap.Runs,
+					Roots:    snap.Roots,
+					Steps:    snap.Steps,
+					MaxDrift: snap.MaxDrift,
+					Observed: snap.Observed,
+				}
+			}
+		}
+		out.Plans = append(out.Plans, pj)
+	}
+	return out
 }

@@ -1,0 +1,103 @@
+// Package metricname enforces Prometheus naming conventions on metric
+// registrations.
+//
+// Every series this repository exports is registered through the
+// telemetry registry's Counter/CounterFunc/GaugeFunc/Histogram/
+// RegisterHistogram methods with a string-literal name, so the
+// convention is statically checkable: names live in the durserve_
+// namespace, counters end in _total, durations are measured in seconds
+// and say so with a _seconds suffix, and nothing but a counter may
+// claim _total. A rename that breaks convention breaks every dashboard
+// and alert built on the series, which is why this is a lint pass and
+// not a review note.
+//
+// The analyzer inspects any call whose method name is one of the
+// registration methods and whose first argument is a string literal;
+// names assembled at run time are out of scope (the repository has
+// none — dynamic series use labels, as Prometheus intends).
+package metricname
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"durability/internal/analysis"
+)
+
+// Analyzer is the metricname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "enforce Prometheus metric naming (durserve_ prefix, _total counters, _seconds durations)",
+	Run:  run,
+}
+
+// registerMethods maps registration method names to the kind of series
+// they create.
+var registerMethods = map[string]string{
+	"Counter":           "counter",
+	"CounterFunc":       "counter",
+	"GaugeFunc":         "gauge",
+	"Histogram":         "histogram",
+	"RegisterHistogram": "histogram",
+}
+
+// validName is the Prometheus metric-name grammar, restricted to the
+// lowercase snake_case subset this repository uses.
+var validName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registerMethods[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checkName(pass, lit.Pos(), kind, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkName applies the conventions to one registered series name.
+func checkName(pass *analysis.Pass, pos token.Pos, kind, name string) {
+	if !validName.MatchString(name) {
+		pass.Reportf(pos, "metric name %q is not lowercase snake_case ([a-z][a-z0-9_]*)", name)
+		return
+	}
+	if !strings.HasPrefix(name, "durserve_") {
+		pass.Reportf(pos, "metric name %q must carry the durserve_ namespace prefix", name)
+	}
+	isTotal := strings.HasSuffix(name, "_total")
+	if kind == "counter" && !isTotal {
+		pass.Reportf(pos, "counter %q must end in _total", name)
+	}
+	if kind != "counter" && isTotal {
+		pass.Reportf(pos, "%s %q must not end in _total (the suffix is reserved for counters)", kind, name)
+	}
+	// Durations are measured in seconds and must say so. Counters may
+	// stack the unit before _total (x_duration_seconds_total).
+	base := strings.TrimSuffix(name, "_total")
+	if strings.Contains(base, "duration") && !strings.HasSuffix(base, "_seconds") {
+		pass.Reportf(pos, "%s %q measures a duration and must end in _seconds", kind, name)
+	}
+}

@@ -1,0 +1,15 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"durability/internal/analysis/analysistest"
+	"durability/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, "testdata/src", metricname.Analyzer,
+		"pkgbad",
+		"pkgclean",
+	)
+}

@@ -1,0 +1,29 @@
+// Package pkgbad registers metrics that violate every naming rule the
+// pass enforces. The Registry mirrors the telemetry registry's
+// registration surface so the fixture stays stdlib-only.
+package pkgbad
+
+type Label struct{ Name, Value string }
+
+type Counter struct{}
+
+type Hist struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter               { return nil }
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {}
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label)   {}
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Hist {
+	return nil
+}
+func (r *Registry) RegisterHistogram(name, help string, h *Hist, labels ...Label) {}
+
+func Register(reg *Registry) {
+	reg.Counter("durserve_queries", "a counter without its suffix")                      // want `counter "durserve_queries" must end in _total`
+	reg.CounterFunc("queries_total", "outside the namespace", nil)                       // want `metric name "queries_total" must carry the durserve_ namespace prefix`
+	reg.GaugeFunc("durserve_live_total", "a gauge claiming the counter suffix", nil)     // want `gauge "durserve_live_total" must not end in _total`
+	reg.Histogram("durserve_tick_duration", "a duration without its unit", nil)          // want `histogram "durserve_tick_duration" measures a duration and must end in _seconds`
+	reg.CounterFunc("durserve_search_duration_millis_total", "wrong duration unit", nil) // want `counter "durserve_search_duration_millis_total" measures a duration and must end in _seconds`
+	reg.RegisterHistogram("durserve_Tick_Seconds", "camel case", nil)                    // want `metric name "durserve_Tick_Seconds" is not lowercase snake_case`
+}

@@ -1,0 +1,42 @@
+// Package pkgclean registers metrics exactly the way the real tree
+// does; nothing here may be flagged. The unit-less histograms and the
+// nanoseconds counter restate real registrations (tick_topup_roots,
+// worker_busy_nanoseconds_total): the duration rule is about the word
+// "duration", not about every conceivable unit.
+package pkgclean
+
+type Label struct{ Name, Value string }
+
+type Counter struct{}
+
+type Hist struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter               { return nil }
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {}
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label)   {}
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Hist {
+	return nil
+}
+func (r *Registry) RegisterHistogram(name, help string, h *Hist, labels ...Label) {}
+
+func Register(reg *Registry) {
+	reg.Counter("durserve_recoveries_total", "a well-formed counter")
+	reg.CounterFunc("durserve_worker_busy_nanoseconds_total", "a unit other than duration-seconds", nil)
+	reg.GaugeFunc("durserve_ready", "a bare gauge", nil)
+	reg.GaugeFunc("durserve_plan_drift", "another bare gauge", nil)
+	reg.Histogram("durserve_recovery_duration_seconds", "a duration with its unit", nil)
+	reg.RegisterHistogram("durserve_tick_topup_roots", "a unit-less size histogram", nil)
+	reg.CounterFunc("durserve_stage_duration_seconds_total", "unit stacked before the counter suffix", nil)
+}
+
+// helper is not a registration method: a same-named function elsewhere
+// must not be inspected.
+type other struct{}
+
+func (other) Observe(name string) {}
+
+func unrelated(o other) {
+	o.Observe("whatever Case_THIS is")
+}

@@ -72,6 +72,10 @@ type ShardRequest struct {
 }
 
 // ShardReply carries the shard's counters back to the coordinator.
+// Result.Agg doubles as the shard's plan-quality ledger delta: the
+// coordinator folds replies in root-range order before booking, so
+// cluster-side crossing statistics attribute exactly — no extra wire
+// fields are needed.
 //
 //durlint:gobroot
 type ShardReply struct {

@@ -136,6 +136,15 @@ type GMLSS struct {
 	// even when the plan has exactly two levels, so the bootstrap path can
 	// be exercised and compared (ablation).
 	ForceBootstrap bool
+
+	// Observe, when non-nil, receives the run's finalized aggregate
+	// counters (root paths and simulator steps alongside) exactly once,
+	// at a successful return. Both execution paths — the scalar
+	// recursion and the vectorized kernel — feed the same aggregate, so
+	// they book identically. Observability only: the callback sees a
+	// copy-safe view after the estimate is computed and must not be used
+	// to influence the run.
+	Observe func(agg Counters, roots, steps int64)
 }
 
 // gmlssRoot is one root tree's counters plus its simulation cost.
@@ -291,6 +300,9 @@ func (g *GMLSS) Run(ctx context.Context) (mc.Result, error) {
 				res.VarTime += telemetry.Since(varStart)
 			}
 			res.Elapsed = telemetry.Since(start)
+			if g.Observe != nil {
+				g.Observe(fromInternal(agg), res.Paths, res.Steps)
+			}
 			return res, nil
 		}
 	}

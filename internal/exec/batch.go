@@ -127,6 +127,9 @@ func SampleBatch(ctx context.Context, ex Executor, t Task, targets []BatchTarget
 			opt.Trace(results[len(results)-1])
 		}
 		if done {
+			if opt.Counters != nil {
+				opt.Counters(agg, paths, steps)
+			}
 			return results, nil
 		}
 	}

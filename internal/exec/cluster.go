@@ -347,7 +347,10 @@ func (c *Cluster) RunRoots(ctx context.Context, t Task, lo, hi int64, rootsPerGr
 	}
 
 	// Merge in range order, rebuilding the aggregate as the in-order sum
-	// of the groups — the exact fold RunRootsBy performs locally.
+	// of the groups — the exact fold RunRootsBy performs locally. This
+	// merged aggregate is also what the coordinator books into the
+	// plan-quality ledger (exec.SampleOptions.Counters), so cluster-side
+	// crossing statistics equal the local backend's to the last bit.
 	out := core.ShardResult{Agg: core.NewCounters(plan.M())}
 	for _, ch := range chunks {
 		out.Roots += ch.result.Roots

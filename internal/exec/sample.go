@@ -29,6 +29,13 @@ type SampleOptions struct {
 	// Tracer, when set, books one merge span per synchronization round
 	// (counter merge + estimate + bootstrap variance). Telemetry only.
 	Tracer *telemetry.Tracer
+	// Counters, when set, receives the run's finalized aggregate
+	// counters (root paths and simulator steps alongside) exactly once,
+	// at a successful return. The aggregate is the in-root-order fold of
+	// every shard's groups, so it is identical across backends and
+	// cluster sizes — the crossing-statistics ledger hangs off this
+	// hook. Observability only.
+	Counters func(agg core.Counters, roots, steps int64)
 }
 
 func (o SampleOptions) withDefaults() SampleOptions {
@@ -124,6 +131,9 @@ func Sample(ctx context.Context, ex Executor, t Task, opt SampleOptions) (mc.Res
 			opt.Trace(res)
 		}
 		if opt.Stop.Done(res) {
+			if opt.Counters != nil {
+				opt.Counters(agg, res.Paths, res.Steps)
+			}
 			return res, nil
 		}
 	}

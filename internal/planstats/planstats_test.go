@@ -1,0 +1,174 @@
+package planstats
+
+import (
+	"sync"
+	"testing"
+)
+
+func key(model string) Key {
+	return Key{Model: model, Observer: "value", BetaBucket: 12, Horizon: 250, Ratio: 3, Search: "greedy"}
+}
+
+func shape() Shape {
+	return Shape{Boundaries: []float64{0.4, 0.7}, Ratio: 3}
+}
+
+// A booked delta must be readable back exactly: the accumulator adds
+// plain float64s per level, so a single booking round-trips ==.
+func TestBookExact(t *testing.T) {
+	l := NewLedger()
+	d := Delta{
+		Land:  []float64{10, 6, 4, 0},
+		Skip:  []float64{0, 1, 0, 0},
+		Mu:    []float64{0, 3, 2, 0},
+		Hits:  2,
+		Roots: 10,
+		Steps: 1234,
+	}
+	l.Book(key("gbm"), shape(), d)
+
+	snap, ok := l.Snapshot(key("gbm"))
+	if !ok {
+		t.Fatal("booked key has no snapshot")
+	}
+	if snap.Runs != 1 || snap.Roots != 10 || snap.Steps != 1234 || snap.Hits != 2 {
+		t.Fatalf("totals = runs %d roots %d steps %d hits %v", snap.Runs, snap.Roots, snap.Steps, snap.Hits)
+	}
+	if len(snap.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(snap.Levels))
+	}
+	l1 := snap.Levels[0]
+	if l1.Attempted != 7 || l1.Crossed != 4 {
+		t.Fatalf("level 1 attempted %v crossed %v, want 7, 4", l1.Attempted, l1.Crossed)
+	}
+	if l1.Observed == nil || *l1.Observed != 4.0/7.0 {
+		t.Fatalf("level 1 observed = %v, want 4/7", l1.Observed)
+	}
+	if l1.Assumed != 1.0/3.0 {
+		t.Fatalf("level 1 assumed = %v, want 1/3", l1.Assumed)
+	}
+	l2 := snap.Levels[1]
+	if l2.Attempted != 4 || l2.Crossed != 2 {
+		t.Fatalf("level 2 attempted %v crossed %v, want 4, 2", l2.Attempted, l2.Crossed)
+	}
+	if !snap.Observed || snap.MaxDrift <= 0 {
+		t.Fatalf("observedAny %v maxDrift %v", snap.Observed, snap.MaxDrift)
+	}
+}
+
+// A level never attempted reports nil Observed/Drift and contributes
+// nothing to MaxDrift.
+func TestUnattemptedLevelIsNull(t *testing.T) {
+	l := NewLedger()
+	l.Book(key("gbm"), shape(), Delta{
+		Land: []float64{5, 5, 0, 0}, Skip: make([]float64, 4), Mu: make([]float64, 4),
+		Roots: 5, Steps: 50,
+	})
+	snap, _ := l.Snapshot(key("gbm"))
+	if snap.Levels[1].Observed != nil || snap.Levels[1].Drift != nil {
+		t.Fatalf("unattempted level 2 reports observed %v drift %v", snap.Levels[1].Observed, snap.Levels[1].Drift)
+	}
+	if snap.Levels[0].Observed == nil {
+		t.Fatal("attempted level 1 reports nil observed")
+	}
+}
+
+// Per-level ratios shift the assumed probabilities: the crossing into
+// level l is designed at 1/Ratios[l-1], the final crossing falls back
+// to the uniform ratio.
+func TestAssumedWithPerLevelRatios(t *testing.T) {
+	l := NewLedger()
+	sh := Shape{Boundaries: []float64{0.4, 0.7}, Ratio: 3, Ratios: []int{2, 5}}
+	l.Book(key("gbm"), sh, Delta{
+		Land: []float64{4, 4, 4, 0}, Skip: make([]float64, 4), Mu: []float64{0, 2, 2, 0},
+		Roots: 4, Steps: 10,
+	})
+	snap, _ := l.Snapshot(key("gbm"))
+	// Level 1's crossing lands in level 2: assumed 1/Ratios[1] = 1/5.
+	if snap.Levels[0].Assumed != 0.2 {
+		t.Fatalf("level 1 assumed = %v, want 0.2", snap.Levels[0].Assumed)
+	}
+	// Level 2's crossing lands at the target (no per-level entry):
+	// assumed falls back to 1/Ratio.
+	if snap.Levels[1].Assumed != 1.0/3.0 {
+		t.Fatalf("level 2 assumed = %v, want 1/3", snap.Levels[1].Assumed)
+	}
+}
+
+// A shape change resets the lineage: counters under the old plan are
+// not comparable under the new one.
+func TestShapeChangeResets(t *testing.T) {
+	l := NewLedger()
+	l.Book(key("gbm"), shape(), Delta{Land: []float64{8, 4, 2, 0}, Roots: 8, Steps: 100})
+	fresh := Shape{Boundaries: []float64{0.5}, Ratio: 3}
+	l.Book(key("gbm"), fresh, Delta{Land: []float64{3, 1, 0}, Roots: 3, Steps: 30})
+	snap, _ := l.Snapshot(key("gbm"))
+	if snap.Runs != 1 || snap.Roots != 3 || snap.Steps != 30 {
+		t.Fatalf("after reset: runs %d roots %d steps %d, want 1, 3, 30", snap.Runs, snap.Roots, snap.Steps)
+	}
+	if len(snap.Boundaries) != 1 || snap.Boundaries[0] != 0.5 {
+		t.Fatalf("after reset boundaries = %v", snap.Boundaries)
+	}
+}
+
+// Snapshots lists keys in one canonical order regardless of booking
+// order, and distinct keys never share an entry.
+func TestSnapshotsSortedAndIsolated(t *testing.T) {
+	l := NewLedger()
+	l.Book(key("walk"), shape(), Delta{Land: []float64{2, 1, 0, 0}, Roots: 2, Steps: 20})
+	l.Book(key("gbm"), shape(), Delta{Land: []float64{5, 3, 1, 0}, Roots: 5, Steps: 50})
+	snaps := l.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0].Key.Model != "gbm" || snaps[1].Key.Model != "walk" {
+		t.Fatalf("snapshot order = %s, %s", snaps[0].Key.Model, snaps[1].Key.Model)
+	}
+	if snaps[0].Roots != 5 || snaps[1].Roots != 2 {
+		t.Fatalf("entries mixed: gbm roots %d, walk roots %d", snaps[0].Roots, snaps[1].Roots)
+	}
+}
+
+// Concurrent bookings under distinct keys must keep integer totals
+// exact per key (run with -race in CI).
+func TestConcurrentBookingExactInts(t *testing.T) {
+	l := NewLedger()
+	const perKey = 200
+	models := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for _, m := range models {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(m string) {
+				defer wg.Done()
+				for r := 0; r < perKey/4; r++ {
+					l.Book(key(m), shape(), Delta{
+						Land: []float64{1, 1, 0, 0}, Roots: 7, Steps: 11,
+					})
+				}
+			}(m)
+		}
+	}
+	wg.Wait()
+	for _, m := range models {
+		snap, ok := l.Snapshot(key(m))
+		if !ok {
+			t.Fatalf("key %s missing", m)
+		}
+		if snap.Runs != perKey || snap.Roots != perKey*7 || snap.Steps != perKey*11 {
+			t.Fatalf("key %s: runs %d roots %d steps %d", m, snap.Runs, snap.Roots, snap.Steps)
+		}
+	}
+}
+
+// A nil ledger ignores everything, so wiring stays optional.
+func TestNilLedger(t *testing.T) {
+	var l *Ledger
+	l.Book(key("gbm"), shape(), Delta{Roots: 1})
+	if l.Len() != 0 || l.Snapshots() != nil {
+		t.Fatal("nil ledger reported entries")
+	}
+	if _, ok := l.Snapshot(key("gbm")); ok {
+		t.Fatal("nil ledger returned a snapshot")
+	}
+}

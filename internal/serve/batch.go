@@ -183,8 +183,10 @@ func (r *Runner) RunBatch(ctx context.Context, s BatchSpec) ([]mc.Result, BatchM
 	// the cached plan is a pure function of the key and still carries
 	// every boundary this batch reads an answer from.
 	var (
-		plan core.Plan
-		meta BatchMeta
+		plan     core.Plan
+		meta     BatchMeta
+		coverKey PlanKey
+		haveKey  bool
 	)
 	if r.Cache == nil {
 		began := telemetry.Now()
@@ -212,9 +214,18 @@ func (r *Runner) RunBatch(ctx context.Context, s BatchSpec) ([]mc.Result, BatchM
 			return nil, meta, err
 		}
 		plan, meta.CacheHit = p, hit
+		coverKey, haveKey = key, true
 	}
 	meta.Plan = plan
 	meta.Thresholds = len(distinct)
+
+	// Ledger booking rides the covering key (Set included), so every
+	// batch sharing the lattice shape accumulates into one entry; without
+	// a cache no key exists and the run books nothing.
+	var book func(agg core.Counters, roots, steps int64)
+	if haveKey {
+		book = r.bookRun(coverKey, plan, s.Ratio)
+	}
 
 	// Locate every threshold's boundary in the covering plan.
 	targets := make([]exec.BatchTarget, len(distinct))
@@ -244,7 +255,7 @@ func (r *Runner) RunBatch(ctx context.Context, s BatchSpec) ([]mc.Result, BatchM
 		Ratios:     plan.Ratios,
 		Seed:       s.Seed,
 		SimWorkers: s.SimWorkers,
-	}, targets, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots, Tracer: r.Trace})
+	}, targets, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots, Tracer: r.Trace, Counters: book})
 	if len(distinctRes) > 0 {
 		meta.SharedSteps = distinctRes[0].Steps
 	}

@@ -24,6 +24,7 @@ import (
 	"container/list"
 	"context"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -77,6 +78,11 @@ type cacheEntry struct {
 	err    error
 	elem   *list.Element
 	doomed bool
+	// hits counts lookups this entry served (waiters included); warmed
+	// marks entries inserted from a snapshot instead of a search. Both
+	// feed the per-plan introspection of Entries.
+	hits   atomic.Int64
+	warmed bool
 }
 
 // PlanCache memoizes level-partition plans by query shape with
@@ -228,6 +234,7 @@ func (c *PlanCache) GetOrSearch(ctx context.Context, key PlanKey, search SearchF
 			continue
 		}
 		c.hits.Add(1)
+		e.hits.Add(1)
 		return e.plan, 0, true, nil
 	}
 }
@@ -314,13 +321,66 @@ func (c *PlanCache) Warm(key PlanKey, plan core.Plan) bool {
 	if _, ok := c.entries[key]; ok {
 		return false
 	}
-	e := &cacheEntry{ready: make(chan struct{}), plan: plan}
+	e := &cacheEntry{ready: make(chan struct{}), plan: plan, warmed: true}
 	close(e.ready)
 	c.entries[key] = e
 	e.elem = c.lru.PushFront(key)
 	c.enforceCapLocked()
 	c.warmed.Add(1)
 	return true
+}
+
+// CachedPlan is one completed cache entry as the plan-introspection
+// endpoint sees it: the key, the plan it memoizes, and how the entry got
+// here and how often it was used.
+type CachedPlan struct {
+	Key    PlanKey
+	Plan   core.Plan
+	Hits   int64 // lookups this entry served (single-flight waiters included)
+	Warmed bool  // inserted from a snapshot instead of a search
+}
+
+// Entries returns every completed plan sorted by key — the canonical
+// order GET /plans serves, independent of insertion or recency. In-flight
+// and failed searches are excluded, like Export.
+func (c *PlanCache) Entries() []CachedPlan {
+	c.mu.Lock()
+	out := make([]CachedPlan, 0, c.lru.Len())
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		key := e.Value.(PlanKey)
+		ent := c.entries[key]
+		out = append(out, CachedPlan{Key: key, Plan: ent.plan, Hits: ent.hits.Load(), Warmed: ent.warmed})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.less(out[j].Key) })
+	return out
+}
+
+// less orders plan keys lexicographically field by field — the canonical
+// order of every plan listing.
+func (k PlanKey) less(o PlanKey) bool {
+	if k.Model != o.Model {
+		return k.Model < o.Model
+	}
+	if k.Observer != o.Observer {
+		return k.Observer < o.Observer
+	}
+	if k.BetaBucket != o.BetaBucket {
+		return k.BetaBucket < o.BetaBucket
+	}
+	if k.Horizon != o.Horizon {
+		return k.Horizon < o.Horizon
+	}
+	if k.Ratio != o.Ratio {
+		return k.Ratio < o.Ratio
+	}
+	if k.Search != o.Search {
+		return k.Search < o.Search
+	}
+	if k.Start != o.Start {
+		return k.Start < o.Start
+	}
+	return k.Set < o.Set
 }
 
 // Peek returns the cached plan for key without triggering a search. It

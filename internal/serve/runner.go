@@ -10,6 +10,7 @@ import (
 	"durability/internal/exec"
 	"durability/internal/mc"
 	"durability/internal/opt"
+	"durability/internal/planstats"
 	"durability/internal/stochastic"
 	"durability/internal/telemetry"
 )
@@ -144,6 +145,71 @@ type Runner struct {
 	// step counts attributed so each stage's steps sum exactly to the
 	// serving totals. Telemetry only — spans never alter execution.
 	Trace *telemetry.Tracer
+
+	// Ledger, when non-nil, receives every finished g-MLSS run's crossing
+	// counters under the run's plan-cache key — the plan-quality
+	// observability feed. Runs without a key (no Cache, or PlanFixed) and
+	// the non-counter samplers (s-MLSS, SRS) book nothing. Observability
+	// only — the ledger never alters execution.
+	Ledger *planstats.Ledger
+}
+
+// StatsKey mirrors a plan-cache key into the ledger's key type, field
+// for field (planstats sits below serve in the import order, so it
+// restates the key rather than importing it).
+func StatsKey(key PlanKey) planstats.Key {
+	return planstats.Key{
+		Model:      key.Model,
+		Observer:   key.Observer,
+		BetaBucket: key.BetaBucket,
+		Horizon:    key.Horizon,
+		Ratio:      key.Ratio,
+		Search:     key.Search,
+		Start:      key.Start,
+		Set:        key.Set,
+	}
+}
+
+// bookRun returns the ledger booking callback for one run executed under
+// key with the given plan shape, or nil when the runner has no ledger.
+// The signature matches both core.GMLSS.Observe and
+// exec.SampleOptions.Counters, so the scalar recursion, the vectorized
+// kernel, and every execution backend book through one function.
+func (r *Runner) bookRun(key PlanKey, plan core.Plan, ratio int) func(agg core.Counters, roots, steps int64) {
+	if r.Ledger == nil {
+		return nil
+	}
+	k := StatsKey(key)
+	shape := planstats.Shape{
+		Boundaries: append([]float64(nil), plan.Boundaries...),
+		Ratio:      ratio,
+		Ratios:     append([]int(nil), plan.Ratios...),
+	}
+	ledger := r.Ledger
+	return func(agg core.Counters, roots, steps int64) {
+		ledger.Book(k, shape, planstats.Delta{
+			Land:  agg.Land,
+			Skip:  agg.Skip,
+			Mu:    agg.Mu,
+			Hits:  agg.Hits,
+			Roots: roots,
+			Steps: steps,
+		})
+	}
+}
+
+// BookRun books one finished g-MLSS run's counters into the runner's
+// ledger under the spec's plan key — the hook callers that sample
+// incrementally themselves (internal/stream) invoke after folding their
+// own shard results in root order. A runner without a ledger or a cache,
+// or a spec under a fixed plan (no key exists), books nothing.
+func (r *Runner) BookRun(s Spec, plan core.Plan, agg core.Counters, roots, steps int64) {
+	if r.Ledger == nil || r.Cache == nil || s.PlanMode == PlanFixed {
+		return
+	}
+	if hook := r.bookRun(s.planKey(r.Cache), plan, s.Ratio); hook != nil {
+		hook(agg, roots, steps)
+	}
 }
 
 // searchTag names the plan-search strategy for cache keying, so greedy and
@@ -232,6 +298,16 @@ func (s *Spec) planKey(c *PlanCache) PlanKey {
 	return c.Key(s.ModelID, s.ObserverID, s.Beta, s.Horizon, s.Ratio, s.searchTag(), s.StartBucket)
 }
 
+// PlanKeyFor reports the cache key the spec's plan resolves under —
+// the key its ledger entry lives at. ok is false when the runner has no
+// cache or the spec fixes its plan (no key exists).
+func (r *Runner) PlanKeyFor(s Spec) (PlanKey, bool) {
+	if r.Cache == nil || s.PlanMode == PlanFixed {
+		return PlanKey{}, false
+	}
+	return s.planKey(r.Cache), true
+}
+
 // PeekPlan reports the cached plan that would serve the spec's shape, if
 // the runner has a cache and the plan is resident.
 func (r *Runner) PeekPlan(s Spec) (core.Plan, bool) {
@@ -271,6 +347,15 @@ func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
 		return mc.Result{Steps: meta.SearchSteps}, meta, err
 	}
 
+	// The ledger hook (nil without a ledger) fires once at a successful
+	// return on either g-MLSS path; s-MLSS keeps different sufficient
+	// statistics and is not booked. Fixed plans have no cache key, so
+	// their runs are not attributable to a cached plan and book nothing.
+	var book func(agg core.Counters, roots, steps int64)
+	if s.Method == GMLSS && r.Cache != nil && s.PlanMode != PlanFixed {
+		book = r.bookRun(s.planKey(r.Cache), plan, s.Ratio)
+	}
+
 	// The exec span carries the sampler's own steps — res.Steps before the
 	// search bill is folded in below — so stage steps sum exactly to the
 	// server's sampleSteps counter, which books the same difference.
@@ -294,11 +379,12 @@ func (r *Runner) Run(ctx context.Context, s Spec) (mc.Result, Meta, error) {
 			Ratio:      s.Ratio,
 			Seed:       s.Seed,
 			SimWorkers: s.SimWorkers,
-		}, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots, Tracer: r.Trace})
+		}, exec.SampleOptions{Stop: s.Stop, Trace: s.Trace, BatchRoots: r.ExecBatchRoots, Tracer: r.Trace, Counters: book})
 	} else {
 		sampler := &core.GMLSS{
 			Proc: s.Proc, Query: cq, Plan: plan, Ratio: s.Ratio,
 			Stop: s.Stop, Seed: s.Seed, Workers: s.SimWorkers, Trace: s.Trace,
+			Observe: book,
 		}
 		res, err = sampler.Run(ctx)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"durability/internal/exec"
 	"durability/internal/mc"
+	"durability/internal/planstats"
 	"durability/internal/stochastic"
 	"durability/internal/telemetry"
 )
@@ -112,6 +113,12 @@ type Config struct {
 	// query/batch envelopes). Telemetry only — a nil tracer serves
 	// identically.
 	Tracer *telemetry.Tracer
+
+	// Ledger, when non-nil, receives every finished g-MLSS run's crossing
+	// counters keyed by plan (see Runner.Ledger) — the feed behind plan
+	// drift metrics and GET /plans. Observability only — a nil ledger
+	// serves identically.
+	Ledger *planstats.Ledger
 }
 
 func (c Config) withDefaults() Config {
@@ -210,7 +217,7 @@ func NewServer(registry Registry, cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		registry: registry,
-		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth, WithCacheCapacity(cap)), Exec: cfg.Executor, ExecBatchRoots: cfg.ExecBatchRoots, Trace: cfg.Tracer},
+		runner:   &Runner{Cache: NewPlanCache(cfg.BetaBucketWidth, WithCacheCapacity(cap)), Exec: cfg.Executor, ExecBatchRoots: cfg.ExecBatchRoots, Trace: cfg.Tracer, Ledger: cfg.Ledger},
 		models:   make(map[string]*builtModel),
 		pending:  make(map[batchKey]*batchGather),
 		queue:    make(chan *job, cfg.QueueDepth),

@@ -240,6 +240,53 @@ func (s *Subscription) Stats() SubStats {
 	return s.stats
 }
 
+// PlanInfo is a point-in-time view of a subscription's resolved plan for
+// introspection front ends (the per-subscription detail of GET /streams).
+type PlanInfo struct {
+	Bucket     int       // drift bucket the plan was resolved for
+	Boundaries []float64 // the plan's interior level boundaries
+	Ratios     []int     // per-level ratios (nil for uniform-ratio plans)
+	// Key is the plan-cache key the plan — and its crossing-statistics
+	// ledger entry — lives under; HaveKey is false when the engine's
+	// runner has no cache (every refresh then pays its own search and
+	// nothing is booked).
+	Key     serve.PlanKey
+	HaveKey bool
+}
+
+// PlanInfo returns the subscription's current plan view; ok is false
+// while no refresh has resolved a plan yet (or after destruction).
+func (s *Subscription) PlanInfo() (PlanInfo, bool) {
+	s.ls.mu.Lock()
+	defer s.ls.mu.Unlock()
+	if !s.havePlan || s.destroyed {
+		return PlanInfo{}, false
+	}
+	info := PlanInfo{
+		Bucket:     s.bucket,
+		Boundaries: append([]float64(nil), s.plan.Boundaries...),
+		Ratios:     append([]int(nil), s.plan.Ratios...),
+	}
+	info.Key, info.HaveKey = s.engine.runner.PlanKeyFor(s.keySpec())
+	return info, true
+}
+
+// keySpec builds the minimal spec whose plan key matches the one refresh
+// resolves plans under — the key depends only on identity fields, never
+// on the live state itself. The caller holds ls.mu.
+func (s *Subscription) keySpec() serve.Spec {
+	return serve.Spec{
+		ModelID:     s.ls.name,
+		ObserverID:  s.spec.ObserverID,
+		Beta:        s.spec.Beta,
+		Horizon:     s.spec.Horizon,
+		Method:      serve.GMLSS,
+		PlanMode:    serve.PlanAuto,
+		Ratio:       s.spec.Ratio,
+		StartBucket: 1 + s.bucket,
+	}
+}
+
 // Wait blocks until the maintained answer corresponds to a tick later
 // than since, then returns it — the long-poll primitive network front
 // ends build on. It returns early with the context's error on
@@ -454,6 +501,10 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 		SimWorkers: s.spec.SimWorkers,
 	}
 	res := s.evaluate(active, m, initLevel)
+	// fresh accumulates this refresh's top-up counters — each shard is
+	// already folded in root order by the backend — for the plan-quality
+	// ledger booking below.
+	fresh := core.NewCounters(m)
 	var err error
 	for !s.spec.Stop.Done(res) {
 		if cerr := ctx.Err(); cerr != nil {
@@ -486,7 +537,14 @@ func (s *Subscription) refresh(ctx context.Context, proc stochastic.Process, sta
 		}
 		s.batches = append(s.batches, b)
 		active = append(active, b)
+		fresh.Add(shard.Agg)
 		res = s.evaluate(active, m, initLevel)
+	}
+	if err == nil && ans.FreshRoots > 0 {
+		// Book the refresh's fresh counters under the standing query's
+		// plan key. Error paths are excluded (a cancellation is not
+		// deterministic); a deterministic budget cap still books.
+		e.runner.BookRun(sspec, s.plan, fresh, ans.FreshRoots, ans.FreshSteps)
 	}
 	ans.Result = res
 	s.store(ans)

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// PlanDriftSample is one plan's drift reading as the crossing-statistics
+// ledger delivers it after a booking. The fields restate the ledger's
+// snapshot primitives so this file stays free of non-stdlib imports and
+// the ledger stays free of telemetry (it sits below core, which imports
+// this package).
+type PlanDriftSample struct {
+	// Key is the canonical plan-key label; each distinct key gets its own
+	// metric series.
+	Key string
+	// MaxDrift is the largest per-level |observed − assumed| conditional
+	// crossing probability; Observed reports whether any level has been
+	// attempted at all (MaxDrift means nothing before then).
+	MaxDrift float64
+	Observed bool
+	// Runs counts bookings under the plan's current shape — the plan's
+	// age in runs. A re-search resets it along with the counters.
+	Runs int64
+}
+
+// planDriftState backs one plan's gauge series. Gauge reads race with
+// bookings, so values are atomics; drift is float64 bits.
+type planDriftState struct {
+	drift atomic.Uint64
+	runs  atomic.Int64
+}
+
+// PlanDriftMetrics turns ledger bookings into Prometheus series: a
+// per-plan drift gauge, a per-plan age gauge, and a counter of bookings
+// whose drift exceeded the configured threshold. Report-only by design —
+// nothing here feeds back into planning; the threshold exists so
+// operators can alert on plans whose search assumptions no longer match
+// live traffic and decide about invalidation themselves.
+type PlanDriftMetrics struct {
+	reg       *Registry
+	threshold float64
+	exceeded  *Counter
+
+	mu    sync.Mutex
+	plans map[string]*planDriftState
+}
+
+// NewPlanDriftMetrics wires the drift series into reg. threshold <= 0
+// disables the exceeded counter's comparisons (the gauges still export).
+func NewPlanDriftMetrics(reg *Registry, threshold float64) *PlanDriftMetrics {
+	m := &PlanDriftMetrics{
+		reg:       reg,
+		threshold: threshold,
+		plans:     make(map[string]*planDriftState),
+	}
+	m.exceeded = reg.Counter("durserve_plan_drift_exceeded_total",
+		"Ledger bookings whose max per-level crossing-probability drift exceeded the configured threshold.")
+	return m
+}
+
+// Observe records one booking's drift reading. The first sample for a
+// key registers its gauge series; later samples only store atomics, so
+// the hook stays cheap on the booking goroutine.
+func (m *PlanDriftMetrics) Observe(s PlanDriftSample) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	st, ok := m.plans[s.Key]
+	if !ok {
+		st = &planDriftState{}
+		m.plans[s.Key] = st
+		label := Label{Name: "plan", Value: s.Key}
+		m.reg.GaugeFunc("durserve_plan_drift",
+			"Max per-level |observed - assumed| conditional crossing probability of the plan (0 until any level is attempted).",
+			func() float64 { return math.Float64frombits(st.drift.Load()) }, label)
+		m.reg.GaugeFunc("durserve_plan_age_runs",
+			"Runs booked under the plan's current shape (resets when the plan is re-searched).",
+			func() float64 { return float64(st.runs.Load()) }, label)
+	}
+	m.mu.Unlock()
+
+	drift := s.MaxDrift
+	if !s.Observed {
+		drift = 0
+	}
+	st.drift.Store(math.Float64bits(drift))
+	st.runs.Store(s.Runs)
+	if m.threshold > 0 && s.Observed && s.MaxDrift > m.threshold {
+		m.exceeded.Inc()
+	}
+}
